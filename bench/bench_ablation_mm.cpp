@@ -1,0 +1,61 @@
+// Ablation: robustness beyond the paper's mm = 5.
+//
+// Section 4 stops at mm = 5 ("communication cost underestimated by a
+// factor of 2.3").  We push the varying factor to mm = 16 (cost 6x the
+// estimate) under both jitter models — worst-case (every message late,
+// the paper's regime) and uniform fluctuation — averaged over ten random
+// loops.  The paper's conclusion, "our relative performance versus
+// DOACROSS actually improves", is checked directly by the factor column.
+#include <cstdio>
+#include <iostream>
+
+#include "core/mimd.hpp"
+#include "partition/lowering.hpp"
+#include "support/table.hpp"
+#include "workloads/random_loops.hpp"
+
+int main() {
+  using namespace mimd;
+  const Machine m{8, 3};
+  const std::int64_t n = 100;
+  const int loops = 10;
+
+  for (const JitterMode mode : {JitterMode::WorstCase, JitterMode::Uniform}) {
+    std::printf("=== jitter: %s ===\n",
+                mode == JitterMode::WorstCase ? "worst-case (paper)"
+                                              : "uniform [k, k+mm-1]");
+    Table t({"mm", "runtime cost", "x (ours) Sp", "doacross Sp", "factor"});
+    for (const int mm : {1, 3, 5, 8, 12, 16}) {
+      double so = 0, sd = 0;
+      for (std::uint64_t seed = 1; seed <= loops; ++seed) {
+        const Ddg g = workloads::random_cyclic_loop(seed);
+        const ComponentSchedResult ours = component_cyclic_sched(g, m);
+        const DoacrossResult doa = doacross(g, m, n);
+        SimOptions opt;
+        opt.machine = m;
+        opt.mm = mm;
+        opt.jitter = mode;
+        opt.seed = seed;
+        const Schedule s =
+            materialize(ours, std::max(m.processors, ours.processors_used), n);
+        so += percentage_parallelism(sequential_time(g, n),
+                                     simulate(lower(s, g), g, opt).makespan);
+        if (!doa.degenerated_to_sequential) {
+          const double sp = percentage_parallelism(
+              sequential_time(g, n),
+              simulate(lower(doa.schedule, g), g, opt).makespan);
+          sd += sp > 0 ? sp : 0;
+        }
+      }
+      so /= loops;
+      sd /= loops;
+      char cost[32];
+      std::snprintf(cost, sizeof cost, "%d..%d", m.comm_estimate,
+                    m.comm_estimate + mm - 1);
+      t.add_row({std::to_string(mm), cost, fmt_fixed(so, 1), fmt_fixed(sd, 1),
+                 sd > 0 ? fmt_fixed(so / sd, 2) : "-"});
+    }
+    std::cout << t.str() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: unrolling beyond distance normalization.
+//
+// Fig7's recurrence bound is fractional: MII = 5/2 cycles per iteration.
+// A pattern over the original body retires whole iterations on integer
+// boundaries, so the best integer steady state is II = 3 (the paper's
+// number).  Unrolling by u lets the pattern retire u iterations per
+// repetition and approach the fractional bound — the same trick modulo
+// schedulers use.  This bench sweeps the unroll factor over loops with
+// fractional and integer bounds.
+#include <cstdio>
+#include <iostream>
+
+#include "core/mimd.hpp"
+#include "support/table.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+
+int main() {
+  using namespace mimd;
+  struct Case {
+    const char* name;
+    Ddg g;
+    Machine m;
+  };
+  const Case cases[] = {
+      {"fig7 (MII 5/2)", workloads::fig7_loop(), Machine{4, 2}},
+      {"fig3 (MII 3)", workloads::fig3_loop(), Machine{4, 1}},
+      {"LL20 (MII 8)", workloads::ll20_discrete_ordinates(), Machine{4, 2}},
+  };
+
+  for (const Case& c : cases) {
+    const PerfectPipeliningResult pp = perfect_pipelining(c.g);
+    std::printf("=== %s, body %lld, bound %.2f, zero-comm greedy %.2f ===\n",
+                c.name, static_cast<long long>(c.g.body_latency()),
+                max_cycle_ratio(c.g), pp.initiation_interval);
+    Table t({"unroll u", "II (unrolled iters)", "II / original iteration",
+             "Sp (%)"});
+    for (const int u : {1, 2, 3, 4}) {
+      const Unrolled un = unroll(c.g, u);
+      const CyclicSchedResult r = cyclic_sched(un.graph, c.m);
+      if (!r.pattern.has_value()) continue;
+      const double ii = r.pattern->initiation_interval();
+      const double per_orig = ii / u;
+      t.add_row({std::to_string(u), fmt_fixed(ii, 2), fmt_fixed(per_orig, 3),
+                 fmt_fixed(percentage_parallelism_asymptotic(
+                               c.g.body_latency(), per_orig),
+                           1)});
+    }
+    std::cout << t.str() << "\n";
+  }
+  std::puts(
+      "reading: with zero communication the greedy reaches the fractional\n"
+      "bound (fig7: 2.5), which is why Perfect Pipelining needs no unroll\n"
+      "sweep.  With k > 0 the communication-aware optimum is already\n"
+      "integral on these loops, so unrolling buys nothing — the flat rows\n"
+      "are the honest result: the paper's k=2 II of 3 on fig7 is not an\n"
+      "integrality artifact but the real comm-constrained steady state.");
+  return 0;
+}

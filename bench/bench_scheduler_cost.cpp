@@ -1,0 +1,82 @@
+// Microbenchmarks of the compiler itself (google-benchmark):
+//   * classification          — paper claims O(m)
+//   * Cyclic-sched + pattern  — paper claims O(M*P*N^2) worst case, near
+//                               O(N) pattern checks in practice
+//   * window-based detection  — the paper's Section-2.3 device
+//   * DOACROSS scheduling     — the baseline compiler
+// Sizes sweep the random-loop generator's node count.
+#include <benchmark/benchmark.h>
+
+#include "baseline/doacross.hpp"
+#include "classify/classify.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/pattern.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace {
+
+using namespace mimd;
+
+workloads::RandomLoopSpec spec_for(std::int64_t nodes) {
+  workloads::RandomLoopSpec spec;
+  spec.nodes = static_cast<std::size_t>(nodes);
+  spec.loop_carried = spec.nodes / 2;
+  spec.simple = spec.nodes / 2;
+  return spec;
+}
+
+void BM_Classification(benchmark::State& state) {
+  const Ddg g = workloads::random_loop(1, spec_for(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Classification)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_CyclicSchedWithPatternDetection(benchmark::State& state) {
+  const Ddg g = workloads::random_connected_cyclic_loop(2, spec_for(state.range(0)));
+  const Machine m{8, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cyclic_sched(g, m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CyclicSchedWithPatternDetection)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity();
+
+void BM_WindowPatternDetection(benchmark::State& state) {
+  const Ddg g = workloads::random_connected_cyclic_loop(3, spec_for(state.range(0)));
+  const Machine m{8, 3};
+  CyclicSchedOptions horizon;
+  horizon.horizon_iterations = 40;
+  const Schedule s = cyclic_sched(g, m, horizon).schedule;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect_pattern_window(s, g, m.comm_estimate + 1));
+  }
+}
+BENCHMARK(BM_WindowPatternDetection)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_Doacross(benchmark::State& state) {
+  const Ddg g = workloads::random_connected_cyclic_loop(4, spec_for(state.range(0)));
+  const Machine m{8, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doacross(g, m, 64));
+  }
+}
+BENCHMARK(BM_Doacross)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_Materialize(benchmark::State& state) {
+  const Ddg g = workloads::random_connected_cyclic_loop(5);
+  const Machine m{8, 3};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        materialize(*r.pattern, m.processors, state.range(0)));
+  }
+}
+BENCHMARK(BM_Materialize)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace

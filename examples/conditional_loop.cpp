@@ -1,0 +1,56 @@
+// A loop with control flow, end to end: the paper requires if-converted
+// input ("we will assume the input loop is either without conditional
+// statements or is if-converted [AlKe83]"); this example shows the
+// provided if-conversion pass doing that job and the guarded recurrence
+// still parallelizing.
+#include <cstdio>
+#include <iostream>
+
+#include "core/mimd.hpp"
+#include "ir/dependence.hpp"
+#include "ir/ifconvert.hpp"
+#include "ir/parser.hpp"
+
+int main() {
+  using namespace mimd;
+  const char* source = R"(
+# A saturating accumulator: the IF makes it non-vectorizable twice over.
+for i:
+  S[i] = S[i-1] + X[i]
+  if S[i] > 100 {
+    S[i] = S[i] - 100
+    C[i] = C[i-1] + 1
+  } else {
+    C[i] = C[i-1]
+  }
+  Y[i] = S[i] * 0.25
+)";
+  std::cout << "== Source ==\n" << source << "\n";
+
+  const ir::Loop raw = ir::parse_loop(source);
+  std::printf("control flow present: %s\n", raw.has_control_flow() ? "yes" : "no");
+
+  const ir::Loop flat = ir::if_convert(raw);
+  std::cout << "\n== After if-conversion [AlKe83] ==\n" << ir::to_string(flat);
+
+  const ir::DependenceResult dep = ir::analyze_dependences(flat);
+  const Classification cls = classify(dep.graph);
+  std::printf("\n%zu ops: %zu Flow-in, %zu Cyclic, %zu Flow-out; "
+              "recurrence bound %.2f of %lld cycles\n",
+              dep.graph.num_nodes(), cls.flow_in.size(), cls.cyclic.size(),
+              cls.flow_out.size(), max_cycle_ratio(dep.graph),
+              static_cast<long long>(dep.graph.body_latency()));
+
+  ParallelizeOptions opts;
+  opts.machine = Machine{2, 1};
+  opts.iterations = 50;
+  const ParallelizeResult r = parallelize(dep.graph, opts);
+  std::printf("steady state: %.2f cycles/iteration -> Sp %.1f%%\n\n",
+              r.cycles_per_iteration, r.percentage_parallelism);
+  std::cout << "== Transformed loop ==\n" << r.parbegin_code;
+
+  const FigureComparison cmp = compare_on(dep.graph, Machine{4, 1}, 60);
+  std::printf("\nours %.1f%% vs DOACROSS %.1f%%\n", cmp.sp_ours,
+              cmp.sp_doacross);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: parallelize the paper's Figure-7 loop end to end.
+//
+//   $ ./quickstart
+//
+// Shows every stage: the loop source, its dependence graph, the
+// classification, the detected pattern, the paper-style transformed code,
+// and the compile-time comparison against DOACROSS.
+#include <cstdio>
+#include <iostream>
+
+#include "core/mimd.hpp"
+#include "ir/dependence.hpp"
+#include "ir/parser.hpp"
+#include "workloads/paper_examples.hpp"
+
+int main() {
+  using namespace mimd;
+
+  // 1. A loop, as source text (Figure 7(a) of Kim & Nicolau 1990).
+  const char* source = R"(
+for I:
+  A[I] = A[I-1] + E[I-1]
+  B[I] = A[I]
+  C[I] = B[I]
+  D[I] = D[I-1] + C[I-1]
+  E[I] = D[I]
+)";
+  std::cout << "== Loop ==\n" << source << "\n";
+
+  // 2. Front end: parse and build the data dependence graph.
+  const ir::DependenceResult dep =
+      ir::analyze_dependences(ir::parse_loop(source));
+  const Ddg& loop = dep.graph;
+  std::cout << "== Dependence graph (DOT) ==\n" << to_dot(loop) << "\n";
+
+  // 3. Classification (Figure 2): all five nodes are Cyclic here.
+  const Classification cls = classify(loop);
+  std::printf("Flow-in %zu | Cyclic %zu | Flow-out %zu\n\n",
+              cls.flow_in.size(), cls.cyclic.size(), cls.flow_out.size());
+
+  // 4. Parallelize for a 2-processor MIMD machine with communication
+  //    cost k = 2 (the paper's setting).
+  ParallelizeOptions opts;
+  opts.machine = Machine{2, 2};
+  opts.iterations = 40;
+  const ParallelizeResult r = parallelize(loop, opts);
+
+  std::cout << "== Steady-state pattern ==\n"
+            << render_kernel(*r.sched.pattern, loop, opts.machine.processors)
+            << "\n";
+  std::printf("initiation interval : %.2f cycles/iteration\n",
+              r.cycles_per_iteration);
+  std::printf("percentage parallelism : %.1f%%  (paper: 40)\n\n",
+              r.percentage_parallelism);
+
+  // 5. The transformed loop, as in Figure 7(e).
+  std::cout << "== Transformed loop ==\n" << r.parbegin_code << "\n";
+
+  // 6. Compare against DOACROSS (Figure 8: no parallelism available).
+  const FigureComparison cmp = compare_on(loop, Machine{4, 2}, 60);
+  std::printf("ours %.1f%% vs DOACROSS %.1f%% (degenerated: %s)\n",
+              cmp.sp_ours, cmp.sp_doacross,
+              cmp.doacross_degenerated ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// DOACROSS baseline [Cytron86] — the iteration-pipelining technique the
+// paper compares against.
+//
+// Iterations are interleaved over processors (iteration i on processor
+// i mod P).  Each iteration executes its body sequentially in a fixed
+// order; loop-carried dependences are honoured by synchronization: a
+// statement may not start before each cross-iteration operand has been
+// produced and (when the producer ran on a different processor) shipped at
+// communication cost k.  All parallelism inside an iteration is ignored —
+// exactly the limitation the paper's technique removes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "schedule/machine.hpp"
+#include "schedule/schedule.hpp"
+
+namespace mimd {
+
+struct DoacrossResult {
+  Schedule schedule;
+  /// Measured asymptotic cycles/iteration (completion-time slope).
+  double steady_ii = 0.0;
+  /// True when pipelining could not beat sequential execution and a real
+  /// compiler would emit the sequential loop instead (the paper's Figure 8
+  /// situation: "no pipelining is possible due to the (E,A) dependence").
+  bool degenerated_to_sequential = false;
+};
+
+/// Schedule `n` iterations DOACROSS-style. `body_order` overrides the
+/// default intra-iteration topological order (see reorder.hpp for the
+/// exhaustive-search optimal order).
+DoacrossResult doacross(const Ddg& g, const Machine& m, std::int64_t n,
+                        const std::optional<std::vector<NodeId>>& body_order =
+                            std::nullopt);
+
+}  // namespace mimd

@@ -1,0 +1,24 @@
+// Perfect Pipelining [AiNi88a/b] — the zero-communication idealized
+// baseline the paper generalizes.  Greedy ASAP scheduling of the unwound
+// loop with k = 0 and an effectively unbounded processor pool; the
+// emerging pattern is the optimal schedule under compile-time dependences.
+// Realized by running Cyclic-sched on a machine with comm_estimate 0 (all
+// per-edge costs cleared), which degenerates to exactly that algorithm.
+#pragma once
+
+#include "graph/ddg.hpp"
+#include "schedule/cyclic_sched.hpp"
+
+namespace mimd {
+
+struct PerfectPipeliningResult {
+  CyclicSchedResult sched;
+  double initiation_interval = 0.0;
+};
+
+/// `processors` <= 0 means "enough" (one per node — greedy ASAP never needs
+/// more than one processor per operation of a single pattern repetition...
+/// we allocate num_nodes * max(1, max latency) to be safe).
+PerfectPipeliningResult perfect_pipelining(const Ddg& g, int processors = -1);
+
+}  // namespace mimd

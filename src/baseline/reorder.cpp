@@ -1,0 +1,65 @@
+#include "baseline/reorder.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace mimd {
+
+namespace {
+
+/// Enumerate all topological orders of the distance-0 subgraph via
+/// backtracking, invoking `visit` on each complete order.
+template <typename Visit>
+void enumerate_topo_orders(const Ddg& g, Visit&& visit) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> indeg(n, 0);
+  for (const Edge& e : g.edges()) {
+    if (e.distance == 0) ++indeg[e.dst];
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+
+  auto rec = [&](auto&& self) -> void {
+    if (order.size() == n) {
+      visit(order);
+      return;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (placed[v] || indeg[v] != 0) continue;
+      placed[v] = true;
+      order.push_back(v);
+      for (const EdgeId eid : g.out_edges(v)) {
+        if (g.edge(eid).distance == 0) --indeg[g.edge(eid).dst];
+      }
+      self(self);
+      for (const EdgeId eid : g.out_edges(v)) {
+        if (g.edge(eid).distance == 0) ++indeg[g.edge(eid).dst];
+      }
+      order.pop_back();
+      placed[v] = false;
+    }
+  };
+  rec(rec);
+}
+
+}  // namespace
+
+BestReorderResult best_reorder_doacross(const Ddg& g, const Machine& m,
+                                        std::int64_t n, std::size_t max_nodes) {
+  MIMD_EXPECTS(g.num_nodes() <= max_nodes);
+  std::optional<BestReorderResult> best;
+  std::uint64_t examined = 0;
+  enumerate_topo_orders(g, [&](const std::vector<NodeId>& order) {
+    ++examined;
+    DoacrossResult r = doacross(g, m, n, order);
+    if (!best.has_value() || r.steady_ii < best->doacross.steady_ii) {
+      best = BestReorderResult{order, std::move(r), 0};
+    }
+  });
+  MIMD_ENSURES(best.has_value());
+  best->orders_examined = examined;
+  return std::move(*best);
+}
+
+}  // namespace mimd

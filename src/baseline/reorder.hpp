@@ -1,0 +1,31 @@
+// Optimal body reordering for DOACROSS (paper Figure 8(b)).
+//
+// DOACROSS performance depends on where in the body the loop-carried
+// producers and consumers sit; the paper compares against DOACROSS "with an
+// optimal reordering, ... obtained by an exhaustive search" and notes that
+// optimal reordering is NP-hard in general [Cytron86][MuSi87].  We
+// enumerate every topological order of the intra-iteration subgraph
+// (guarded by a node-count limit) and keep the one with the smallest
+// measured initiation interval.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/doacross.hpp"
+#include "graph/ddg.hpp"
+#include "schedule/machine.hpp"
+
+namespace mimd {
+
+struct BestReorderResult {
+  std::vector<NodeId> order;      ///< the winning body order
+  DoacrossResult doacross;        ///< DOACROSS under that order
+  std::uint64_t orders_examined = 0;
+};
+
+/// Exhaustive search over all topological body orders; `max_nodes` guards
+/// against factorial blow-up (the paper's example has 5 nodes).
+BestReorderResult best_reorder_doacross(const Ddg& g, const Machine& m,
+                                        std::int64_t n, std::size_t max_nodes = 9);
+
+}  // namespace mimd

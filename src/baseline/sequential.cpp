@@ -1,0 +1,26 @@
+#include "baseline/sequential.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace mimd {
+
+std::int64_t sequential_time(const Ddg& g, std::int64_t n) {
+  MIMD_EXPECTS(n >= 0);
+  return g.body_latency() * n;
+}
+
+Schedule sequential_schedule(const Ddg& g, std::int64_t n) {
+  const auto order = topo_order_intra(g);
+  Schedule sched(1);
+  std::int64_t t = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (const NodeId v : order) {
+      const std::int64_t lat = g.node(v).latency;
+      sched.place(Inst{v, i}, 0, t, t + lat);
+      t += lat;
+    }
+  }
+  return sched;
+}
+
+}  // namespace mimd

@@ -1,0 +1,20 @@
+// Sequential execution baseline: one processor, program order, no
+// communication.  Both the paper's percentage-parallelism formula and the
+// simulator experiments normalize against this.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ddg.hpp"
+#include "schedule/schedule.hpp"
+
+namespace mimd {
+
+/// Total sequential execution time of `n` iterations.
+std::int64_t sequential_time(const Ddg& g, std::int64_t n);
+
+/// A concrete single-processor schedule (iteration-major, intra-iteration
+/// topological order) — used by tests and as a simulator input.
+Schedule sequential_schedule(const Ddg& g, std::int64_t n);
+
+}  // namespace mimd

@@ -1,0 +1,99 @@
+#include "classify/classify.hpp"
+
+#include <queue>
+
+#include "graph/algorithms.hpp"
+
+namespace mimd {
+
+namespace {
+
+/// Generic one-direction sweep of the Figure-2 worklist.  For Flow-in we
+/// count not-yet-absorbed predecessors; a node joins the set when the count
+/// reaches zero.  `eligible[v]` masks nodes allowed to join (used by the
+/// Flow-out sweep to exclude Flow-in nodes, per the definition).
+std::vector<bool> absorb(const Ddg& g, bool forward,
+                         const std::vector<bool>& eligible) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> remaining(n, 0);
+  for (const Edge& e : g.edges()) {
+    ++remaining[forward ? e.dst : e.src];
+  }
+  std::vector<bool> in_set(n, false);
+  std::queue<NodeId> work;
+  for (NodeId v = 0; v < n; ++v) {
+    if (remaining[v] == 0 && eligible[v]) {
+      in_set[v] = true;
+      work.push(v);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId v = work.front();
+    work.pop();
+    const auto& edges = forward ? g.out_edges(v) : g.in_edges(v);
+    for (const EdgeId eid : edges) {
+      const Edge& e = g.edge(eid);
+      const NodeId w = forward ? e.dst : e.src;
+      if (--remaining[w] == 0 && eligible[w] && !in_set[w]) {
+        in_set[w] = true;
+        work.push(w);
+      }
+    }
+  }
+  return in_set;
+}
+
+}  // namespace
+
+Classification classify(const Ddg& g) {
+  const std::size_t n = g.num_nodes();
+  const std::vector<bool> all(n, true);
+
+  // Pass 1 (steps 1-4 of Figure 2): Flow-in = fixed point of "all my
+  // predecessors are Flow-in".
+  const std::vector<bool> is_flow_in = absorb(g, /*forward=*/true, all);
+
+  // Pass 2 (steps 5-8): Flow-out = fixed point of "not Flow-in and all my
+  // successors are Flow-out".  A Flow-in node never has a non-Flow-in
+  // predecessor, so its out-edges cannot block a Flow-out candidate — but a
+  // Flow-in node may feed a Cyclic node, so we pre-drop edges out of
+  // Flow-in by treating Flow-in nodes as absorbed successors.  We realize
+  // that by counting only edges whose head is not Flow-in... which is the
+  // same as running the sweep on the full graph but seeding the queue with
+  // Flow-in nodes too, then masking them out of the result.
+  std::vector<bool> eligible(n);
+  for (std::size_t v = 0; v < n; ++v) eligible[v] = !is_flow_in[v];
+  // A successor in Flow-in can only happen if the edge head is Flow-in,
+  // which (by the Flow-in fixed point) implies the tail is Flow-in as well;
+  // such tails are not eligible, so the plain backward sweep is correct.
+  const std::vector<bool> is_flow_out = absorb(g, /*forward=*/false, eligible);
+
+  Classification cls;
+  cls.kind.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_flow_in[v]) {
+      cls.kind[v] = NodeKind::FlowIn;
+      cls.flow_in.push_back(v);
+    } else if (is_flow_out[v]) {
+      cls.kind[v] = NodeKind::FlowOut;
+      cls.flow_out.push_back(v);
+    } else {
+      cls.kind[v] = NodeKind::Cyclic;
+      cls.cyclic.push_back(v);
+    }
+  }
+  return cls;
+}
+
+bool verify_lemma1(const Ddg& g, const Classification& cls) {
+  if (cls.cyclic.empty()) return true;
+  const Ddg sub = cyclic_subgraph(g, cls);
+  return has_nontrivial_scc(sub);
+}
+
+Ddg cyclic_subgraph(const Ddg& g, const Classification& cls,
+                    std::vector<NodeId>* old_of_new) {
+  return g.induced_subgraph(cls.cyclic, old_of_new);
+}
+
+}  // namespace mimd

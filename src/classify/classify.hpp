@@ -1,0 +1,52 @@
+// Node classification — algorithm `classification` from the paper's
+// Figure 2.
+//
+// Nodes of the DDG are split into three disjoint subsets:
+//   Flow-in : no predecessors, or all predecessors already in Flow-in
+//             (the acyclic "prefix" of the loop — its scheduling is limited
+//              only by the latest time it can run);
+//   Flow-out: not Flow-in, and no successors or all successors in Flow-out
+//             (the acyclic "suffix" — limited only by the earliest time);
+//   Cyclic  : everything else.  These nodes determine the execution time of
+//             the loop (they lie on or between recurrences); if Cyclic is
+//             empty the loop is a DOALL loop.
+//
+// The paper's Lemma 1: a non-empty Cyclic subset contains at least one
+// strongly connected subgraph.  Exposed here as `verify_lemma1` and used as
+// a test oracle.
+//
+// Complexity: O(m) in the number of dependence edges, as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+
+enum class NodeKind : std::uint8_t { FlowIn, Cyclic, FlowOut };
+
+struct Classification {
+  /// kind[v] for every node of the classified graph.
+  std::vector<NodeKind> kind;
+  /// The three subsets, each sorted by node id.
+  std::vector<NodeId> flow_in;
+  std::vector<NodeId> cyclic;
+  std::vector<NodeId> flow_out;
+
+  [[nodiscard]] bool is_doall() const { return cyclic.empty(); }
+};
+
+/// Run the Figure-2 classification.
+Classification classify(const Ddg& g);
+
+/// Lemma 1 oracle: true iff the Cyclic subset is empty or the subgraph it
+/// induces contains a non-trivial strongly connected component.
+bool verify_lemma1(const Ddg& g, const Classification& cls);
+
+/// The subgraph induced by the Cyclic subset (the input to Cyclic-sched).
+/// `old_of_new[i]` maps node i of the result back to the original graph.
+Ddg cyclic_subgraph(const Ddg& g, const Classification& cls,
+                    std::vector<NodeId>* old_of_new = nullptr);
+
+}  // namespace mimd

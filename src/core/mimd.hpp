@@ -1,0 +1,37 @@
+// Umbrella header for the MIMD loop-parallelization library.
+//
+// Reproduction of Kim & Nicolau, "Parallelizing Non-Vectorizable Loops for
+// MIMD Machines" (ICPP 1990).  Typical use:
+//
+//   #include "core/mimd.hpp"
+//   mimd::Ddg loop = ...;                     // or ir::parse_loop(...)
+//   mimd::ParallelizeOptions opts;
+//   opts.machine = {.processors = 4, .comm_estimate = 2};
+//   auto result = mimd::parallelize(loop, opts);
+//   std::cout << result.parbegin_code;
+#pragma once
+
+#include "baseline/doacross.hpp"
+#include "baseline/perfect_pipelining.hpp"
+#include "baseline/reorder.hpp"
+#include "baseline/sequential.hpp"
+#include "classify/classify.hpp"
+#include "core/parallelizer.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/ddg.hpp"
+#include "graph/dot.hpp"
+#include "graph/unwind.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "partition/codegen.hpp"
+#include "partition/lowering.hpp"
+#include "partition/partitioned_loop.hpp"
+#include "schedule/component_sched.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/flow_sched.hpp"
+#include "schedule/full_sched.hpp"
+#include "schedule/machine.hpp"
+#include "schedule/pattern.hpp"
+#include "schedule/schedule.hpp"
+#include "sim/machine_sim.hpp"
+#include "sim/trace.hpp"

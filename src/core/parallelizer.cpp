@@ -1,0 +1,29 @@
+#include "core/parallelizer.hpp"
+
+#include "metrics/metrics.hpp"
+#include "partition/codegen.hpp"
+#include "partition/lowering.hpp"
+
+namespace mimd {
+
+ParallelizeResult parallelize(const Ddg& loop, const ParallelizeOptions& opts) {
+  MIMD_EXPECTS(opts.iterations >= 1);
+  ParallelizeResult res;
+  res.normalized = normalize_distances(loop);
+  const int factor = res.normalized.factor;
+  res.normalized_iterations = (opts.iterations + factor - 1) / factor;
+
+  res.sched = full_sched(res.normalized.graph, opts.machine,
+                         res.normalized_iterations, opts.schedule);
+  res.program = lower(res.sched.schedule, res.normalized.graph);
+  if (opts.emit_code && res.sched.pattern.has_value()) {
+    res.parbegin_code = emit_parbegin(*res.sched.pattern, res.normalized.graph);
+  }
+
+  res.cycles_per_iteration = res.sched.steady_ii / static_cast<double>(factor);
+  res.percentage_parallelism = percentage_parallelism_asymptotic(
+      loop.body_latency(), res.cycles_per_iteration);
+  return res;
+}
+
+}  // namespace mimd

@@ -1,0 +1,232 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace mimd {
+
+std::vector<NodeId> topo_order_intra(const Ddg& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> indeg(n, 0);
+  for (const Edge& e : g.edges()) {
+    if (e.distance == 0) ++indeg[e.dst];
+  }
+  // Min-heap on node id keeps the order deterministic and total.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const EdgeId eid : g.out_edges(v)) {
+      const Edge& e = g.edge(eid);
+      if (e.distance == 0 && --indeg[e.dst] == 0) ready.push(e.dst);
+    }
+  }
+  MIMD_ENSURES(order.size() == n);  // fails iff intra-iteration cycle
+  return order;
+}
+
+bool intra_iteration_acyclic(const Ddg& g) {
+  try {
+    (void)topo_order_intra(g);
+    return true;
+  } catch (const ContractViolation&) {
+    return false;
+  }
+}
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack; recursion depth is unbounded for
+/// long chains such as heavily unwound loops).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const Ddg& g) : g_(g) {
+    const std::size_t n = g.num_nodes();
+    index_.assign(n, kUnvisited);
+    lowlink_.assign(n, 0);
+    on_stack_.assign(n, false);
+  }
+
+  std::vector<std::vector<NodeId>> run() {
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      if (index_[v] == kUnvisited) strongconnect(v);
+    }
+    for (auto& comp : components_) std::sort(comp.begin(), comp.end());
+    return std::move(components_);
+  }
+
+ private:
+  static constexpr int kUnvisited = -1;
+
+  struct Frame {
+    NodeId v;
+    std::size_t edge_pos;
+  };
+
+  void strongconnect(NodeId root) {
+    std::vector<Frame> call_stack{{root, 0}};
+    open(root);
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      const auto& outs = g_.out_edges(f.v);
+      if (f.edge_pos < outs.size()) {
+        const NodeId w = g_.edge(outs[f.edge_pos++]).dst;
+        if (index_[w] == kUnvisited) {
+          open(w);
+          call_stack.push_back({w, 0});
+        } else if (on_stack_[w]) {
+          lowlink_[f.v] = std::min(lowlink_[f.v], index_[w]);
+        }
+      } else {
+        if (lowlink_[f.v] == index_[f.v]) pop_component(f.v);
+        const NodeId child = f.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          lowlink_[call_stack.back().v] =
+              std::min(lowlink_[call_stack.back().v], lowlink_[child]);
+        }
+      }
+    }
+  }
+
+  void open(NodeId v) {
+    index_[v] = lowlink_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  void pop_component(NodeId v) {
+    std::vector<NodeId> comp;
+    NodeId w;
+    do {
+      w = stack_.back();
+      stack_.pop_back();
+      on_stack_[w] = false;
+      comp.push_back(w);
+    } while (w != v);
+    components_.push_back(std::move(comp));
+  }
+
+  const Ddg& g_;
+  std::vector<int> index_, lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<NodeId> stack_;
+  std::vector<std::vector<NodeId>> components_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> strongly_connected_components(const Ddg& g) {
+  return TarjanScc(g).run();
+}
+
+bool has_nontrivial_scc(const Ddg& g) {
+  for (const Edge& e : g.edges()) {
+    if (e.src == e.dst) return true;  // self-loop (distance >= 1 by contract)
+  }
+  for (const auto& comp : strongly_connected_components(g)) {
+    if (comp.size() > 1) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<NodeId>> connected_components(const Ddg& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> parent(n);
+  for (NodeId v = 0; v < n; ++v) parent[v] = v;
+  // Union-find with path halving.
+  auto find_root = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : g.edges()) {
+    const NodeId a = find_root(e.src), b = find_root(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<int> comp_of(n, -1);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId r = find_root(v);
+    if (comp_of[r] < 0) {
+      comp_of[r] = static_cast<int>(comps.size());
+      comps.emplace_back();
+    }
+    comps[comp_of[r]].push_back(v);
+  }
+  return comps;
+}
+
+namespace {
+
+/// Does the graph contain a cycle whose weight sum(latency - lambda*distance)
+/// is strictly positive?  Bellman-Ford over the edge-weighted graph where
+/// edge (u->v) has weight latency(u) - lambda * distance(u->v).
+bool has_positive_cycle(const Ddg& g, double lambda) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return false;
+  // Longest-path relaxation from a virtual source connected to all nodes.
+  std::vector<double> dist(n, 0.0);
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      const double w =
+          static_cast<double>(g.node(e.src).latency) - lambda * e.distance;
+      if (dist[e.src] + w > dist[e.dst] + 1e-12) {
+        dist[e.dst] = dist[e.src] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;  // converged: no positive cycle
+  }
+  return true;  // still relaxing after n passes => positive cycle
+}
+
+}  // namespace
+
+double max_cycle_ratio(const Ddg& g, double tol) {
+  if (!has_nontrivial_scc(g)) return 0.0;
+  // All cycles have total distance >= 1 (a distance-0 cycle is an
+  // intra-iteration cycle, which the Ddg contract plus a well-formed body
+  // exclude), so the ratio is bounded by total latency.
+  double lo = 0.0;
+  double hi = static_cast<double>(g.body_latency());
+  MIMD_EXPECTS(!has_positive_cycle(g, hi + 1.0));
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (has_positive_cycle(g, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+std::int64_t longest_intra_path(const Ddg& g) {
+  const auto order = topo_order_intra(g);
+  std::vector<std::int64_t> finish(g.num_nodes(), 0);
+  std::int64_t best = 0;
+  for (const NodeId v : order) {
+    std::int64_t start = 0;
+    for (const EdgeId eid : g.in_edges(v)) {
+      const Edge& e = g.edge(eid);
+      if (e.distance == 0) start = std::max(start, finish[e.src]);
+    }
+    finish[v] = start + g.node(v).latency;
+    best = std::max(best, finish[v]);
+  }
+  return best;
+}
+
+}  // namespace mimd

@@ -1,0 +1,58 @@
+// Graph algorithms over the DDG that the scheduler and the proofs lean on:
+//
+//  * topological order of the intra-iteration (distance-0) subgraph — the
+//    "consistent fixed order" the paper requires among parallel nodes,
+//  * Tarjan strongly connected components over *all* edges — Lemma 1 says
+//    every Cyclic subset contains at least one non-trivial SCC,
+//  * undirected connected components — the paper schedules each connected
+//    component independently (Section 2.1),
+//  * maximum cycle ratio (sum of latencies / sum of distances over cycles) —
+//    the classic recurrence-constrained lower bound on the initiation
+//    interval of *any* schedule, used as a test oracle for detected patterns,
+//  * longest intra-iteration path — critical path of one iteration.
+#pragma once
+
+#include <vector>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+
+/// Topological order of nodes using only distance-0 edges, breaking ties by
+/// node id (so the order is total and deterministic).  Throws
+/// ContractViolation if the distance-0 subgraph has a cycle (which would
+/// make the loop body itself unexecutable).
+std::vector<NodeId> topo_order_intra(const Ddg& g);
+
+/// True if the distance-0 subgraph is acyclic (a well-formed loop body).
+bool intra_iteration_acyclic(const Ddg& g);
+
+/// Strongly connected components over all edges (distances ignored — a
+/// loop-carried edge still connects its endpoints).  Returns one vector of
+/// node ids per component, in reverse topological order of the condensation;
+/// each component's nodes are sorted by id.
+std::vector<std::vector<NodeId>> strongly_connected_components(const Ddg& g);
+
+/// True if some SCC has more than one node or a self-loop — i.e. the loop
+/// carries a genuine recurrence and is not a DOALL loop.
+bool has_nontrivial_scc(const Ddg& g);
+
+/// Undirected connected components; each sorted by node id, components
+/// ordered by smallest member.
+std::vector<std::vector<NodeId>> connected_components(const Ddg& g);
+
+/// Maximum cycle ratio max over cycles C of
+///   (sum of latencies of nodes on C) / (sum of edge distances on C).
+/// This is the recurrence-constrained minimum initiation interval (MII):
+/// no schedule, on any number of processors, can complete iterations
+/// faster than one per MII cycles *even with free communication*.
+/// Returns 0 if the graph has no cycle (DOALL).
+/// Implemented as a parametric search (binary search on lambda with
+/// Bellman-Ford positive-cycle detection), exact to `tol`.
+double max_cycle_ratio(const Ddg& g, double tol = 1e-9);
+
+/// Length (total latency) of the longest path in the distance-0 subgraph;
+/// the critical path of a single iteration.
+std::int64_t longest_intra_path(const Ddg& g);
+
+}  // namespace mimd

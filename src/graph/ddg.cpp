@@ -1,0 +1,89 @@
+#include "graph/ddg.hpp"
+
+#include <algorithm>
+
+namespace mimd {
+
+NodeId Ddg::add_node(std::string name, int latency) {
+  MIMD_EXPECTS(!name.empty());
+  MIMD_EXPECTS(latency >= 1);
+  MIMD_EXPECTS(!find(name).has_value());
+  nodes_.push_back(Node{std::move(name), latency});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId Ddg::add_edge(NodeId src, NodeId dst, int distance, int comm_cost) {
+  MIMD_EXPECTS(src < nodes_.size() && dst < nodes_.size());
+  MIMD_EXPECTS(distance >= 0);
+  MIMD_EXPECTS(comm_cost >= -1);
+  // A distance-0 self-dependence means an operation needs its own result
+  // from the same iteration — impossible to satisfy.
+  MIMD_EXPECTS(!(src == dst && distance == 0));
+  edges_.push_back(Edge{src, dst, distance, comm_cost});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+EdgeId Ddg::add_edge(std::string_view src, std::string_view dst, int distance,
+                     int comm_cost) {
+  const auto s = find(src);
+  const auto d = find(dst);
+  MIMD_EXPECTS(s.has_value() && d.has_value());
+  return add_edge(*s, *d, distance, comm_cost);
+}
+
+std::optional<NodeId> Ddg::find(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+std::int64_t Ddg::body_latency() const {
+  std::int64_t sum = 0;
+  for (const Node& n : nodes_) sum += n.latency;
+  return sum;
+}
+
+int Ddg::max_distance() const {
+  int d = 0;
+  for (const Edge& e : edges_) d = std::max(d, e.distance);
+  return d;
+}
+
+int Ddg::max_latency() const {
+  int l = 0;
+  for (const Node& n : nodes_) l = std::max(l, n.latency);
+  return l;
+}
+
+bool Ddg::distances_normalized() const {
+  return std::all_of(edges_.begin(), edges_.end(),
+                     [](const Edge& e) { return e.distance <= 1; });
+}
+
+Ddg Ddg::induced_subgraph(const std::vector<NodeId>& keep,
+                          std::vector<NodeId>* old_of_new) const {
+  std::vector<NodeId> new_of_old(nodes_.size(), kInvalidNode);
+  Ddg sub;
+  for (const NodeId old : keep) {
+    MIMD_EXPECTS(old < nodes_.size());
+    MIMD_EXPECTS(new_of_old[old] == kInvalidNode);  // no duplicates
+    new_of_old[old] = sub.add_node(nodes_[old].name, nodes_[old].latency);
+  }
+  for (const Edge& e : edges_) {
+    const NodeId s = new_of_old[e.src];
+    const NodeId d = new_of_old[e.dst];
+    if (s != kInvalidNode && d != kInvalidNode) {
+      sub.add_edge(s, d, e.distance, e.comm_cost);
+    }
+  }
+  if (old_of_new != nullptr) *old_of_new = keep;
+  return sub;
+}
+
+}  // namespace mimd

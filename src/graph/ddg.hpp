@@ -1,0 +1,133 @@
+// Data dependence graph (DDG) of a loop body.
+//
+// This is the paper's five-tuple <V, E, Flow-in, Cyclic, Flow-out> minus the
+// classification (which lives in classify/): nodes are units of computation
+// with integer latencies; edges are data dependences with an iteration
+// *distance* (0 = intra-iteration "simple dependence", d >= 1 = loop-carried
+// dependence across d iterations).  An edge may carry its own communication
+// cost; by default it inherits the machine-wide estimate k (the paper allows
+// per-edge costs bounded above by k, Section 2.3).
+//
+// The graph is append-only: nodes and edges are added during construction
+// and never removed.  Derived views (subgraphs, unwindings) produce new
+// graphs; see graph/unwind.hpp and Ddg::induced_subgraph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mimd {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A unit of computation. Granularity is the client's choice — a single
+/// operation or a whole procedure (paper, Section 2.1, footnote 3).
+struct Node {
+  std::string name;
+  int latency = 1;  ///< execution time in cycles, >= 1
+};
+
+/// A data dependence from `src` to `dst`, `distance` iterations apart.
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int distance = 0;    ///< 0 = intra-iteration, d >= 1 = loop-carried
+  int comm_cost = -1;  ///< cycles to ship the value cross-processor;
+                       ///< -1 = use the machine-wide estimate k
+};
+
+/// A specific dynamic instance of a node: node `node` from iteration `iter`.
+/// The paper writes this as e.g. A_3 ("an instance of A from iteration 3").
+struct Inst {
+  NodeId node = kInvalidNode;
+  std::int64_t iter = 0;
+
+  friend bool operator==(const Inst&, const Inst&) = default;
+  friend auto operator<=>(const Inst&, const Inst&) = default;
+};
+
+struct InstHash {
+  std::size_t operator()(const Inst& i) const noexcept {
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(i.node) * 0x9E3779B97F4A7C15ULL ^
+        static_cast<std::uint64_t>(i.iter);
+    return std::hash<std::uint64_t>{}(h);
+  }
+};
+
+/// The data dependence graph of one loop.
+class Ddg {
+ public:
+  Ddg() = default;
+
+  /// Adds a node; names must be unique and non-empty. Returns its id.
+  NodeId add_node(std::string name, int latency = 1);
+
+  /// Adds a dependence edge. Distance must be >= 0; a distance-0 self-loop
+  /// would make the loop body unschedulable and is rejected.
+  EdgeId add_edge(NodeId src, NodeId dst, int distance, int comm_cost = -1);
+
+  /// Convenience: add an edge between named nodes (they must exist).
+  EdgeId add_edge(std::string_view src, std::string_view dst, int distance,
+                  int comm_cost = -1);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const {
+    MIMD_EXPECTS(id < nodes_.size());
+    return nodes_[id];
+  }
+  [[nodiscard]] const Edge& edge(EdgeId id) const {
+    MIMD_EXPECTS(id < edges_.size());
+    return edges_[id];
+  }
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids leaving / entering a node.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId id) const {
+    MIMD_EXPECTS(id < nodes_.size());
+    return out_[id];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId id) const {
+    MIMD_EXPECTS(id < nodes_.size());
+    return in_[id];
+  }
+
+  [[nodiscard]] std::optional<NodeId> find(std::string_view name) const;
+
+  /// Total latency of one iteration of the loop body — the sequential
+  /// execution time per iteration (communication-free, single processor).
+  [[nodiscard]] std::int64_t body_latency() const;
+
+  [[nodiscard]] int max_distance() const;
+  [[nodiscard]] int max_latency() const;
+
+  /// True if every dependence distance is 0 or 1 (the canonical form the
+  /// scheduler requires; see graph/unwind.hpp to establish it).
+  [[nodiscard]] bool distances_normalized() const;
+
+  /// Subgraph induced by `keep` (node ids into *this). Edges with both
+  /// endpoints kept survive; `old_of_new[i]` maps new node i to its old id.
+  [[nodiscard]] Ddg induced_subgraph(const std::vector<NodeId>& keep,
+                                     std::vector<NodeId>* old_of_new = nullptr) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace mimd

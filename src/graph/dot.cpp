@@ -1,0 +1,61 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+#include "classify/classify.hpp"
+
+namespace mimd {
+
+namespace {
+
+void emit_edges(const Ddg& g, std::ostringstream& out) {
+  for (const Edge& e : g.edges()) {
+    out << "  \"" << g.node(e.src).name << "\" -> \"" << g.node(e.dst).name
+        << "\"";
+    if (e.distance > 0) {
+      out << " [style=dashed, label=\"d=" << e.distance << "\"]";
+    }
+    out << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Ddg& g) {
+  std::ostringstream out;
+  out << "digraph ddg {\n";
+  for (const Node& n : g.nodes()) {
+    out << "  \"" << n.name << "\" [label=\"" << n.name << " (" << n.latency
+        << ")\"];\n";
+  }
+  emit_edges(g, out);
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const Ddg& g, const Classification& cls) {
+  std::ostringstream out;
+  out << "digraph ddg {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const char* color = nullptr;
+    switch (cls.kind[v]) {
+      case NodeKind::FlowIn:
+        color = "palegreen";
+        break;
+      case NodeKind::Cyclic:
+        color = "lightcoral";
+        break;
+      case NodeKind::FlowOut:
+        color = "lightblue";
+        break;
+    }
+    out << "  \"" << g.node(v).name << "\" [style=filled, fillcolor=" << color
+        << ", label=\"" << g.node(v).name << " (" << g.node(v).latency
+        << ")\"];\n";
+  }
+  emit_edges(g, out);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mimd

@@ -1,0 +1,20 @@
+// Graphviz DOT export of a DDG, optionally colored by classification.
+#pragma once
+
+#include <string>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+
+struct Classification;  // classify/classify.hpp
+
+/// Plain DOT rendering: solid edges for intra-iteration dependences,
+/// dashed edges labeled "d=<distance>" for loop-carried ones.
+std::string to_dot(const Ddg& g);
+
+/// DOT rendering with Flow-in / Cyclic / Flow-out nodes colored
+/// (green / red / blue), matching the paper's Figure 1 intuition.
+std::string to_dot(const Ddg& g, const Classification& cls);
+
+}  // namespace mimd

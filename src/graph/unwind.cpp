@@ -1,0 +1,43 @@
+#include "graph/unwind.hpp"
+
+#include <string>
+
+namespace mimd {
+
+Unrolled unroll(const Ddg& g, int factor) {
+  MIMD_EXPECTS(factor >= 1);
+  Unrolled result;
+  result.factor = factor;
+
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  // new id of copy r of old node v = r*n + v (copies laid out iteration-major
+  // so that copy order matches execution order of the original iterations).
+  for (int r = 0; r < factor; ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      std::string name = g.node(v).name;
+      if (r > 0) name += "#" + std::to_string(r);
+      result.graph.add_node(std::move(name), g.node(v).latency);
+      result.origin.push_back({v, r});
+    }
+  }
+  for (int r = 0; r < factor; ++r) {
+    for (const Edge& e : g.edges()) {
+      const int shifted = r + e.distance;
+      const int dst_copy = shifted % factor;
+      const int new_distance = shifted / factor;
+      const NodeId s = static_cast<NodeId>(r) * n + e.src;
+      const NodeId d = static_cast<NodeId>(dst_copy) * n + e.dst;
+      result.graph.add_edge(s, d, new_distance, e.comm_cost);
+    }
+  }
+  return result;
+}
+
+Unrolled normalize_distances(const Ddg& g) {
+  const int factor = std::max(1, g.max_distance());
+  Unrolled u = unroll(g, factor);
+  MIMD_ENSURES(u.graph.distances_normalized());
+  return u;
+}
+
+}  // namespace mimd

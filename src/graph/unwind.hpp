@@ -1,0 +1,41 @@
+// Loop unwinding (unrolling) over the DDG.
+//
+// The scheduler requires every dependence distance to be 0 or 1
+// (Section 2.1: "if the dependence distances are greater than one, we can
+// reduce them down to one or zero by unwinding the loop properly, as
+// explained in [MuSi87]").  Unrolling by factor u replaces the body with u
+// consecutive iterations; an edge (s -> d, distance q) becomes, for each
+// copy r in [0,u), an edge (s#r -> d#((r+q) mod u)) with new distance
+// floor((r+q)/u).  Choosing u = max distance makes all new distances 0/1.
+#pragma once
+
+#include <vector>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+
+/// Result of unrolling: the new graph plus the mapping back to the original.
+struct Unrolled {
+  Ddg graph;
+  int factor = 1;
+  /// origin[new_node] = {original node, copy index r in [0, factor)}.
+  /// Instance (new_node, j) of the unrolled loop is instance
+  /// (origin[new_node].node, j*factor + origin[new_node].copy) of the
+  /// original loop.
+  struct Origin {
+    NodeId node;
+    int copy;
+  };
+  std::vector<Origin> origin;
+};
+
+/// Unroll the loop `factor` times (factor >= 1). Copy r of node X is named
+/// "X#r" for r > 0; copy 0 keeps the original name.
+Unrolled unroll(const Ddg& g, int factor);
+
+/// Unroll just enough that every distance is in {0, 1}.  Identity (factor 1)
+/// if the graph is already normalized.
+Unrolled normalize_distances(const Ddg& g);
+
+}  // namespace mimd

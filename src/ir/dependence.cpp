@@ -1,0 +1,78 @@
+#include "ir/dependence.hpp"
+
+#include <map>
+#include <string>
+
+namespace mimd::ir {
+
+namespace {
+
+/// Count multiply/divide operators for the default latency model.
+int muldiv_count(const Expr& e) {
+  int n = (e.kind == Expr::Kind::Binary && (e.name == "*" || e.name == "/"))
+              ? 1
+              : 0;
+  for (const ExprPtr& a : e.args) n += muldiv_count(*a);
+  return n;
+}
+
+}  // namespace
+
+DependenceResult analyze_dependences(const Loop& loop) {
+  MIMD_EXPECTS(!loop.has_control_flow());
+
+  DependenceResult res;
+  // Pass 1: create one node per assignment.  Names: target name when the
+  // target is defined once, otherwise target#<occurrence>.
+  std::map<std::string, int> def_count;
+  for (const Stmt& s : loop.body) def_count[s.target]++;
+  std::map<std::string, int> seen;
+  for (const Stmt& s : loop.body) {
+    MIMD_EXPECTS(s.kind == Stmt::Kind::Assign);
+    std::string name = s.target;
+    if (def_count[s.target] > 1) {
+      name += "#" + std::to_string(seen[s.target]++);
+    }
+    const int latency = s.latency > 0 ? s.latency : 1 + muldiv_count(*s.rhs);
+    res.node_of.push_back(res.graph.add_node(std::move(name), latency));
+  }
+
+  // Pass 2: reaching definitions.  last_def_before[s] is maintained as we
+  // sweep; last_def_in_body is the final sweep state.
+  std::map<std::string, std::size_t> last_def;  // array -> stmt index (so far)
+  std::vector<std::map<std::string, std::size_t>> before(loop.body.size());
+  for (std::size_t s = 0; s < loop.body.size(); ++s) {
+    before[s] = last_def;
+    last_def[loop.body[s].target] = s;
+  }
+  const auto& last_in_body = last_def;
+
+  for (std::size_t s = 0; s < loop.body.size(); ++s) {
+    std::vector<const Expr*> refs;
+    collect_array_refs(loop.body[s].rhs, refs);
+    for (const Expr* r : refs) {
+      // The definition writes target[i + t_off]; the use reads name[i + off].
+      // Same array element across iterations: (i_def + t_off) == (i_use + off)
+      // => distance = i_use - i_def = t_off - off.  Only non-negative
+      // distances are flow dependences within this loop.
+      if (r->offset > 0) continue;  // future element: old-time-step input
+      if (r->kind != Expr::Kind::ArrayRef) continue;
+      if (r->offset == 0) {
+        const auto it = before[s].find(r->name);
+        if (it == before[s].end()) continue;  // external input
+        const int dist = loop.body[it->second].target_offset;
+        res.graph.add_edge(res.node_of[it->second], res.node_of[s], dist);
+      } else {
+        const auto it = last_in_body.find(r->name);
+        if (it == last_in_body.end()) continue;  // external input
+        const int dist =
+            loop.body[it->second].target_offset - r->offset;
+        MIMD_ENSURES(dist >= 1);
+        res.graph.add_edge(res.node_of[it->second], res.node_of[s], dist);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mimd::ir

@@ -1,0 +1,37 @@
+// Dependence analysis: loop IR -> data dependence graph.
+//
+// One DDG node per assignment statement.  For a use A[i-c] in statement s,
+// the producer is the definition of A reaching that use:
+//   * c == 0: the textually last definition of A *before* s in the body
+//     (distance-0 "simple dependence"), if any;
+//   * c >= 1: the textually last definition of A in the whole body
+//     (loop-carried dependence of distance c).
+// References with positive offsets (A[i+1]) or to arrays never defined in
+// the loop read old-time-step memory: they create no edge (they are the
+// external inputs that end up in the Flow-in subset or in node inputs).
+//
+// Node latency: the statement's @n annotation if present, otherwise
+// 1 + (number of multiplies/divides in the rhs) — a simple cost model that
+// gives adds latency 1 and multiply-heavy statements proportionally more.
+#pragma once
+
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "ir/loop.hpp"
+
+namespace mimd::ir {
+
+struct DependenceResult {
+  Ddg graph;
+  /// node_of[s] = DDG node for body statement s (Assign statements only;
+  /// the loop must be if-converted first).
+  std::vector<NodeId> node_of;
+};
+
+/// Throws ContractViolation if the loop still contains IF statements
+/// (run if_convert first) or defines the same element twice at distance 0
+/// in a way that yields an intra-iteration cycle.
+DependenceResult analyze_dependences(const Loop& loop);
+
+}  // namespace mimd::ir

@@ -1,0 +1,108 @@
+#include "ir/expr.hpp"
+
+#include <sstream>
+
+namespace mimd::ir {
+
+namespace {
+ExprPtr make(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+}  // namespace
+
+ExprPtr constant(double v) {
+  Expr e;
+  e.kind = Expr::Kind::Const;
+  e.value = v;
+  return make(std::move(e));
+}
+
+ExprPtr scalar(std::string name) {
+  MIMD_EXPECTS(!name.empty());
+  Expr e;
+  e.kind = Expr::Kind::Scalar;
+  e.name = std::move(name);
+  return make(std::move(e));
+}
+
+ExprPtr array_ref(std::string name, int offset) {
+  MIMD_EXPECTS(!name.empty());
+  Expr e;
+  e.kind = Expr::Kind::ArrayRef;
+  e.name = std::move(name);
+  e.offset = offset;
+  return make(std::move(e));
+}
+
+ExprPtr unary(std::string op, ExprPtr arg) {
+  MIMD_EXPECTS(arg != nullptr);
+  Expr e;
+  e.kind = Expr::Kind::Unary;
+  e.name = std::move(op);
+  e.args = {std::move(arg)};
+  return make(std::move(e));
+}
+
+ExprPtr binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  MIMD_EXPECTS(lhs != nullptr && rhs != nullptr);
+  Expr e;
+  e.kind = Expr::Kind::Binary;
+  e.name = std::move(op);
+  e.args = {std::move(lhs), std::move(rhs)};
+  return make(std::move(e));
+}
+
+ExprPtr select(ExprPtr guard, ExprPtr then, ExprPtr otherwise) {
+  MIMD_EXPECTS(guard && then && otherwise);
+  Expr e;
+  e.kind = Expr::Kind::Select;
+  e.name = "select";
+  e.args = {std::move(guard), std::move(then), std::move(otherwise)};
+  return make(std::move(e));
+}
+
+std::string to_string(const Expr& e, const std::string& induction) {
+  std::ostringstream out;
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      out << e.value;
+      break;
+    case Expr::Kind::Scalar:
+      out << e.name;
+      break;
+    case Expr::Kind::ArrayRef:
+      out << e.name << '[' << induction;
+      if (e.offset > 0) out << '+' << e.offset;
+      if (e.offset < 0) out << e.offset;
+      out << ']';
+      break;
+    case Expr::Kind::Unary:
+      out << '(' << e.name << to_string(*e.args[0], induction) << ')';
+      break;
+    case Expr::Kind::Binary:
+      out << '(' << to_string(*e.args[0], induction) << ' ' << e.name << ' '
+          << to_string(*e.args[1], induction) << ')';
+      break;
+    case Expr::Kind::Select:
+      out << "select(" << to_string(*e.args[0], induction) << ", "
+          << to_string(*e.args[1], induction) << ", "
+          << to_string(*e.args[2], induction) << ')';
+      break;
+  }
+  return out.str();
+}
+
+void collect_array_refs(const ExprPtr& e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::ArrayRef) out.push_back(e.get());
+  for (const ExprPtr& a : e->args) collect_array_refs(a, out);
+}
+
+int operator_count(const Expr& e) {
+  int n = (e.kind == Expr::Kind::Unary || e.kind == Expr::Kind::Binary ||
+           e.kind == Expr::Kind::Select)
+              ? 1
+              : 0;
+  for (const ExprPtr& a : e.args) n += operator_count(*a);
+  return n;
+}
+
+}  // namespace mimd::ir

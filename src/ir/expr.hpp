@@ -1,0 +1,47 @@
+// Expression trees for the tiny loop IR.
+//
+// The paper's input is a counted loop over array recurrences (Figure 7(a),
+// Figure 9(a)); this IR models exactly that: constants, loop-invariant
+// scalars, array references subscripted by the induction variable plus a
+// constant offset (A[i-2]), and unary/binary arithmetic plus the `select`
+// operator that if-conversion introduces.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mimd::ir {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t { Const, Scalar, ArrayRef, Unary, Binary, Select };
+  Kind kind = Kind::Const;
+  double value = 0.0;         ///< Const
+  std::string name;           ///< Scalar / ArrayRef name; operator symbol
+  int offset = 0;             ///< ArrayRef: subscript is (i + offset)
+  std::vector<ExprPtr> args;  ///< Unary: 1, Binary: 2, Select: 3 (guard, then, else)
+};
+
+ExprPtr constant(double v);
+ExprPtr scalar(std::string name);
+ExprPtr array_ref(std::string name, int offset);
+ExprPtr unary(std::string op, ExprPtr e);
+ExprPtr binary(std::string op, ExprPtr lhs, ExprPtr rhs);
+/// if-conversion's guarded value: guard ? then : otherwise.
+ExprPtr select(ExprPtr guard, ExprPtr then, ExprPtr otherwise);
+
+/// Source-like rendering, e.g. "A[i-1] + E[i-1]".
+std::string to_string(const Expr& e, const std::string& induction = "i");
+
+/// All array references in the tree (pre-order).
+void collect_array_refs(const ExprPtr& e, std::vector<const Expr*>& out);
+
+/// Count of arithmetic operators (used for default latency estimation).
+int operator_count(const Expr& e);
+
+}  // namespace mimd::ir

@@ -1,0 +1,44 @@
+#include "ir/ifconvert.hpp"
+
+namespace mimd::ir {
+
+namespace {
+
+void convert(const std::vector<Stmt>& body, const ExprPtr& guard,
+             std::vector<Stmt>& out) {
+  for (const Stmt& s : body) {
+    if (s.kind == Stmt::Kind::Assign) {
+      Stmt flat = s;
+      if (guard != nullptr) {
+        // Guarded assignment: keep the old element value when the guard is
+        // false.  A later definition of the same element in this iteration
+        // supersedes it through ordinary flow dependence.
+        flat.rhs = select(guard, s.rhs, array_ref(s.target, s.target_offset));
+      }
+      out.push_back(std::move(flat));
+      continue;
+    }
+    // IF statement: conjoin guards down both branches.
+    const ExprPtr then_guard =
+        guard == nullptr ? s.guard : binary("&&", guard, s.guard);
+    convert(s.then_body, then_guard, out);
+    if (!s.else_body.empty()) {
+      const ExprPtr not_guard = unary("!", s.guard);
+      const ExprPtr else_guard =
+          guard == nullptr ? not_guard : binary("&&", guard, not_guard);
+      convert(s.else_body, else_guard, out);
+    }
+  }
+}
+
+}  // namespace
+
+Loop if_convert(const Loop& loop) {
+  Loop out;
+  out.induction = loop.induction;
+  convert(loop.body, nullptr, out.body);
+  MIMD_ENSURES(!out.has_control_flow());
+  return out;
+}
+
+}  // namespace mimd::ir

@@ -1,0 +1,20 @@
+// If-conversion [AlKe83]: "Conversion of control dependence to data
+// dependence".  The paper assumes its input loops are "either without
+// conditional statements or if-converted"; this pass provides that
+// guarantee.
+//
+// Every assignment nested under IF guards g1..gk becomes an unconditional
+// assignment of select(g1 && ... && gk, rhs, <previous value>), where the
+// previous value is the array element the statement would have left
+// untouched.  Guard expressions are materialized once per unique guard so
+// downstream dependence analysis sees them as ordinary computations.
+#pragma once
+
+#include "ir/loop.hpp"
+
+namespace mimd::ir {
+
+/// Returns an equivalent loop with no IF statements.  Idempotent.
+Loop if_convert(const Loop& loop);
+
+}  // namespace mimd::ir

@@ -1,0 +1,48 @@
+#include "ir/loop.hpp"
+
+#include <sstream>
+
+namespace mimd::ir {
+
+namespace {
+
+void render(const Stmt& s, const std::string& ind, int depth,
+            std::ostringstream& out) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  if (s.kind == Stmt::Kind::Assign) {
+    out << pad << s.target << '[' << ind;
+    if (s.target_offset > 0) out << '+' << s.target_offset;
+    if (s.target_offset < 0) out << s.target_offset;
+    out << "] = " << to_string(*s.rhs, ind);
+    if (s.latency > 0) out << " @" << s.latency;
+    out << '\n';
+  } else {
+    out << pad << "if " << to_string(*s.guard, ind) << " {\n";
+    for (const Stmt& t : s.then_body) render(t, ind, depth + 1, out);
+    if (!s.else_body.empty()) {
+      out << pad << "} else {\n";
+      for (const Stmt& t : s.else_body) render(t, ind, depth + 1, out);
+    }
+    out << pad << "}\n";
+  }
+}
+
+bool any_if(const std::vector<Stmt>& body) {
+  for (const Stmt& s : body) {
+    if (s.kind == Stmt::Kind::If) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Loop::has_control_flow() const { return any_if(body); }
+
+std::string to_string(const Loop& loop) {
+  std::ostringstream out;
+  out << "for " << loop.induction << ":\n";
+  for (const Stmt& s : loop.body) render(s, loop.induction, 1, out);
+  return out.str();
+}
+
+}  // namespace mimd::ir

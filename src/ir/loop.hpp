@@ -1,0 +1,41 @@
+// Loop IR: a singly-nested counted loop over assignments and (pre
+// if-conversion) structured IF statements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace mimd::ir {
+
+struct Stmt {
+  enum class Kind : std::uint8_t { Assign, If };
+  Kind kind = Kind::Assign;
+
+  // Assign: target[i + target_offset] = rhs, with an optional latency
+  // annotation ("@ 2" in the surface syntax; 0 = derive from the
+  // expression).
+  std::string target;
+  int target_offset = 0;
+  ExprPtr rhs;
+  int latency = 0;
+
+  // If: guard + branches.
+  ExprPtr guard;
+  std::vector<Stmt> then_body;
+  std::vector<Stmt> else_body;
+};
+
+struct Loop {
+  std::string induction = "i";
+  std::vector<Stmt> body;
+
+  [[nodiscard]] bool has_control_flow() const;
+};
+
+/// Source-like rendering of the whole loop.
+std::string to_string(const Loop& loop);
+
+}  // namespace mimd::ir

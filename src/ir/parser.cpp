@@ -1,0 +1,294 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace mimd::ir {
+
+namespace {
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    Ident, Number, Symbol, End,
+  };
+  Kind kind = Kind::End;
+  std::string text;
+  double number = 0.0;
+  int line = 1, col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    tok_ = Token{};
+    tok_.line = line_;
+    tok_.col = col_;
+    if (pos_ >= src_.size()) {
+      tok_.kind = Token::Kind::End;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tok_.kind = Token::Kind::Ident;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        tok_.text += get();
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tok_.kind = Token::Kind::Number;
+      std::string num;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.')) {
+        num += get();
+      }
+      tok_.text = num;
+      tok_.number = std::stod(num);
+      return;
+    }
+    tok_.kind = Token::Kind::Symbol;
+    // Two-character operators first.
+    static const char* twos[] = {">=", "<=", "==", "!=", "&&", "||"};
+    if (pos_ + 1 < src_.size()) {
+      const std::string pair = src_.substr(pos_, 2);
+      for (const char* t : twos) {
+        if (pair == t) {
+          tok_.text = pair;
+          get();
+          get();
+          return;
+        }
+      }
+    }
+    tok_.text = std::string(1, get());
+  }
+
+  char get() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') get();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        get();
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1, col_ = 1;
+  Token tok_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  Loop parse() {
+    expect_ident("for");
+    Loop loop;
+    loop.induction = expect_kind(Token::Kind::Ident).text;
+    expect_symbol(":");
+    while (lex_.peek().kind != Token::Kind::End &&
+           !(lex_.peek().kind == Token::Kind::Symbol &&
+             lex_.peek().text == "}")) {
+      loop.body.push_back(statement(loop.induction));
+    }
+    return loop;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError(what, lex_.peek().line, lex_.peek().col);
+  }
+
+  Token expect_kind(Token::Kind k) {
+    if (lex_.peek().kind != k) fail("unexpected token '" + lex_.peek().text + "'");
+    return lex_.take();
+  }
+
+  void expect_symbol(const std::string& s) {
+    if (lex_.peek().kind != Token::Kind::Symbol || lex_.peek().text != s) {
+      fail("expected '" + s + "', found '" + lex_.peek().text + "'");
+    }
+    lex_.take();
+  }
+
+  void expect_ident(const std::string& s) {
+    if (lex_.peek().kind != Token::Kind::Ident || lex_.peek().text != s) {
+      fail("expected '" + s + "'");
+    }
+    lex_.take();
+  }
+
+  bool at_symbol(const std::string& s) {
+    return lex_.peek().kind == Token::Kind::Symbol && lex_.peek().text == s;
+  }
+
+  bool at_ident(const std::string& s) {
+    return lex_.peek().kind == Token::Kind::Ident && lex_.peek().text == s;
+  }
+
+  Stmt statement(const std::string& ind) {
+    if (at_ident("if")) return if_statement(ind);
+    Stmt s;
+    s.kind = Stmt::Kind::Assign;
+    s.target = expect_kind(Token::Kind::Ident).text;
+    expect_symbol("[");
+    s.target_offset = subscript_offset(ind);
+    expect_symbol("]");
+    expect_symbol("=");
+    s.rhs = expression(ind);
+    if (at_symbol("@")) {
+      lex_.take();
+      const Token lat = expect_kind(Token::Kind::Number);
+      s.latency = static_cast<int>(lat.number);
+      if (s.latency < 1) fail("latency annotation must be >= 1");
+    }
+    return s;
+  }
+
+  Stmt if_statement(const std::string& ind) {
+    expect_ident("if");
+    Stmt s;
+    s.kind = Stmt::Kind::If;
+    s.guard = expression(ind);
+    expect_symbol("{");
+    while (!at_symbol("}")) s.then_body.push_back(statement(ind));
+    expect_symbol("}");
+    if (at_ident("else")) {
+      lex_.take();
+      expect_symbol("{");
+      while (!at_symbol("}")) s.else_body.push_back(statement(ind));
+      expect_symbol("}");
+    }
+    return s;
+  }
+
+  /// Subscript: induction variable plus optional +/- integer constant.
+  int subscript_offset(const std::string& ind) {
+    const Token v = expect_kind(Token::Kind::Ident);
+    if (v.text != ind) fail("subscript must use induction variable '" + ind + "'");
+    if (at_symbol("+") || at_symbol("-")) {
+      const bool neg = lex_.take().text == "-";
+      const Token n = expect_kind(Token::Kind::Number);
+      const int off = static_cast<int>(n.number);
+      return neg ? -off : off;
+    }
+    return 0;
+  }
+
+  // Precedence climbing: || < && < comparisons < additive < multiplicative.
+  ExprPtr expression(const std::string& ind) { return or_expr(ind); }
+
+  ExprPtr or_expr(const std::string& ind) {
+    ExprPtr e = and_expr(ind);
+    while (at_symbol("||")) {
+      lex_.take();
+      e = binary("||", e, and_expr(ind));
+    }
+    return e;
+  }
+
+  ExprPtr and_expr(const std::string& ind) {
+    ExprPtr e = cmp_expr(ind);
+    while (at_symbol("&&")) {
+      lex_.take();
+      e = binary("&&", e, cmp_expr(ind));
+    }
+    return e;
+  }
+
+  ExprPtr cmp_expr(const std::string& ind) {
+    ExprPtr e = add_expr(ind);
+    while (at_symbol(">") || at_symbol("<") || at_symbol(">=") ||
+           at_symbol("<=") || at_symbol("==") || at_symbol("!=")) {
+      const std::string op = lex_.take().text;
+      e = binary(op, e, add_expr(ind));
+    }
+    return e;
+  }
+
+  ExprPtr add_expr(const std::string& ind) {
+    ExprPtr e = mul_expr(ind);
+    while (at_symbol("+") || at_symbol("-")) {
+      const std::string op = lex_.take().text;
+      e = binary(op, e, mul_expr(ind));
+    }
+    return e;
+  }
+
+  ExprPtr mul_expr(const std::string& ind) {
+    ExprPtr e = factor(ind);
+    while (at_symbol("*") || at_symbol("/")) {
+      const std::string op = lex_.take().text;
+      e = binary(op, e, factor(ind));
+    }
+    return e;
+  }
+
+  ExprPtr factor(const std::string& ind) {
+    if (at_symbol("-")) {
+      lex_.take();
+      return unary("-", factor(ind));
+    }
+    if (at_symbol("!")) {
+      lex_.take();
+      return unary("!", factor(ind));
+    }
+    if (at_symbol("(")) {
+      lex_.take();
+      ExprPtr e = expression(ind);
+      expect_symbol(")");
+      return e;
+    }
+    if (lex_.peek().kind == Token::Kind::Number) {
+      return constant(lex_.take().number);
+    }
+    const Token id = expect_kind(Token::Kind::Ident);
+    if (at_symbol("[")) {
+      lex_.take();
+      const int off = subscript_offset(ind);
+      expect_symbol("]");
+      return array_ref(id.text, off);
+    }
+    return scalar(id.text);
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Loop parse_loop(const std::string& source) { return Parser(source).parse(); }
+
+}  // namespace mimd::ir

@@ -1,0 +1,40 @@
+// Recursive-descent parser for the textual loop syntax:
+//
+//   for i:
+//     A[i] = A[i-1] + E[i-1]
+//     B[i] = A[i] @2              # latency annotation: 2 cycles
+//     if Z[i] > 0 {
+//       C[i] = B[i] * 0.5
+//     } else {
+//       C[i] = B[i]
+//     }
+//
+// Comments run from '#' to end of line.  Binary operators: + - * /,
+// comparisons > < >= <= == !=, logical && ||; unary '-' and '!'.
+// Throws ParseError with line/column on malformed input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/loop.hpp"
+
+namespace mimd::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int col)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + what),
+        line_(line),
+        col_(col) {}
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return col_; }
+
+ private:
+  int line_, col_;
+};
+
+Loop parse_loop(const std::string& source);
+
+}  // namespace mimd::ir

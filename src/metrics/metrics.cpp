@@ -1,0 +1,41 @@
+#include "metrics/metrics.hpp"
+
+#include <set>
+
+#include "support/assert.hpp"
+
+namespace mimd {
+
+double percentage_parallelism(std::int64_t sequential, std::int64_t parallel) {
+  MIMD_EXPECTS(sequential > 0);
+  return static_cast<double>(sequential - parallel) /
+         static_cast<double>(sequential) * 100.0;
+}
+
+double percentage_parallelism_asymptotic(std::int64_t body_latency,
+                                         double steady_ii) {
+  MIMD_EXPECTS(body_latency > 0);
+  return (static_cast<double>(body_latency) - steady_ii) /
+         static_cast<double>(body_latency) * 100.0;
+}
+
+double utilization(const Schedule& sched) {
+  const std::int64_t span = sched.makespan();
+  if (span == 0) return 0.0;
+  std::set<int> procs;
+  std::int64_t busy = 0;
+  for (const Placement& p : sched.placements()) {
+    procs.insert(p.proc);
+    busy += p.finish - p.start;
+  }
+  if (procs.empty()) return 0.0;
+  return static_cast<double>(busy) /
+         (static_cast<double>(span) * static_cast<double>(procs.size()));
+}
+
+double speedup_from_sp(double sp) {
+  MIMD_EXPECTS(sp < 100.0);
+  return 100.0 / (100.0 - sp);
+}
+
+}  // namespace mimd

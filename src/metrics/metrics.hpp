@@ -1,0 +1,31 @@
+// Evaluation metrics.
+//
+// The headline metric is the paper's *percentage parallelism*,
+//   Sp = (s - p) / s * 100            [Cytron84]
+// (the scan prints "(s - p/s) * 100", a typo: only (s-p)/s reproduces the
+// paper's own worked numbers, e.g. Figure 7's 40%).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ddg.hpp"
+#include "schedule/schedule.hpp"
+
+namespace mimd {
+
+/// Sp from absolute sequential and parallel execution times.
+double percentage_parallelism(std::int64_t sequential, std::int64_t parallel);
+
+/// Asymptotic Sp from per-iteration costs: sequential body latency vs the
+/// schedule's steady-state initiation interval.
+double percentage_parallelism_asymptotic(std::int64_t body_latency,
+                                         double steady_ii);
+
+/// Fraction of processor-cycles spent computing, over processors that have
+/// at least one placement, within [0, makespan).
+double utilization(const Schedule& sched);
+
+/// Ideal speedup implied by Sp: s / p = 100 / (100 - Sp).
+double speedup_from_sp(double sp);
+
+}  // namespace mimd

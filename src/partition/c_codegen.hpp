@@ -1,0 +1,43 @@
+// C code generation: emit a complete, compilable C11 + pthreads program
+// that executes a partitioned loop on real threads — the final artifact a
+// parallelizing compiler of the paper's era would hand to the system
+// compiler.
+//
+// Layout of the generated program:
+//  * one global double array per DDG node (`V_<name>[N]`), holding the
+//    node's value stream;
+//  * one token channel (mutex + condvar counter) per (edge, src proc,
+//    dst proc) pair; a SEND posts a token after the producer stored its
+//    value, a RECEIVE waits for it — the store/load pair is ordered by
+//    the channel's mutex, so the program is race-free by construction;
+//  * one thread per processor running its op sequence;
+//  * a main() that runs the threads, then recomputes everything
+//    sequentially and reports "OK" iff the parallel values match the
+//    sequential ones bit for bit.
+//
+// Node semantics: the same synthetic combine the in-process executors use
+// (runtime/kernels.hpp), emitted as C — identical operations in identical
+// order, hence bitwise-identical doubles.
+#pragma once
+
+#include <string>
+
+#include "graph/ddg.hpp"
+#include "partition/partitioned_loop.hpp"
+
+namespace mimd {
+
+/// Emit the full C translation unit for `prog` over `iterations`
+/// iterations of `g`.
+///
+/// With `roll_steady_state` (the default), each processor's op stream is
+/// scanned for its periodic steady state (the pattern made it periodic by
+/// construction) and emitted as a real `for` loop — prologue straight-line,
+/// kernel rolled, epilogue straight-line — like the paper's Figure 7(e).
+/// Streams without at least three detected repetitions fall back to fully
+/// unrolled straight-line code, which is always correct.
+std::string emit_c_program(const PartitionedProgram& prog, const Ddg& g,
+                           std::int64_t iterations,
+                           bool roll_steady_state = true);
+
+}  // namespace mimd

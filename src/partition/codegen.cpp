@@ -1,0 +1,185 @@
+#include "partition/codegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace mimd {
+
+namespace {
+
+/// Iteration expression "I", "I+2", "I-1".
+std::string iter_expr(const std::string& var, std::int64_t offset) {
+  if (offset == 0) return var;
+  std::ostringstream s;
+  s << var << (offset > 0 ? "+" : "") << offset;
+  return s.str();
+}
+
+std::string ref(const Ddg& g, NodeId v, const std::string& var,
+                std::int64_t offset) {
+  return g.node(v).name + "[" + iter_expr(var, offset) + "]";
+}
+
+/// Statement text for computing node v at iteration expression (var+off).
+std::string compute_stmt(const Ddg& g, NodeId v, const std::string& var,
+                         std::int64_t off) {
+  std::ostringstream s;
+  s << ref(g, v, var, off) << " = f(";
+  bool first = true;
+  for (const EdgeId eid : g.in_edges(v)) {
+    const Edge& e = g.edge(eid);
+    if (!first) s << ", ";
+    first = false;
+    s << ref(g, e.src, var, off - e.distance);
+  }
+  if (first) s << "...";  // source node: external inputs
+  s << ")";
+  return s.str();
+}
+
+/// Processor that executes instance (v, j) in the pattern's steady state.
+/// Kernel instances of node v cover `period_iters` consecutive residues;
+/// the processor repeats with that period.
+class SteadyPlacement {
+ public:
+  SteadyPlacement(const Pattern& pat) {
+    for (const Placement& p : pat.kernel) {
+      proc_[{p.inst.node,
+             ((p.inst.iter % pat.period_iters) + pat.period_iters) %
+                 pat.period_iters}] = p.proc;
+    }
+    period_ = pat.period_iters;
+  }
+
+  /// Processor of (v, j) in the steady state, or -1 when v is not part of
+  /// the pattern (e.g. a Flow-in producer scheduled by the Figure-5 pools
+  /// rather than by the Cyclic pattern).
+  [[nodiscard]] int proc_of(NodeId v, std::int64_t j) const {
+    const auto it = proc_.find({v, ((j % period_) + period_) % period_});
+    return it == proc_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::map<std::pair<NodeId, std::int64_t>, int> proc_;
+  std::int64_t period_ = 1;
+};
+
+}  // namespace
+
+std::string emit_parbegin(const Pattern& pat, const Ddg& g,
+                          const std::string& loop_bound_name) {
+  MIMD_EXPECTS(!pat.kernel.empty());
+  const SteadyPlacement steady(pat);
+
+  std::set<int> procs;
+  for (const Placement& p : pat.prologue) procs.insert(p.proc);
+  for (const Placement& p : pat.kernel) procs.insert(p.proc);
+
+  std::ostringstream out;
+  out << "PARBEGIN  /* steady state: " << pat.period_iters
+      << " iteration(s) every " << pat.period_cycles << " cycles */\n";
+
+  for (const int q : procs) {
+    out << "PE" << q << ":\n";
+
+    // Prologue: concrete straight-line instances assigned to this PE.
+    std::vector<Placement> pro;
+    for (const Placement& p : pat.prologue) {
+      if (p.proc == q) pro.push_back(p);
+    }
+    std::sort(pro.begin(), pro.end(),
+              [](const Placement& a, const Placement& b) {
+                return a.start < b.start;
+              });
+    for (const Placement& p : pro) {
+      out << "    " << g.node(p.inst.node).name << "[" << p.inst.iter
+          << "] = f(...)\n";
+    }
+
+    // Kernel: symbolic loop advancing period_iters per trip.
+    std::vector<Placement> ker;
+    for (const Placement& p : pat.kernel) {
+      if (p.proc == q) ker.push_back(p);
+    }
+    if (ker.empty()) continue;
+    std::sort(ker.begin(), ker.end(),
+              [](const Placement& a, const Placement& b) {
+                return a.start < b.start;
+              });
+
+    out << "    FOR I = " << pat.first_iter << " TO " << loop_bound_name
+        << "-1 STEP " << pat.period_iters << "\n";
+    for (const Placement& p : ker) {
+      const std::int64_t off = p.inst.iter - pat.first_iter;
+      // Receives for cross-processor operands.  Producers outside the
+      // pattern (Flow-in nodes served by the Figure-5 pools) show up as
+      // receives from the pool, as in the paper's Figure 10.
+      for (const EdgeId eid : g.in_edges(p.inst.node)) {
+        const Edge& e = g.edge(eid);
+        const std::int64_t src_off = off - e.distance;
+        const int sp = steady.proc_of(e.src, p.inst.iter - e.distance);
+        if (sp < 0) {
+          out << "        (RECEIVE " << ref(g, e.src, "I", src_off)
+              << " FROM flow-in pool)\n";
+        } else if (sp != q) {
+          out << "        (RECEIVE " << ref(g, e.src, "I", src_off)
+              << " FROM PE" << sp << ")\n";
+        }
+      }
+      out << "        " << compute_stmt(g, p.inst.node, "I", off) << "\n";
+      // Sends to cross-processor consumers.
+      std::set<int> sent_to;
+      for (const EdgeId eid : g.out_edges(p.inst.node)) {
+        const Edge& e = g.edge(eid);
+        const int dp = steady.proc_of(e.dst, p.inst.iter + e.distance);
+        if (dp >= 0 && dp != q && !sent_to.contains(dp)) {
+          sent_to.insert(dp);
+          out << "        (SEND " << ref(g, p.inst.node, "I", off)
+              << " TO PE" << dp << ")\n";
+        } else if (dp < 0 && !sent_to.contains(-1)) {
+          sent_to.insert(-1);
+          out << "        (SEND " << ref(g, p.inst.node, "I", off)
+              << " TO flow-out pool)\n";
+        }
+      }
+    }
+    out << "    ENDFOR\n";
+  }
+  out << "PAREND\n";
+  return out.str();
+}
+
+std::string emit_listing(const PartitionedProgram& prog, const Ddg& g,
+                         std::size_t max_ops) {
+  std::ostringstream out;
+  for (const ProcessorProgram& p : prog.programs) {
+    if (p.ops.empty()) continue;
+    out << "PE" << p.proc << " (" << p.ops.size() << " ops):\n";
+    std::size_t shown = 0;
+    for (const Op& op : p.ops) {
+      if (shown++ >= max_ops) {
+        out << "    ... (" << p.ops.size() - max_ops << " more)\n";
+        break;
+      }
+      const std::string val =
+          g.node(op.inst.node).name + "[" + std::to_string(op.inst.iter) + "]";
+      switch (op.kind) {
+        case Op::Kind::Compute:
+          out << "    " << val << " = f(...)\n";
+          break;
+        case Op::Kind::Send:
+          out << "    SEND " << val << " TO PE" << op.peer << "\n";
+          break;
+        case Op::Kind::Receive:
+          out << "    RECEIVE " << val << " FROM PE" << op.peer << "\n";
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mimd

@@ -1,0 +1,29 @@
+// Source-level rendering of a partitioned loop, in the style of the
+// paper's Figures 7(e) and 10: a PARBEGIN/PAREND block with one entry per
+// processor, each containing its prologue straight-line code and its
+// steady-state FOR loop with SEND/RECEIVE synchronization.
+//
+// The library does not know the original source expressions, so a node A
+// with operands B (distance 0) and C (distance 1) renders as
+//   A[I] = f(B[I], C[I-1]).
+#pragma once
+
+#include <string>
+
+#include "graph/ddg.hpp"
+#include "partition/partitioned_loop.hpp"
+#include "schedule/pattern.hpp"
+
+namespace mimd {
+
+/// Paper-style pseudo-code for the steady-state pattern.  `loop_bound_name`
+/// is the symbolic trip count (the paper's M or N).
+std::string emit_parbegin(const Pattern& pat, const Ddg& g,
+                          const std::string& loop_bound_name = "M");
+
+/// Flat listing of a lowered finite program (debugging / inspection);
+/// at most `max_ops` ops per processor are printed.
+std::string emit_listing(const PartitionedProgram& prog, const Ddg& g,
+                         std::size_t max_ops = 48);
+
+}  // namespace mimd

@@ -1,0 +1,94 @@
+#include "partition/partitioned_loop.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace mimd {
+
+std::size_t PartitionedProgram::total_ops() const {
+  std::size_t n = 0;
+  for (const ProcessorProgram& p : programs) n += p.ops.size();
+  return n;
+}
+
+std::size_t PartitionedProgram::count(Op::Kind k) const {
+  std::size_t n = 0;
+  for (const ProcessorProgram& p : programs) {
+    for (const Op& op : p.ops) {
+      if (op.kind == k) ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<std::string> find_program_violation(const PartitionedProgram& p,
+                                                  const Ddg& g) {
+  using MsgKey = std::tuple<EdgeId, NodeId, std::int64_t, int, int>;
+  std::map<MsgKey, int> sends, receives;  // key -> count
+  // Per-channel iteration sequences, for the FIFO check.
+  using Chan = std::tuple<EdgeId, int, int>;
+  std::map<Chan, std::vector<std::int64_t>> send_seq, recv_seq;
+
+  for (const ProcessorProgram& prog : p.programs) {
+    // Program-order tracking of what this processor has available locally:
+    // values it computed and values it received.
+    std::map<std::pair<NodeId, std::int64_t>, bool> local;
+    for (const Op& op : prog.ops) {
+      switch (op.kind) {
+        case Op::Kind::Compute: {
+          for (const EdgeId eid : g.in_edges(op.inst.node)) {
+            const Edge& e = g.edge(eid);
+            const std::int64_t src_iter = op.inst.iter - e.distance;
+            if (src_iter < 0) continue;
+            if (!local.contains({e.src, src_iter})) {
+              std::ostringstream msg;
+              msg << "PE" << prog.proc << ": compute "
+                  << g.node(op.inst.node).name << "@" << op.inst.iter
+                  << " before operand " << g.node(e.src).name << "@"
+                  << src_iter << " is available";
+              return msg.str();
+            }
+          }
+          local[{op.inst.node, op.inst.iter}] = true;
+          break;
+        }
+        case Op::Kind::Send: {
+          if (!local.contains({op.inst.node, op.inst.iter})) {
+            std::ostringstream msg;
+            msg << "PE" << prog.proc << ": send of "
+                << g.node(op.inst.node).name << "@" << op.inst.iter
+                << " before it is computed/received";
+            return msg.str();
+          }
+          ++sends[{op.edge, op.inst.node, op.inst.iter, prog.proc, op.peer}];
+          send_seq[{op.edge, prog.proc, op.peer}].push_back(op.inst.iter);
+          break;
+        }
+        case Op::Kind::Receive: {
+          local[{op.inst.node, op.inst.iter}] = true;
+          ++receives[{op.edge, op.inst.node, op.inst.iter, op.peer, prog.proc}];
+          recv_seq[{op.edge, op.peer, prog.proc}].push_back(op.inst.iter);
+          break;
+        }
+      }
+    }
+  }
+
+  if (sends != receives) {
+    return "send/receive multisets differ (unmatched message)";
+  }
+  for (const auto& [chan, seq] : send_seq) {
+    const auto it = recv_seq.find(chan);
+    if (it == recv_seq.end() || it->second != seq) {
+      std::ostringstream msg;
+      msg << "channel (edge " << std::get<0>(chan) << ", PE"
+          << std::get<1>(chan) << " -> PE" << std::get<2>(chan)
+          << ") violates FIFO order";
+      return msg.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mimd

@@ -1,0 +1,56 @@
+// The partitioned loop: what the compiler actually emits for each
+// processor of the MIMD machine — a sequence of compute / send / receive
+// operations (the paper's Figures 7(e) and 10 show the source-level
+// rendering of exactly this structure).
+//
+// Communication is point-to-point and FIFO per channel, where a channel is
+// identified by (dependence edge, source processor, destination
+// processor).  A value is identified by its producing instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+
+struct Op {
+  enum class Kind : std::uint8_t { Compute, Send, Receive };
+  Kind kind = Kind::Compute;
+  /// Compute: the instance executed.  Send/Receive: the *producing*
+  /// instance whose value crosses processors.
+  Inst inst;
+  /// Send/Receive: which dependence edge the value serves.
+  EdgeId edge = 0;
+  /// Send: destination processor.  Receive: source processor.
+  int peer = -1;
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+struct ProcessorProgram {
+  int proc = 0;
+  std::vector<Op> ops;
+};
+
+struct PartitionedProgram {
+  int processors = 0;
+  std::vector<ProcessorProgram> programs;  ///< one per processor, index == proc
+
+  [[nodiscard]] std::size_t total_ops() const;
+  [[nodiscard]] std::size_t count(Op::Kind k) const;
+};
+
+/// Structural validation: every Send has exactly one matching Receive on
+/// the peer processor (same edge + producing instance) and vice versa;
+/// every Compute's cross-processor operand is preceded (in program order)
+/// by its Receive; channels are FIFO (per-channel send iteration order
+/// equals receive iteration order).  Returns a message for the first
+/// violation found, or nullopt if the program is well-formed.
+std::optional<std::string> find_program_violation(const PartitionedProgram& p,
+                                                  const Ddg& g);
+
+}  // namespace mimd

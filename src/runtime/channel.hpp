@@ -1,0 +1,68 @@
+// Blocking FIFO channel for the threaded MIMD runtime.
+//
+// One channel per (dependence edge, producer processor, consumer
+// processor); values flow in iteration order (the lowering guarantees
+// FIFO, see partition/partitioned_loop.hpp).  Mutex + condition variable:
+// correctness and portability over micro-optimization — the runtime's job
+// here is to demonstrate and validate partitioned execution, and the
+// compute payload per message is made large enough (see kernels.hpp)
+// that channel overhead is secondary.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace mimd {
+
+class ValueChannel {
+ public:
+  struct Message {
+    std::int64_t iter = 0;  ///< producing iteration, for FIFO validation
+    double value = 0.0;
+  };
+
+  void send(Message m) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      q_.push_back(m);
+    }
+    cv_.notify_one();
+  }
+
+  Message receive() {
+    // Hybrid wait: spin briefly first (messages in a steady pipeline
+    // arrive within microseconds, and a condvar wake-up costs more than
+    // the wait itself on a saturated machine), then block.
+    for (int spin = 0; spin < 4096; ++spin) {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (!q_.empty()) {
+          const Message m = q_.front();
+          q_.pop_front();
+          return m;
+        }
+      }
+      if ((spin & 255) == 255) std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty(); });
+    const Message m = q_.front();
+    q_.pop_front();
+    return m;
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+};
+
+}  // namespace mimd

@@ -1,0 +1,41 @@
+// Threaded MIMD executor: runs a PartitionedProgram on real std::threads,
+// one per processor, communicating through blocking FIFO channels — the
+// closest thing to the paper's target machine available on a shared-memory
+// multicore (per-value message passing, asynchronous processors, no global
+// clock).
+//
+// Memory discipline (race freedom by construction):
+//  * results[v][i] is written by exactly the thread that computes (v, i);
+//  * a thread reads results[u][j] directly only when it computed (u, j)
+//    itself earlier in its program; every cross-thread operand arrives
+//    through a channel.
+// The channel mutex/condvar pairs provide the necessary happens-before
+// edges; validation compares against run_sequential bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "partition/partitioned_loop.hpp"
+#include "runtime/kernels.hpp"
+
+namespace mimd {
+
+struct ExecutionResult {
+  /// values[v][i] — only entries computed by some processor are defined.
+  std::vector<std::vector<double>> values;
+  double wall_seconds = 0.0;
+};
+
+/// Execute `prog` (lowered for `n` iterations of `g`) on real threads.
+/// Throws ContractViolation if a channel delivers out of order (FIFO tag
+/// mismatch) — which a well-formed program cannot trigger.
+ExecutionResult run_threaded(const PartitionedProgram& prog, const Ddg& g,
+                             std::int64_t n, const KernelOptions& opts = {});
+
+/// Convenience: sequential reference on the same KernelOptions, timed.
+ExecutionResult run_reference(const Ddg& g, std::int64_t n,
+                              const KernelOptions& opts = {});
+
+}  // namespace mimd

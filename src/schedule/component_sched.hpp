@@ -1,0 +1,55 @@
+// Component-wise Cyclic scheduling.
+//
+// Section 2.1: "If the graph is not connected, we can simply separate the
+// graph into several connected ones and apply our scheduling algorithm to
+// each of them independently."  Patterns only exist per connected
+// component — components settle into different rates, so their union is
+// not periodic — hence this wrapper: split, schedule each component with
+// Cyclic-sched on its own share of the processor budget, and remap each
+// component's pattern onto disjoint global processors so all components
+// run concurrently.
+//
+// Processor allocation: components are scheduled in descending order of
+// body latency; each gets the remaining budget minus one reserved
+// processor per component still waiting (so every component gets at least
+// a sequential schedule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/machine.hpp"
+#include "schedule/pattern.hpp"
+
+namespace mimd {
+
+struct ComponentPlan {
+  std::vector<NodeId> nodes;  ///< original node ids of this component
+  /// Pattern with placements in *original* node ids and *global*
+  /// processor ids.
+  Pattern pattern;
+  std::vector<int> procs;  ///< global processors this component occupies
+};
+
+struct ComponentSchedResult {
+  std::vector<ComponentPlan> components;
+  int processors_used = 0;
+  /// Steady cycles/iteration of the whole loop: components run
+  /// concurrently, so the slowest one sets the rate.
+  double steady_ii = 0.0;
+};
+
+/// Requires distances normalized and at least one node; works for any
+/// number of connected components (including one, where it reduces to
+/// cyclic_sched plus bookkeeping).
+ComponentSchedResult component_cyclic_sched(const Ddg& g, const Machine& m,
+                                            const CyclicSchedOptions& opts = {});
+
+/// Merge all component patterns into one concrete schedule of iterations
+/// [0, n) over the original graph.
+Schedule materialize(const ComponentSchedResult& r, int processors,
+                     std::int64_t n);
+
+}  // namespace mimd

@@ -1,0 +1,82 @@
+// Algorithm Cyclic-sched (paper Figure 4): greedy list scheduling of the
+// infinitely unwound loop onto P processors with communication costs.
+//
+// Every ready instance is assigned to the processor that can start it
+// earliest — T(v,Pj) = max(next_free[Pj], data_ready(v,Pj)) where
+// data_ready accounts for the finish time of each predecessor plus the
+// edge's communication cost when the predecessor sits on a different
+// processor.  Ties pick the *first minimum* (lowest processor index), and
+// the ready queue is totally ordered by (iteration, intra-iteration
+// topological rank, node id) — the "consistent fixed order" footnote 7
+// requires for a pattern to emerge.
+//
+// Pattern detection: after every iteration becomes fully scheduled we
+// serialize the complete scheduler state relative to the current time
+// origin (per-processor next-free offsets, every scheduled instance that
+// still has unscheduled successors, and the ready queue).  Two equal
+// signatures mean the scheduler — a deterministic machine — will repeat
+// everything in between forever (the constructive form of Lemmas 5-7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/ddg.hpp"
+#include "schedule/machine.hpp"
+#include "schedule/pattern.hpp"
+#include "schedule/schedule.hpp"
+
+namespace mimd {
+
+/// Ready-queue priority among instances of the same iteration (footnote 7
+/// allows any consistent order; the choice shapes which operations win
+/// processor slots on ties).
+enum class ReadyOrder {
+  /// Intra-iteration topological rank, ties by node id — the paper's
+  /// "lexicographical ordering" reading.  Default.
+  Topological,
+  /// Critical-path height (longest intra-iteration path to a sink)
+  /// descending — classic list-scheduling priority; keeps binding
+  /// recurrences from being preempted by slack-rich side operations.
+  CriticalPath,
+};
+
+struct CyclicSchedOptions {
+  ReadyOrder order = ReadyOrder::Topological;
+  /// Upper bound on unwinding before giving up on pattern detection (the
+  /// paper's M is "typically very small, less than 10"; the bound is a
+  /// safety net, not a tuning knob).
+  std::int64_t max_iterations = 8192;
+  /// If >= 0: ignore pattern detection and simply schedule the first
+  /// `horizon_iterations` iterations (used for offline experiments, the
+  /// window-detector cross-check, and DOACROSS-style comparisons).
+  std::int64_t horizon_iterations = -1;
+  /// Iteration-lead throttle, in iterations; <= 0 picks an automatic
+  /// window.  No instance of iteration i may start before iteration
+  /// i - window has completely finished.  Rationale: when a connected
+  /// graph couples its recurrences only through *forward* dependences,
+  /// pure greedy scheduling lets the upstream recurrence run ahead of the
+  /// downstream one at its own faster rate, the gap grows without bound,
+  /// and no configuration ever repeats — a case the paper's Lemma 3
+  /// implicitly excludes (its footnote 10 assumes producers and consumers
+  /// stay within a bounded number of cycles).  The throttle models the
+  /// finite inter-processor buffering of a real machine, restores
+  /// Theorem 1 for every connected graph, and never slows the binding
+  /// recurrence because the window is chosen at least as long as one
+  /// iteration's schedule span.
+  std::int64_t lead_window = 0;
+};
+
+struct CyclicSchedResult {
+  Schedule schedule;                ///< everything scheduled before stopping
+  std::optional<Pattern> pattern;   ///< present iff a pattern was detected
+  std::int64_t iterations_scheduled = 0;  ///< M: fully scheduled iterations
+};
+
+/// Schedule `g` (a normalized-distance, intra-iteration-acyclic DDG —
+/// typically the Cyclic subset) on machine `m`.  Requires at least one
+/// processor and a non-empty graph.
+CyclicSchedResult cyclic_sched(const Ddg& g, const Machine& m,
+                               const CyclicSchedOptions& opts = {});
+
+}  // namespace mimd

@@ -1,0 +1,45 @@
+#include "schedule/flow_sched.hpp"
+
+#include <algorithm>
+
+namespace mimd {
+
+int flow_processor_count(std::int64_t subset_latency,
+                         std::int64_t pattern_height,
+                         std::int64_t pattern_iters) {
+  MIMD_EXPECTS(subset_latency >= 0);
+  MIMD_EXPECTS(pattern_height >= 1);
+  MIMD_EXPECTS(pattern_iters >= 1);
+  if (subset_latency == 0) return 0;
+  const std::int64_t demand = subset_latency * pattern_iters;
+  return static_cast<int>((demand + pattern_height - 1) / pattern_height);
+}
+
+void schedule_flow_subset(const Ddg& g, const Machine& m,
+                          const std::vector<NodeId>& subset_topo,
+                          const std::vector<int>& pool, std::int64_t n,
+                          Schedule& sched) {
+  if (subset_topo.empty() || n == 0) return;
+  MIMD_EXPECTS(!pool.empty());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int proc = pool[static_cast<std::size_t>(i) % pool.size()];
+    for (const NodeId v : subset_topo) {
+      std::int64_t start = sched.next_free(proc);
+      for (const EdgeId eid : g.in_edges(v)) {
+        const Edge& e = g.edge(eid);
+        const std::int64_t src_iter = i - e.distance;
+        if (src_iter < 0) continue;
+        const auto src = sched.lookup(Inst{e.src, src_iter});
+        // Predecessors outside the already-scheduled part of the combined
+        // schedule are a caller bug: Flow-in feeds only Flow-in, and by the
+        // time Flow-out is placed everything else is in `sched`.
+        MIMD_ENSURES(src.has_value());
+        start = std::max(start, src->finish +
+                                    (src->proc == proc ? 0 : m.comm_cost(e)));
+      }
+      sched.place(Inst{v, i}, proc, start, start + g.node(v).latency);
+    }
+  }
+}
+
+}  // namespace mimd

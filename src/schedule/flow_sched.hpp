@@ -1,0 +1,38 @@
+// Algorithm Flow-in-sched / Flow-out-sched (paper Figure 5).
+//
+// The acyclic prefix (Flow-in) and suffix (Flow-out) of the loop are
+// distributed round-robin over a small pool of processors sized so that
+// their throughput keeps up with the Cyclic pattern: p = ceil(L / H) where
+// L is the work of the subset per iteration and H the pattern height.  The
+// paper's pattern advances `period_iters` iterations every H cycles, so the
+// demand per H cycles is L * period_iters; we size the pool accordingly
+// (for the paper's examples period_iters == 1 and this reduces to the
+// printed formula).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "schedule/machine.hpp"
+#include "schedule/schedule.hpp"
+
+namespace mimd {
+
+/// Processor-pool size for a flow subset: ceil(L * period_iters / H),
+/// never less than 1 when the subset is non-empty.
+int flow_processor_count(std::int64_t subset_latency,
+                         std::int64_t pattern_height,
+                         std::int64_t pattern_iters);
+
+/// Append iterations [0, n) of `subset` (given in intra-iteration
+/// topological order, node ids of `g`) onto the processors in `pool`,
+/// iteration i on pool[i mod pool.size()], each instance ASAP with respect
+/// to everything already in `sched` (Figure 5 step 2 plus the
+/// synchronization the transformed loops of Figures 7(e)/10 insert).
+void schedule_flow_subset(const Ddg& g, const Machine& m,
+                          const std::vector<NodeId>& subset_topo,
+                          const std::vector<int>& pool, std::int64_t n,
+                          Schedule& sched);
+
+}  // namespace mimd

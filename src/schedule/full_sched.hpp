@@ -1,0 +1,71 @@
+// The complete scheduling pipeline (paper Figure 6):
+//   1. classify nodes (Flow-in / Cyclic / Flow-out),
+//   2. schedule the Cyclic subset with Cyclic-sched (pattern detection),
+//   3. schedule Flow-in with Flow-in-sched,
+//   4. schedule Flow-out with Flow-out-sched,
+// materialized for a concrete iteration count N into one combined schedule
+// over the original graph's node ids.
+//
+// Two strategies for the non-Cyclic nodes:
+//   * SeparateProcessors — the paper's Figure 5: a dedicated round-robin
+//     pool of ceil(L*Di/H) processors per flow subset.  The Cyclic part is
+//     shifted right by the smallest constant that satisfies every
+//     Flow-in -> Cyclic dependence (the transformed loops of Figure 10 do
+//     the same thing dynamically with RECEIVEs).
+//   * Fold — the Section-3 heuristic: schedule the *whole* graph greedily
+//     with Cyclic-sched, letting non-Cyclic nodes fall into idle slots of
+//     the Cyclic processors ("combine the non-Cyclic nodes into the idle
+//     processor").
+//
+// DOALL loops (empty Cyclic subset) are dispatched to a plain round-robin
+// iteration schedule — the paper declares them out of scope ("Note that if
+// there are no Cyclic nodes, the loop is a DOALL loop") but downstream
+// users still need them handled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "classify/classify.hpp"
+#include "graph/ddg.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/machine.hpp"
+#include "schedule/pattern.hpp"
+#include "schedule/schedule.hpp"
+
+namespace mimd {
+
+enum class FlowStrategy { SeparateProcessors, Fold };
+
+struct FullSchedOptions {
+  FlowStrategy flow_strategy = FlowStrategy::SeparateProcessors;
+  CyclicSchedOptions cyclic;
+};
+
+struct FullSchedResult {
+  Classification classification;
+  /// The detected steady-state pattern.  For SeparateProcessors its
+  /// placements use *original* graph node ids but cover only Cyclic nodes;
+  /// for Fold it covers the whole graph.  Empty for DOALL loops.
+  std::optional<Pattern> pattern;
+  /// Combined schedule of iterations [0, N) over original node ids.
+  Schedule schedule;
+  std::int64_t iterations = 0;
+  int processors_used = 0;        ///< processors with at least one placement
+  int cyclic_processors = 0;      ///< used by the Cyclic pattern
+  int flow_in_processors = 0;     ///< pool size for Flow-in
+  int flow_out_processors = 0;    ///< pool size for Flow-out
+  /// Asymptotic cycles per iteration, measured as the completion-time slope
+  /// over the second half of the materialized schedule.
+  double steady_ii = 0.0;
+};
+
+FullSchedResult full_sched(const Ddg& g, const Machine& m,
+                           std::int64_t iterations,
+                           const FullSchedOptions& opts = {});
+
+/// Completion-time slope of `sched` between iterations n/2 and n-1 — the
+/// measured asymptotic initiation interval of any finite schedule.
+double measure_steady_ii(const Schedule& sched, std::int64_t n);
+
+}  // namespace mimd

@@ -1,0 +1,26 @@
+// Machine model: an asynchronous MIMD multiprocessor as the compiler sees
+// it.  `processors` is the processor budget; `comm_estimate` is k, the
+// compile-time estimate (and upper bound) of the cost in cycles of shipping
+// one value between two processors.  Communication is fully overlapped
+// (a processor does not stall while its result travels); only the consumer
+// waits.  Per-edge costs may undercut k (Section 2.3: "each communication
+// edge can have a different cost, but k is the upper bound").
+#pragma once
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+
+struct Machine {
+  int processors = 2;
+  int comm_estimate = 1;  ///< k: compile-time estimate / upper bound
+
+  /// Compile-time communication cost of an edge (cycles).
+  [[nodiscard]] int comm_cost(const Edge& e) const {
+    const int c = e.comm_cost >= 0 ? e.comm_cost : comm_estimate;
+    MIMD_EXPECTS(c <= comm_estimate);  // k is the upper bound
+    return c;
+  }
+};
+
+}  // namespace mimd

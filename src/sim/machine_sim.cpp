@@ -1,0 +1,90 @@
+#include "sim/machine_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace mimd {
+
+namespace {
+
+using MsgKey = std::tuple<EdgeId, NodeId, std::int64_t, int>;  // +dst proc
+
+}  // namespace
+
+SimResult simulate(const PartitionedProgram& prog, const Ddg& g,
+                   const SimOptions& opts, Trace* trace) {
+  MIMD_EXPECTS(opts.mm >= 1);
+  const std::size_t procs = prog.programs.size();
+  std::vector<std::int64_t> clock(procs, 0);
+  std::vector<std::size_t> pc(procs, 0);
+  std::map<MsgKey, std::int64_t> arrivals;
+  SplitMix64 rng(opts.seed);
+
+  SimResult res;
+
+  // Round-robin cooperative execution: each pass advances every processor
+  // until it blocks on a not-yet-sent message.  Progress is guaranteed for
+  // well-formed programs; lack of progress is a deadlock.
+  bool all_done = false;
+  while (!all_done) {
+    bool progressed = false;
+    all_done = true;
+    for (std::size_t q = 0; q < procs; ++q) {
+      const auto& ops = prog.programs[q].ops;
+      while (pc[q] < ops.size()) {
+        const Op& op = ops[pc[q]];
+        if (op.kind == Op::Kind::Compute) {
+          const std::int64_t lat = g.node(op.inst.node).latency;
+          const std::int64_t start = clock[q];
+          clock[q] += lat;
+          res.compute_cycles += lat;
+          if (trace != nullptr) {
+            trace->events.push_back(TraceEvent{static_cast<int>(q),
+                                               Op::Kind::Compute, op.inst, 0,
+                                               start, clock[q]});
+          }
+        } else if (op.kind == Op::Kind::Send) {
+          const Edge& e = g.edge(op.edge);
+          const int base = opts.machine.comm_cost(e);
+          const std::int64_t jitter =
+              opts.jitter == JitterMode::WorstCase
+                  ? opts.mm - 1
+                  : rng.uniform(0, opts.mm - 1);
+          arrivals[{op.edge, op.inst.node, op.inst.iter, op.peer}] =
+              clock[q] + base + jitter;
+          ++res.messages;
+          if (trace != nullptr) {
+            trace->events.push_back(TraceEvent{static_cast<int>(q),
+                                               Op::Kind::Send, op.inst,
+                                               op.edge, clock[q], clock[q]});
+          }
+        } else {  // Receive
+          const auto it = arrivals.find(
+              {op.edge, op.inst.node, op.inst.iter, static_cast<int>(q)});
+          if (it == arrivals.end()) break;  // blocked: message not yet sent
+          clock[q] = std::max(clock[q], it->second);
+          if (trace != nullptr) {
+            trace->events.push_back(TraceEvent{static_cast<int>(q),
+                                               Op::Kind::Receive, op.inst,
+                                               op.edge, clock[q], clock[q]});
+          }
+        }
+        ++pc[q];
+        progressed = true;
+      }
+      if (pc[q] < ops.size()) all_done = false;
+    }
+    if (!all_done && !progressed) {
+      MIMD_UNREACHABLE("simulated machine deadlocked (unmatched receive)");
+    }
+  }
+
+  for (const std::int64_t c : clock) res.makespan = std::max(res.makespan, c);
+  return res;
+}
+
+}  // namespace mimd

@@ -1,0 +1,93 @@
+#include "sim/trace.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace mimd {
+
+std::optional<TraceEvent> Trace::find_compute(const Inst& inst) const {
+  for (const TraceEvent& e : events) {
+    if (e.kind == Op::Kind::Compute && e.inst == inst) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> find_trace_violation(const Trace& t, const Ddg& g,
+                                                int min_comm) {
+  std::map<std::pair<NodeId, std::int64_t>, TraceEvent> computes;
+  // (edge, producing inst) -> delivery time at the consumer
+  std::map<std::tuple<EdgeId, NodeId, std::int64_t>, std::int64_t> delivered;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == Op::Kind::Compute) {
+      computes[{e.inst.node, e.inst.iter}] = e;
+    } else if (e.kind == Op::Kind::Receive) {
+      delivered[{e.edge, e.inst.node, e.inst.iter}] = e.finish;
+    }
+  }
+
+  for (const TraceEvent& e : t.events) {
+    if (e.kind != Op::Kind::Compute) continue;
+    for (const EdgeId eid : g.in_edges(e.inst.node)) {
+      const Edge& edge = g.edge(eid);
+      const std::int64_t src_iter = e.inst.iter - edge.distance;
+      if (src_iter < 0) continue;
+      const auto src = computes.find({edge.src, src_iter});
+      if (src == computes.end()) {
+        std::ostringstream msg;
+        msg << "operand " << g.node(edge.src).name << "@" << src_iter
+            << " of " << g.node(e.inst.node).name << "@" << e.inst.iter
+            << " never computed";
+        return msg.str();
+      }
+      std::int64_t ready = src->second.finish;
+      if (src->second.proc != e.proc) {
+        const auto d = delivered.find({eid, edge.src, src_iter});
+        if (d == delivered.end()) {
+          std::ostringstream msg;
+          msg << "cross-processor operand " << g.node(edge.src).name << "@"
+              << src_iter << " never received on PE" << e.proc;
+          return msg.str();
+        }
+        if (d->second < src->second.finish + min_comm) {
+          return "message delivered faster than the minimum communication cost";
+        }
+        ready = d->second;
+      }
+      if (e.start < ready) {
+        std::ostringstream msg;
+        msg << g.node(e.inst.node).name << "@" << e.inst.iter
+            << " started at " << e.start << " before operand ready at "
+            << ready;
+        return msg.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string render_trace(const Trace& t, const Ddg& g, std::size_t max_events) {
+  std::ostringstream out;
+  std::size_t shown = 0;
+  for (const TraceEvent& e : t.events) {
+    if (shown++ >= max_events) {
+      out << "... (" << t.events.size() - max_events << " more events)\n";
+      break;
+    }
+    out << "[" << e.start << "," << e.finish << ") PE" << e.proc << " ";
+    switch (e.kind) {
+      case Op::Kind::Compute:
+        out << "compute ";
+        break;
+      case Op::Kind::Send:
+        out << "send ";
+        break;
+      case Op::Kind::Receive:
+        out << "recv ";
+        break;
+    }
+    out << g.node(e.inst.node).name << "@" << e.inst.iter << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mimd

@@ -1,0 +1,41 @@
+// Execution traces from the simulated multiprocessor, for debugging and
+// for the property tests that check dependences are respected at run time
+// under communication jitter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "partition/partitioned_loop.hpp"
+
+namespace mimd {
+
+struct TraceEvent {
+  int proc = 0;
+  Op::Kind kind = Op::Kind::Compute;
+  Inst inst;
+  EdgeId edge = 0;
+  std::int64_t start = 0;
+  std::int64_t finish = 0;
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+
+  [[nodiscard]] std::optional<TraceEvent> find_compute(const Inst& inst) const;
+};
+
+/// Check that a trace respects every dependence of `g`: compute of (w,i)
+/// must start at or after the finish of compute of (u,i-d); if the two ran
+/// on different processors, at or after the matching message delivery.
+/// `min_comm` is the smallest legal delivery delay (k); deliveries earlier
+/// than producer finish + min_comm are also flagged.
+std::optional<std::string> find_trace_violation(const Trace& t, const Ddg& g,
+                                                int min_comm);
+
+std::string render_trace(const Trace& t, const Ddg& g, std::size_t max_events = 64);
+
+}  // namespace mimd

@@ -1,0 +1,48 @@
+// Contract-checking macros used throughout the library.
+//
+// MIMD_EXPECTS  — precondition on public API entry (always on; these guard
+//                 user-facing invariants such as "distances are 0 or 1").
+// MIMD_ENSURES  — postcondition / internal invariant.
+// MIMD_UNREACHABLE — marks logically impossible branches.
+//
+// All three throw mimd::ContractViolation so that tests can assert on
+// violations instead of aborting the process.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mimd {
+
+/// Thrown when a contract annotated with MIMD_EXPECTS / MIMD_ENSURES fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* cond,
+                    const std::source_location& loc)
+      : std::logic_error(std::string(kind) + " failed: " + cond + " at " +
+                         loc.file_name() + ":" + std::to_string(loc.line()) +
+                         " in " + loc.function_name()) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const std::source_location loc =
+                                           std::source_location::current()) {
+  throw ContractViolation(kind, cond, loc);
+}
+}  // namespace detail
+
+}  // namespace mimd
+
+#define MIMD_EXPECTS(cond)                                     \
+  do {                                                         \
+    if (!(cond)) ::mimd::detail::contract_fail("precondition", #cond); \
+  } while (false)
+
+#define MIMD_ENSURES(cond)                                      \
+  do {                                                          \
+    if (!(cond)) ::mimd::detail::contract_fail("invariant", #cond); \
+  } while (false)
+
+#define MIMD_UNREACHABLE(msg) ::mimd::detail::contract_fail("unreachable", msg)

@@ -1,0 +1,24 @@
+#include "support/random.hpp"
+
+#include <numeric>
+
+namespace mimd {
+
+std::vector<std::size_t> sample_without_replacement(SplitMix64& rng,
+                                                    std::size_t n,
+                                                    std::size_t count) {
+  MIMD_EXPECTS(count <= n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: after k swaps the first k entries are the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace mimd

@@ -1,0 +1,66 @@
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// The paper's experiments (Section 4) are driven by seeds 1..25.  The C++
+// standard library's distributions are not guaranteed to produce identical
+// streams across implementations, so we ship our own SplitMix64 generator
+// and uniform-integer helpers.  Every experiment in this repository that
+// consumes randomness takes a SplitMix64 (or a seed) explicitly; nothing
+// reads global random state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace mimd {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG (Steele et al. 2014).
+/// Deterministic across platforms — required so that the random-loop suite
+/// of Table 1 is reproducible bit-for-bit.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses rejection-free modulo
+  /// reduction; bias is negligible for the tiny ranges we draw from and,
+  /// more importantly, deterministic.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    MIMD_EXPECTS(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle (deterministic given the generator state).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Draw `count` distinct unsigned integers from [0, n). Order is the draw
+/// order (deterministic). Precondition: count <= n.
+std::vector<std::size_t> sample_without_replacement(SplitMix64& rng,
+                                                    std::size_t n,
+                                                    std::size_t count);
+
+}  // namespace mimd

@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace mimd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MIMD_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MIMD_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto print_rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << std::string(width[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  print_rule();
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace mimd

@@ -1,0 +1,35 @@
+// Minimal ASCII table renderer used by the benchmark harnesses to print
+// paper-style tables (Table 1(a)/(b) and the per-figure comparison rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mimd {
+
+/// Column-aligned ASCII table. Rows are strings; numeric formatting is the
+/// caller's job (see fmt_fixed below). Example:
+///
+///   Table t({"loop", "x", "doacross"});
+///   t.add_row({"0", "51.8", "26.8"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Fixed-point formatting helper: fmt_fixed(72.727, 1) == "72.7".
+std::string fmt_fixed(double v, int decimals);
+
+}  // namespace mimd

@@ -1,0 +1,212 @@
+#include "workloads/livermore.hpp"
+
+namespace mimd {
+namespace workloads {
+
+namespace {
+constexpr int kAdd = 1;
+constexpr int kMul = 2;
+constexpr int kDiv = 2;
+}  // namespace
+
+Ddg livermore18_loop() {
+  Ddg g;
+  // ---- Flow-in: old-time-step loads and load combinations (8 nodes) ----
+  const NodeId lp1 = g.add_node("lp1", kAdd);  // ZP[j-1,k+1] + ZQ[j-1,k+1]
+  const NodeId lp2 = g.add_node("lp2", kAdd);  // ZP[j-1,k]   + ZQ[j-1,k]
+  const NodeId za_num = g.add_node("za_num", kAdd);  // lp1 - lp2
+  const NodeId zb_num = g.add_node("zb_num", kAdd);  // lp2 - (ZP+ZQ)[j,k]
+  const NodeId lm1 = g.add_node("lm1", kAdd);  // ZM[j-1,k] + ZM[j-1,k+1]
+  const NodeId lm2 = g.add_node("lm2", kAdd);  // ZM[j,k]   + ZM[j-1,k]
+  const NodeId lz1 = g.add_node("lz1", kAdd);  // ZZ[j+1,k] old
+  const NodeId lz2 = g.add_node("lz2", kAdd);  // ZZ[j,k-1] old
+  g.add_edge(lp1, za_num, 0);
+  g.add_edge(lp2, za_num, 0);
+  g.add_edge(lp2, zb_num, 0);
+
+  // ---- Cyclic: flux -> velocity -> field recurrences (22 nodes) ----
+  // ZA flux: za = za_num * (ZR[j] + ZR[j-1]) / lm1, where ZR[j-1] is the
+  // value updated by the previous iteration (the binding recurrence).
+  const NodeId zr_upd = g.add_node("zr_upd", kAdd);  // ZR[j] += ZT*ZU[j]
+  const NodeId za_r = g.add_node("za_r", kAdd);
+  const NodeId za_t = g.add_node("za_t", kMul);
+  const NodeId za = g.add_node("za", kDiv);
+  g.add_edge(zr_upd, za_r, 1);
+  g.add_edge(za_num, za_t, 0);
+  g.add_edge(za_r, za_t, 0);
+  g.add_edge(za_t, za, 0);
+  g.add_edge(lm1, za, 0);
+  // ZB flux, analogous, reading the pre-update ZR of the previous column.
+  const NodeId zb_r = g.add_node("zb_r", kAdd);
+  const NodeId zb_t = g.add_node("zb_t", kMul);
+  const NodeId zb = g.add_node("zb", kDiv);
+  g.add_edge(zr_upd, zb_r, 1);
+  g.add_edge(zb_num, zb_t, 0);
+  g.add_edge(zb_r, zb_t, 0);
+  g.add_edge(zb_t, zb, 0);
+  g.add_edge(lm2, zb, 0);
+  // ZZ differences feeding the velocity updates; ZZ[j-1] comes from the
+  // previous iteration's update.
+  const NodeId zz_upd = g.add_node("zz_upd", kAdd);  // ZZ[j] += ZT*ZV[j]
+  const NodeId dz1 = g.add_node("dz1", kAdd);        // ZZ[j] - ZZ[j+1]
+  const NodeId dz2 = g.add_node("dz2", kAdd);        // ZZ[j] - ZZ[j-1]
+  const NodeId dz3 = g.add_node("dz3", kAdd);        // ZZ[j] - ZZ[j,k-1]
+  g.add_edge(zz_upd, dz1, 1);
+  g.add_edge(lz1, dz1, 0);
+  g.add_edge(zz_upd, dz2, 1);
+  g.add_edge(zz_upd, dz3, 1);
+  g.add_edge(lz2, dz3, 0);
+  // ZU velocity update: ZU[j] += S*(za*dz1 - za[j-1]*dz2 - zb*dz3 + ...).
+  const NodeId zu_t1 = g.add_node("zu_t1", kMul);  // za * dz1
+  const NodeId zu_t2 = g.add_node("zu_t2", kMul);  // za[j-1] * dz2
+  const NodeId zu_t3 = g.add_node("zu_t3", kMul);  // zb * dz3
+  const NodeId zu_t4 = g.add_node("zu_t4", kAdd);  // t1 - t2
+  const NodeId zu_upd = g.add_node("zu_upd", kAdd);  // ZU += S*(t4 - t3)
+  g.add_edge(za, zu_t1, 0);
+  g.add_edge(dz1, zu_t1, 0);
+  g.add_edge(za, zu_t2, 1);  // za of the previous column
+  g.add_edge(dz2, zu_t2, 0);
+  g.add_edge(zb, zu_t3, 0);
+  g.add_edge(dz3, zu_t3, 0);
+  g.add_edge(zu_t1, zu_t4, 0);
+  g.add_edge(zu_t2, zu_t4, 0);
+  g.add_edge(zu_t4, zu_upd, 0);
+  g.add_edge(zu_t3, zu_upd, 0);
+  g.add_edge(zu_upd, zu_upd, 1);  // ZU[j] accumulates over time steps
+  // ZV velocity update, the symmetric expression.
+  const NodeId zv_t1 = g.add_node("zv_t1", kMul);
+  const NodeId zv_t2 = g.add_node("zv_t2", kMul);
+  const NodeId zv_t3 = g.add_node("zv_t3", kAdd);
+  const NodeId zv_upd = g.add_node("zv_upd", kAdd);
+  g.add_edge(za, zv_t1, 0);
+  g.add_edge(dz2, zv_t1, 0);
+  g.add_edge(zb, zv_t2, 0);
+  g.add_edge(dz1, zv_t2, 0);
+  g.add_edge(zv_t1, zv_t3, 0);
+  g.add_edge(zv_t2, zv_t3, 0);
+  g.add_edge(zv_t3, zv_upd, 0);
+  g.add_edge(zv_upd, zv_upd, 1);
+  // Field updates closing the recurrences.
+  const NodeId zr_t = g.add_node("zr_t", kMul);  // ZT * ZU[j]
+  const NodeId zz_t = g.add_node("zz_t", kMul);  // ZT * ZV[j]
+  g.add_edge(zu_upd, zr_t, 0);
+  g.add_edge(zr_t, zr_upd, 0);
+  g.add_edge(zr_upd, zr_upd, 1);
+  g.add_edge(zv_upd, zz_t, 0);
+  g.add_edge(zz_t, zz_upd, 0);
+  g.add_edge(zz_upd, zz_upd, 1);
+  return g;
+}
+
+Ddg ll5_tridiag() {
+  Ddg g;
+  const NodeId ldy = g.add_node("ldY", kAdd);
+  const NodeId ldz = g.add_node("ldZ", kAdd);
+  const NodeId sub = g.add_node("sub", kAdd);
+  const NodeId x = g.add_node("X", kMul);
+  g.add_edge(ldy, sub, 0);
+  g.add_edge(x, sub, 1);  // X[i-1]
+  g.add_edge(ldz, x, 0);
+  g.add_edge(sub, x, 0);
+  return g;
+}
+
+Ddg ll6_linear_recurrence() {
+  Ddg g;
+  const NodeId m1 = g.add_node("m1", kMul);
+  const NodeId m2 = g.add_node("m2", kMul);
+  const NodeId w = g.add_node("W", kAdd);
+  g.add_edge(w, m1, 1);  // B * W[i-1]
+  g.add_edge(w, m2, 2);  // C * W[i-2]: a distance-2 dependence
+  g.add_edge(m1, w, 0);
+  g.add_edge(m2, w, 0);
+  return g;
+}
+
+Ddg ll11_first_sum() {
+  Ddg g;
+  const NodeId ldy = g.add_node("ldY", kAdd);
+  const NodeId x = g.add_node("X", kAdd);
+  g.add_edge(ldy, x, 0);
+  g.add_edge(x, x, 1);
+  return g;
+}
+
+Ddg ll19_linear_recurrence() {
+  Ddg g;
+  const NodeId ldsa = g.add_node("ldSA", kAdd);
+  const NodeId ldsb = g.add_node("ldSB", kAdd);
+  const NodeId sub = g.add_node("sub", kAdd);
+  const NodeId mul = g.add_node("mul", kMul);
+  const NodeId b5 = g.add_node("B5", kAdd);
+  g.add_edge(ldsb, sub, 0);
+  g.add_edge(b5, sub, 1);
+  g.add_edge(sub, mul, 0);
+  g.add_edge(ldsa, b5, 0);
+  g.add_edge(mul, b5, 0);
+  return g;
+}
+
+Ddg ll20_discrete_ordinates() {
+  Ddg g;
+  const NodeId ldvx = g.add_node("ldVX", kAdd);
+  const NodeId ldb = g.add_node("ldB", kAdd);
+  const NodeId ldd = g.add_node("ldD", kAdd);
+  const NodeId m1 = g.add_node("m1", kMul);  // C * XX[i-1]
+  const NodeId a1 = g.add_node("a1", kAdd);  // B + m1
+  const NodeId m2 = g.add_node("m2", kMul);  // A * a1
+  const NodeId a2 = g.add_node("a2", kAdd);  // VX + m2
+  const NodeId m3 = g.add_node("m3", kMul);  // E * XX[i-1]
+  const NodeId a3 = g.add_node("a3", kAdd);  // D + m3
+  const NodeId xx = g.add_node("XX", kDiv);  // a2 / a3
+  g.add_edge(xx, m1, 1);
+  g.add_edge(ldb, a1, 0);
+  g.add_edge(m1, a1, 0);
+  g.add_edge(a1, m2, 0);
+  g.add_edge(ldvx, a2, 0);
+  g.add_edge(m2, a2, 0);
+  g.add_edge(xx, m3, 1);
+  g.add_edge(ldd, a3, 0);
+  g.add_edge(m3, a3, 0);
+  g.add_edge(a2, xx, 0);
+  g.add_edge(a3, xx, 0);
+  return g;
+}
+
+Ddg ll23_implicit_hydro() {
+  Ddg g;
+  const NodeId ldzr = g.add_node("ldZR", kAdd);
+  const NodeId ldzb = g.add_node("ldZB", kAdd);
+  const NodeId qa1 = g.add_node("qa1", kMul);  // ZA[j-1] * ZB[j]
+  const NodeId qa2 = g.add_node("qa2", kMul);  // ZA(old neighbors) * ZR[j]
+  const NodeId qa = g.add_node("QA", kAdd);
+  const NodeId dif = g.add_node("dif", kAdd);  // QA - ZA[j]
+  const NodeId scl = g.add_node("scl", kMul);  // S * dif
+  const NodeId za = g.add_node("ZA", kAdd);    // ZA[j] += scl
+  g.add_edge(za, qa1, 1);
+  g.add_edge(ldzb, qa1, 0);
+  g.add_edge(ldzr, qa2, 0);
+  g.add_edge(qa1, qa, 0);
+  g.add_edge(qa2, qa, 0);
+  g.add_edge(qa, dif, 0);
+  g.add_edge(za, dif, 1);
+  g.add_edge(dif, scl, 0);
+  g.add_edge(scl, za, 0);
+  g.add_edge(za, za, 1);
+  return g;
+}
+
+std::vector<std::pair<std::string, Ddg>> livermore_suite() {
+  std::vector<std::pair<std::string, Ddg>> suite;
+  suite.emplace_back("LL5-tridiag", ll5_tridiag());
+  suite.emplace_back("LL6-linrec", ll6_linear_recurrence());
+  suite.emplace_back("LL11-firstsum", ll11_first_sum());
+  suite.emplace_back("LL18-hydro2d", livermore18_loop());
+  suite.emplace_back("LL19-linrec", ll19_linear_recurrence());
+  suite.emplace_back("LL20-ordinates", ll20_discrete_ordinates());
+  suite.emplace_back("LL23-hydro2dimp", ll23_implicit_hydro());
+  return suite;
+}
+
+}  // namespace workloads
+}  // namespace mimd

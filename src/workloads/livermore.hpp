@@ -1,0 +1,59 @@
+// Livermore Fortran Kernel loops as data dependence graphs.
+//
+// LL18 (2-D explicit hydrodynamics) is the paper's Figure 11 benchmark;
+// the others are the classic recurrence-bearing Livermore loops — the
+// exact class of non-vectorizable loops the paper targets — used here for
+// additional tests, examples and ablation benchmarks.
+//
+// Each builder decomposes the kernel's loop body into scalar operations
+// (loads/adds latency 1, multiplies/divides latency 2) with the loop-
+// carried dependences of the source recurrence.  Old-time-step array reads
+// that the loop never writes appear as Flow-in load/compute nodes.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+namespace workloads {
+
+/// LL18, 2-D explicit hydrodynamics, fused over the j sweep: the ZA/ZB
+/// flux expressions feed the ZU/ZV velocity updates which feed the ZR/ZZ
+/// field updates, and the updated ZR/ZZ values of column j-1 flow back
+/// into the next iteration's fluxes.  8 Flow-in nodes (old-time-step
+/// loads), 22 Cyclic nodes, as in the paper's Figure 11 (8 non-Cyclic
+/// nodes out of 30).
+Ddg livermore18_loop();
+
+/// LL5, tri-diagonal elimination below diagonal:
+///   X[i] = Z[i] * (Y[i] - X[i-1])
+Ddg ll5_tridiag();
+
+/// LL6, general linear recurrence with two taps (exercises distance-2
+/// dependences and hence loop unwinding):
+///   W[i] = B*W[i-1] + C*W[i-2]
+Ddg ll6_linear_recurrence();
+
+/// LL11, first sum (prefix sum):  X[i] = X[i-1] + Y[i]
+Ddg ll11_first_sum();
+
+/// LL19, general linear recurrence equations:
+///   B5[i] = SA[i] + STB5 * (SB[i] - B5[i-1])
+Ddg ll19_linear_recurrence();
+
+/// LL20, discrete ordinates transport:
+///   XX[i] = (VX[i] + A*(B[i] + C*XX[i-1])) / (D[i] + E*XX[i-1])
+Ddg ll20_discrete_ordinates();
+
+/// LL23, 2-D implicit hydrodynamics (j sweep):
+///   ZA[j] = ZA[j] + S*(QA[j] - ZA[j])  with QA built from ZA[j-1]
+Ddg ll23_implicit_hydro();
+
+/// All of the above, with names, for parameterized tests and sweeps.
+std::vector<std::pair<std::string, Ddg>> livermore_suite();
+
+}  // namespace workloads
+}  // namespace mimd

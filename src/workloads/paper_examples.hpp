@@ -1,0 +1,50 @@
+// The loops the paper uses as running examples and benchmarks.
+//
+// Where the 1990 scan is partially illegible (exact latencies / edge lists
+// of Figures 9(a), 11(a) and 12(a)), the graphs below are reconstructed to
+// satisfy every constraint the text does state; the reconstruction rules
+// are documented per builder and in DESIGN.md ("Substitutions").
+#pragma once
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+namespace workloads {
+
+/// Figure 1: the classification example — 12 nodes with
+/// Flow-in = {A,B,C,D,F}, Cyclic = {E,I,K,L}, Flow-out = {G,H,J};
+/// strongly connected subgraphs (E,I) and (L).
+Ddg fig1_classification();
+
+/// Figure 3: a 7-node, all-Cyclic loop used to demonstrate the emergence
+/// of a pattern under greedy scheduling (k = 1 in the paper's Figure 3(c)).
+/// Reconstructed: two coupled recurrences, unit latencies, max cycle ratio 3.
+Ddg fig3_loop();
+
+/// Figure 7(a): the non-trivial example
+///   A: A[I] = A[I-1] + E[I-1]
+///   B: B[I] = A[I]
+///   C: C[I] = B[I]
+///   D: D[I] = D[I-1] + C[I-1]
+///   E: E[I] = D[I]
+/// All latencies 1; the paper schedules it with k = 2.  Every node is
+/// Cyclic; our algorithm reaches Sp = 40%, DOACROSS 0% (Figure 8).
+Ddg fig7_loop();
+
+/// Figures 9/10: the example from [Cytron86].  17 nodes; the text pins:
+/// Flow-in = {6..16} (11 nodes), no Flow-out, Cyclic = {0..5}, pattern
+/// height H = 6 with one processor repeating the lat-3 main recurrence
+/// {0,1,2,3} and another repeating the pair {4,5}; total body latency 22
+/// so that Sp = 72.7% (II 6) vs DOACROSS 31.8% (II 15) at k = 2.
+/// (The paper labels the repeating pairs {3,5} / {0,1,2,4}; our
+/// reconstruction renumbers nodes but preserves the structure.)
+Ddg cytron86_loop();
+
+/// Figure 12: the fifth-order elliptic wave filter [PaKn89] — the standard
+/// 34-operation HLS benchmark: 26 additions (latency 1), 8 constant
+/// multiplications (latency 2), state feedback through seven unit delays.
+/// Exactly one non-Cyclic node (the output, Flow-out), as the text states.
+Ddg elliptic_filter_loop();
+
+}  // namespace workloads
+}  // namespace mimd

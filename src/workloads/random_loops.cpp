@@ -1,0 +1,85 @@
+#include "workloads/random_loops.hpp"
+
+#include <set>
+#include <string>
+
+#include "classify/classify.hpp"
+#include "graph/algorithms.hpp"
+#include "support/random.hpp"
+
+namespace mimd {
+namespace workloads {
+
+Ddg random_loop(std::uint64_t seed, const RandomLoopSpec& spec) {
+  MIMD_EXPECTS(spec.nodes >= 2);
+  MIMD_EXPECTS(1 <= spec.min_latency && spec.min_latency <= spec.max_latency);
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+
+  Ddg g;
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    g.add_node("n" + std::to_string(i),
+               static_cast<int>(rng.uniform(spec.min_latency,
+                                            spec.max_latency)));
+  }
+
+  const auto n = static_cast<std::int64_t>(spec.nodes);
+  std::set<std::tuple<NodeId, NodeId, int>> used;  // avoid exact duplicates
+
+  // Simple dependences: u < v keeps the body acyclic.
+  std::size_t made = 0;
+  while (made < spec.simple) {
+    const auto u = static_cast<NodeId>(rng.uniform(0, n - 2));
+    const auto v = static_cast<NodeId>(rng.uniform(u + 1, n - 1));
+    if (used.insert({u, v, 0}).second) {
+      g.add_edge(u, v, 0);
+      ++made;
+    }
+  }
+  // Loop-carried dependences: distance 1, directed from a later (or the
+  // same) body position back to an earlier one — the A[i] = f(B[i-1])
+  // shape where B is defined below A in the body.  Backward lcd's are the
+  // ones that entangle with the forward sd's into recurrences; drawing
+  // the direction uniformly instead leaves the Cyclic subset nearly empty
+  // (see DESIGN.md, "Substitutions").
+  made = 0;
+  while (made < spec.loop_carried) {
+    const auto v = static_cast<NodeId>(rng.uniform(0, n - 1));
+    const auto u = static_cast<NodeId>(rng.uniform(v, n - 1));
+    if (used.insert({u, v, 1}).second) {
+      g.add_edge(u, v, 1);
+      ++made;
+    }
+  }
+  return g;
+}
+
+Ddg random_cyclic_loop(std::uint64_t seed, const RandomLoopSpec& spec) {
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    const Ddg g = random_loop(seed + attempt * 1000003ULL, spec);
+    const Classification cls = classify(g);
+    if (!cls.cyclic.empty()) {
+      return cyclic_subgraph(g, cls);
+    }
+  }
+  MIMD_UNREACHABLE("random loop generator: no Cyclic subset in 64 attempts");
+}
+
+Ddg random_connected_cyclic_loop(std::uint64_t seed,
+                                 const RandomLoopSpec& spec) {
+  const Ddg g = random_cyclic_loop(seed, spec);
+  const auto comps = connected_components(g);
+  std::size_t best = 0;
+  std::int64_t best_latency = -1;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    std::int64_t lat = 0;
+    for (const NodeId v : comps[i]) lat += g.node(v).latency;
+    if (lat > best_latency) {
+      best_latency = lat;
+      best = i;
+    }
+  }
+  return g.induced_subgraph(comps[best]);
+}
+
+}  // namespace workloads
+}  // namespace mimd

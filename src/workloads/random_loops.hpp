@@ -1,0 +1,46 @@
+// Section 4's random loop suite: "we fixed the number of nodes in the loop
+// as 40, and the number of loop carried dependences (lcd's) and simple
+// dependences (sd's) at 20 each.  The execution time of each node is
+// randomly chosen from 1 to 3 cycles ... After this was done, we extracted
+// only Cyclic nodes from the graph."  Seeds 1..25.
+//
+// Simple dependences are generated from lower- to higher-numbered nodes so
+// the intra-iteration subgraph stays acyclic (a well-formed loop body);
+// loop-carried dependences connect any ordered pair (self-loops allowed,
+// the natural A[i] = f(A[i-1]) case) at distance 1.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/ddg.hpp"
+
+namespace mimd {
+namespace workloads {
+
+struct RandomLoopSpec {
+  std::size_t nodes = 40;
+  std::size_t loop_carried = 20;
+  std::size_t simple = 20;
+  int min_latency = 1;
+  int max_latency = 3;
+};
+
+/// The full 40-node random loop for `seed`.
+Ddg random_loop(std::uint64_t seed, const RandomLoopSpec& spec = {});
+
+/// The paper's benchmark unit: the Cyclic subset of random_loop(seed),
+/// extracted as its own graph.  If a seed produces an empty Cyclic subset
+/// (no recurrence survived), the generator deterministically retries with
+/// a derived seed — documented behaviour so that all 25 table rows exist.
+/// The extract may be disconnected; schedule it with
+/// component_cyclic_sched (Section 2.1).
+Ddg random_cyclic_loop(std::uint64_t seed, const RandomLoopSpec& spec = {});
+
+/// The largest connected component of random_cyclic_loop(seed) — a single
+/// loop in the paper's canonical (connected) form, for properties and
+/// microbenchmarks that exercise cyclic_sched directly.
+Ddg random_connected_cyclic_loop(std::uint64_t seed,
+                                 const RandomLoopSpec& spec = {});
+
+}  // namespace workloads
+}  // namespace mimd

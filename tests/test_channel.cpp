@@ -1,0 +1,63 @@
+// ValueChannel — the runtime's synchronization primitive.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/channel.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Channel, FifoOrderSingleThread) {
+  ValueChannel c;
+  c.send({0, 1.5});
+  c.send({1, 2.5});
+  c.send({2, 3.5});
+  EXPECT_EQ(c.pending(), 3u);
+  EXPECT_EQ(c.receive().iter, 0);
+  EXPECT_EQ(c.receive().iter, 1);
+  const auto m = c.receive();
+  EXPECT_EQ(m.iter, 2);
+  EXPECT_DOUBLE_EQ(m.value, 3.5);
+  EXPECT_EQ(c.pending(), 0u);
+}
+
+TEST(Channel, ReceiveBlocksUntilSend) {
+  ValueChannel c;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    c.send({7, 42.0});
+  });
+  const auto m = c.receive();  // must block past the spin phase
+  producer.join();
+  EXPECT_EQ(m.iter, 7);
+  EXPECT_DOUBLE_EQ(m.value, 42.0);
+}
+
+TEST(Channel, ManyMessagesAcrossThreadsKeepOrder) {
+  ValueChannel c;
+  constexpr int kCount = 5000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) c.send({i, i * 0.5});
+  });
+  std::vector<std::int64_t> seen;
+  seen.reserve(kCount);
+  for (int i = 0; i < kCount; ++i) seen.push_back(c.receive().iter);
+  producer.join();
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Channel, InterleavedSendReceive) {
+  ValueChannel c;
+  for (int round = 0; round < 100; ++round) {
+    c.send({round, 0.0});
+    c.send({round, 1.0});
+    EXPECT_EQ(c.receive().iter, round);
+    EXPECT_EQ(c.receive().iter, round);
+  }
+  EXPECT_EQ(c.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "classify/classify.hpp"
+#include "partition/codegen.hpp"
+#include "schedule/full_sched.hpp"
+#include "partition/lowering.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+Pattern fig7_pattern() {
+  const CyclicSchedResult r =
+      cyclic_sched(workloads::fig7_loop(), Machine{2, 2});
+  EXPECT_TRUE(r.pattern.has_value());
+  return *r.pattern;
+}
+
+TEST(Parbegin, HasParBlockStructure) {
+  const Ddg g = workloads::fig7_loop();
+  const std::string code = emit_parbegin(fig7_pattern(), g);
+  EXPECT_EQ(code.find("PARBEGIN"), 0u);
+  EXPECT_NE(code.find("PAREND"), std::string::npos);
+  EXPECT_NE(code.find("PE0:"), std::string::npos);
+  EXPECT_NE(code.find("PE1:"), std::string::npos);
+}
+
+TEST(Parbegin, EmitsSteadyStateLoops) {
+  const Ddg g = workloads::fig7_loop();
+  const Pattern p = fig7_pattern();
+  const std::string code = emit_parbegin(p, g, "M");
+  EXPECT_NE(code.find("FOR I = "), std::string::npos);
+  EXPECT_NE(code.find("TO M-1 STEP " + std::to_string(p.period_iters)),
+            std::string::npos);
+  EXPECT_NE(code.find("ENDFOR"), std::string::npos);
+}
+
+TEST(Parbegin, EmitsSendReceivePairsForCrossProcessorEdges) {
+  // Figure 7(e): the transformed loop ships A and D between the PEs.
+  const Ddg g = workloads::fig7_loop();
+  const std::string code = emit_parbegin(fig7_pattern(), g);
+  EXPECT_NE(code.find("SEND"), std::string::npos);
+  EXPECT_NE(code.find("RECEIVE"), std::string::npos);
+  EXPECT_NE(code.find("FROM PE"), std::string::npos);
+  EXPECT_NE(code.find("TO PE"), std::string::npos);
+}
+
+TEST(Parbegin, StatementsShowOperandOffsets) {
+  const Ddg g = workloads::fig7_loop();
+  const std::string code = emit_parbegin(fig7_pattern(), g);
+  // A's statement reads its own previous value and E's: "A[...] = f(A[...
+  EXPECT_NE(code.find("A["), std::string::npos);
+  EXPECT_NE(code.find("= f("), std::string::npos);
+}
+
+TEST(Parbegin, MentionsSteadyStateRate) {
+  const Ddg g = workloads::fig7_loop();
+  const Pattern p = fig7_pattern();
+  const std::string code = emit_parbegin(p, g);
+  EXPECT_NE(code.find(std::to_string(p.period_cycles) + " cycles"),
+            std::string::npos);
+}
+
+TEST(Listing, ShowsAllOpKindsAndTruncates) {
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  const PartitionedProgram prog =
+      lower(materialize(*r.pattern, m.processors, 30), g);
+  const std::string full = emit_listing(prog, g, 10000);
+  EXPECT_NE(full.find("SEND"), std::string::npos);
+  EXPECT_NE(full.find("RECEIVE"), std::string::npos);
+  EXPECT_NE(full.find("= f(...)"), std::string::npos);
+
+  const std::string trimmed = emit_listing(prog, g, 5);
+  EXPECT_NE(trimmed.find("more)"), std::string::npos);
+  EXPECT_LT(trimmed.size(), full.size());
+}
+
+TEST(Listing, SkipsEmptyProcessors) {
+  Ddg g;
+  g.add_node("A");
+  PartitionedProgram prog;
+  prog.processors = 3;
+  prog.programs.resize(3);
+  for (int i = 0; i < 3; ++i) prog.programs[i].proc = i;
+  prog.programs[1].ops.push_back(Op{Op::Kind::Compute, Inst{0, 0}, 0, -1});
+  const std::string s = emit_listing(prog, g);
+  EXPECT_EQ(s.find("PE0"), std::string::npos);
+  EXPECT_NE(s.find("PE1"), std::string::npos);
+}
+
+TEST(Parbegin, FlowInProducersRenderAsPoolReceives) {
+  // The Figure-6 pipeline schedules Flow-in nodes outside the Cyclic
+  // pattern; the cytron graph's 8 -> 3 edge must render as a receive from
+  // the flow-in pool, as in the paper's Figure 10.
+  const Ddg g = workloads::cytron86_loop();
+  const FullSchedResult r = full_sched(g, Machine{8, 2}, 40);
+  ASSERT_TRUE(r.pattern.has_value());
+  const std::string code = emit_parbegin(*r.pattern, g);
+  EXPECT_NE(code.find("FROM flow-in pool"), std::string::npos);
+}
+
+TEST(Parbegin, CytronEmitsOnePerProcessorEntry) {
+  const Ddg g = workloads::cytron86_loop();
+  const Ddg sub = cyclic_subgraph(g, classify(g));
+  const CyclicSchedResult r = cyclic_sched(sub, Machine{8, 2});
+  ASSERT_TRUE(r.pattern.has_value());
+  const std::string code = emit_parbegin(*r.pattern, sub);
+  // Two processors carry the cyclic pattern (paper Figure 9(c)).
+  EXPECT_NE(code.find("PE0:"), std::string::npos);
+  EXPECT_NE(code.find("PE1:"), std::string::npos);
+  EXPECT_EQ(code.find("PE2:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "graph/ddg.hpp"
+#include "graph/dot.hpp"
+#include "classify/classify.hpp"
+#include "schedule/machine.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Ddg, AddNodeAssignsSequentialIds) {
+  Ddg g;
+  EXPECT_EQ(g.add_node("A"), 0u);
+  EXPECT_EQ(g.add_node("B", 3), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.node(1).latency, 3);
+  EXPECT_EQ(g.node(0).name, "A");
+}
+
+TEST(Ddg, RejectsDuplicateNames) {
+  Ddg g;
+  g.add_node("A");
+  EXPECT_THROW(g.add_node("A"), ContractViolation);
+}
+
+TEST(Ddg, RejectsEmptyNameAndBadLatency) {
+  Ddg g;
+  EXPECT_THROW(g.add_node(""), ContractViolation);
+  EXPECT_THROW(g.add_node("X", 0), ContractViolation);
+}
+
+TEST(Ddg, RejectsDistanceZeroSelfLoop) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  EXPECT_THROW(g.add_edge(a, a, 0), ContractViolation);
+  EXPECT_NO_THROW(g.add_edge(a, a, 1));  // A[i] = f(A[i-1]) is fine
+}
+
+TEST(Ddg, RejectsNegativeDistance) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  EXPECT_THROW(g.add_edge(a, b, -1), ContractViolation);
+}
+
+TEST(Ddg, AdjacencyListsTrackEdges) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(a, b, 0);
+  g.add_edge(a, c, 1);
+  g.add_edge(b, c, 0);
+  EXPECT_EQ(g.out_edges(a).size(), 2u);
+  EXPECT_EQ(g.in_edges(c).size(), 2u);
+  EXPECT_EQ(g.in_edges(a).size(), 0u);
+  EXPECT_EQ(g.edge(g.out_edges(a)[1]).dst, c);
+}
+
+TEST(Ddg, FindByName) {
+  Ddg g;
+  g.add_node("alpha");
+  g.add_node("beta");
+  EXPECT_EQ(g.find("beta"), std::optional<NodeId>(1u));
+  EXPECT_FALSE(g.find("gamma").has_value());
+}
+
+TEST(Ddg, AddEdgeByName) {
+  Ddg g;
+  g.add_node("A");
+  g.add_node("B");
+  g.add_edge("A", "B", 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_THROW(g.add_edge("A", "missing", 0), ContractViolation);
+}
+
+TEST(Ddg, BodyLatencySumsNodes) {
+  Ddg g;
+  g.add_node("A", 1);
+  g.add_node("B", 3);
+  g.add_node("C", 2);
+  EXPECT_EQ(g.body_latency(), 6);
+}
+
+TEST(Ddg, MaxDistanceAndLatency) {
+  Ddg g;
+  const NodeId a = g.add_node("A", 4);
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 3);
+  EXPECT_EQ(g.max_distance(), 3);
+  EXPECT_EQ(g.max_latency(), 4);
+  EXPECT_FALSE(g.distances_normalized());
+}
+
+TEST(Ddg, InducedSubgraphKeepsInternalEdges) {
+  const Ddg g = workloads::fig1_classification();
+  // Keep the (E, I) strongly connected pair plus K.
+  const NodeId e = *g.find("E"), i = *g.find("I"), k = *g.find("K");
+  std::vector<NodeId> mapping;
+  const Ddg sub = g.induced_subgraph({e, i, k}, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  // Edges: E->I, I->E (d1), I->K survive; K->L does not.
+  EXPECT_EQ(sub.num_edges(), 3u);
+  EXPECT_EQ(mapping.size(), 3u);
+  EXPECT_EQ(g.node(mapping[0]).name, "E");
+}
+
+TEST(Ddg, InducedSubgraphRejectsDuplicates) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  EXPECT_THROW((void)g.induced_subgraph({a, a}), ContractViolation);
+}
+
+TEST(Ddg, EdgeCommCostDefaultsToMachineEstimate) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);           // inherits k
+  g.add_edge(a, b, 1, 1);        // explicit cheaper link
+  Machine m{2, 3};
+  EXPECT_EQ(m.comm_cost(g.edge(0)), 3);
+  EXPECT_EQ(m.comm_cost(g.edge(1)), 1);
+}
+
+TEST(Ddg, EdgeCommCostAboveEstimateIsRejected) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0, 5);
+  Machine m{2, 3};  // k = 3 must be the upper bound
+  EXPECT_THROW((void)m.comm_cost(g.edge(0)), ContractViolation);
+}
+
+TEST(Dot, PlainExportMentionsAllNodesAndDistances) {
+  const Ddg g = workloads::fig7_loop();
+  const std::string dot = to_dot(g);
+  for (const char* n : {"A", "B", "C", "D", "E"}) {
+    EXPECT_NE(dot.find(std::string("\"") + n + "\""), std::string::npos);
+  }
+  EXPECT_NE(dot.find("d=1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, ClassifiedExportColorsSubsets) {
+  const Ddg g = workloads::fig1_classification();
+  const std::string dot = to_dot(g, classify(g));
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+TEST(Inst, OrderingAndHash) {
+  const Inst a{1, 5}, b{1, 6}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Inst{1, 5}));
+  InstHash h;
+  EXPECT_NE(h(a), h(b));  // overwhelmingly likely, pins hash mixes iter
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "baseline/doacross.hpp"
+#include "baseline/reorder.hpp"
+#include "baseline/sequential.hpp"
+#include "graph/algorithms.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Sequential, TimeIsBodyLatencyTimesIterations) {
+  const Ddg g = workloads::cytron86_loop();
+  EXPECT_EQ(g.body_latency(), 22);  // pins the reconstruction
+  EXPECT_EQ(sequential_time(g, 10), 220);
+}
+
+TEST(Sequential, ScheduleIsDenseOnOneProcessor) {
+  const Ddg g = workloads::fig7_loop();
+  const Schedule s = sequential_schedule(g, 6);
+  EXPECT_EQ(s.size(), 30u);
+  EXPECT_EQ(s.makespan(), 30);
+  EXPECT_EQ(find_dependence_violation(g, Machine{1, 0}, s), std::nullopt);
+}
+
+TEST(Doacross, Fig7DegeneratesToSequential) {
+  // Figure 8: "DOACROSS will produce the schedule ... the same as the
+  // schedule of a sequential execution ... no pipelining is possible due
+  // to the (E,A) dependence link."
+  const Ddg g = workloads::fig7_loop();
+  const DoacrossResult r = doacross(g, Machine{4, 2}, 50);
+  EXPECT_TRUE(r.degenerated_to_sequential);
+  EXPECT_GE(r.steady_ii, 5.0);
+}
+
+TEST(Doacross, Fig7OptimalReorderingStillYieldsNothing) {
+  // Figure 8(b): "Even with an optimal reordering ... DOACROSS would
+  // still yield no performance improvement."
+  const Ddg g = workloads::fig7_loop();
+  const BestReorderResult best = best_reorder_doacross(g, Machine{4, 2}, 50);
+  EXPECT_TRUE(best.doacross.degenerated_to_sequential);
+  EXPECT_GT(best.orders_examined, 0u);
+}
+
+TEST(Doacross, CytronReachesInitiationIntervalFifteen) {
+  // (22 - 15) / 22 = 31.8% — the paper's DOACROSS number for Figure 9.
+  const Ddg g = workloads::cytron86_loop();
+  const DoacrossResult r = doacross(g, Machine{8, 2}, 80);
+  EXPECT_FALSE(r.degenerated_to_sequential);
+  EXPECT_NEAR(r.steady_ii, 15.0, 1e-9);
+}
+
+TEST(Doacross, ScheduleIsDependenceValid) {
+  const Ddg g = workloads::cytron86_loop();
+  const Machine m{8, 2};
+  const DoacrossResult r = doacross(g, m, 30);
+  EXPECT_EQ(find_dependence_violation(g, m, r.schedule), std::nullopt);
+  EXPECT_EQ(r.schedule.size(), g.num_nodes() * 30);
+}
+
+TEST(Doacross, IterationsAreRoundRobin) {
+  const Ddg g = workloads::cytron86_loop();
+  const DoacrossResult r = doacross(g, Machine{4, 2}, 12);
+  for (const Placement& p : r.schedule.placements()) {
+    EXPECT_EQ(p.proc, static_cast<int>(p.inst.iter % 4));
+  }
+}
+
+TEST(Doacross, NeverBeatsTheRecurrenceBound) {
+  for (const auto& [name, g] : workloads::livermore_suite()) {
+    if (!g.distances_normalized()) continue;
+    const DoacrossResult r = doacross(g, Machine{8, 2}, 60);
+    EXPECT_GE(r.steady_ii + 1e-6, max_cycle_ratio(g)) << name;
+  }
+}
+
+TEST(Doacross, ZeroCommDoallSplitsPerfectly) {
+  // A pure DOALL body on P processors with k = 0: II = body / P.
+  Ddg g;
+  g.add_node("A");
+  g.add_node("B");
+  g.add_edge(0u, 1u, 0);
+  const DoacrossResult r = doacross(g, Machine{2, 0}, 40);
+  EXPECT_NEAR(r.steady_ii, 1.0, 1e-9);
+  EXPECT_FALSE(r.degenerated_to_sequential);
+}
+
+TEST(Doacross, CustomBodyOrderIsHonored) {
+  const Ddg g = workloads::fig7_loop();
+  // Any topological order works; a bogus-length order is rejected.
+  EXPECT_THROW((void)doacross(g, Machine{2, 2}, 10,
+                              std::vector<NodeId>{0, 1, 2}),
+               ContractViolation);
+}
+
+TEST(BestReorder, GuardsAgainstFactorialBlowup) {
+  const Ddg g = workloads::cytron86_loop();  // 17 nodes
+  EXPECT_THROW((void)best_reorder_doacross(g, Machine{4, 2}, 10),
+               ContractViolation);
+}
+
+TEST(BestReorder, FindsStrictImprovementWhenOneExists) {
+  // Body: r (recurrence producer, consumer early) + independent tail.
+  // Default id-order puts the producer late; reordering hoists it.
+  Ddg g;
+  const NodeId x = g.add_node("x");
+  const NodeId y = g.add_node("y");
+  const NodeId r = g.add_node("r");
+  g.add_edge(r, r, 1);
+  g.add_edge(r, x, 0);  // forces r before x intra-iteration
+  g.add_edge(x, y, 0);
+  const Machine m{4, 1};
+  const DoacrossResult plain = doacross(g, m, 60);
+  const BestReorderResult best = best_reorder_doacross(g, m, 60);
+  EXPECT_LE(best.doacross.steady_ii, plain.steady_ii);
+  EXPECT_EQ(best.orders_examined, 1u);  // r->x->y is the only topo order
+}
+
+TEST(BestReorder, ExaminesAllTopologicalOrders) {
+  // Two independent chains of length 1: 2 orders... plus recurrence node.
+  Ddg g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge(0u, 0u, 1);
+  g.add_edge(1u, 1u, 1);
+  const BestReorderResult best = best_reorder_doacross(g, Machine{2, 1}, 20);
+  EXPECT_EQ(best.orders_examined, 2u);  // ab, ba
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,116 @@
+// Per-edge communication costs (Section 2.3: "each communication edge can
+// have a different cost, but k is the upper bound of this cost") — through
+// the scheduler, the validator, and the simulator.
+#include <gtest/gtest.h>
+
+#include "partition/lowering.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "sim/machine_sim.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+/// fig7 with the two loop-carried operand links of A made free (cost 0):
+/// the cross-processor ping-pong of Figure 7(e) stops costing anything.
+Ddg fig7_cheap_backedges() {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  const NodeId d = g.add_node("D");
+  const NodeId e = g.add_node("E");
+  g.add_edge(a, a, 1, 0);
+  g.add_edge(e, a, 1, 0);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  g.add_edge(d, d, 1, 0);
+  g.add_edge(c, d, 1, 0);
+  g.add_edge(d, e, 0);
+  return g;
+}
+
+TEST(EdgeCosts, CheaperLinksImproveTheSteadyState) {
+  const Machine m{2, 2};
+  const double uniform =
+      cyclic_sched(workloads::fig7_loop(), m).pattern->initiation_interval();
+  const double cheap =
+      cyclic_sched(fig7_cheap_backedges(), m).pattern->initiation_interval();
+  EXPECT_LE(cheap, uniform);
+  // With free loop-carried links the zero-communication bound is in reach.
+  EXPECT_LE(cheap, 3.0);
+}
+
+TEST(EdgeCosts, ValidatorUsesPerEdgeCosts) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0, 1);  // cheaper than k = 3
+  const Machine m{2, 3};
+  Schedule s(2);
+  s.place(Inst{a, 0}, 0, 0, 1);
+  s.place(Inst{b, 0}, 1, 2, 3);  // legal at cost 1, illegal at cost 3
+  EXPECT_EQ(find_dependence_violation(g, m, s), std::nullopt);
+
+  Ddg h;
+  const NodeId a2 = h.add_node("A");
+  const NodeId b2 = h.add_node("B");
+  h.add_edge(a2, b2, 0);  // inherits k = 3
+  EXPECT_TRUE(find_dependence_violation(h, m, s).has_value());
+}
+
+TEST(EdgeCosts, SimulatorChargesPerEdgeBaseCost) {
+  // Two-node relay, explicit edge cost 1 while k = 3: simulated makespan
+  // reflects the edge's own cost, not the machine-wide estimate.
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0, 1);
+  g.add_edge(b, a, 1);  // keeps the loop cyclic; inherits k
+  const Machine m{2, 3};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  ASSERT_TRUE(r.pattern.has_value());
+  const Schedule s = materialize(*r.pattern, 2, 10);
+  SimOptions so;
+  so.machine = m;
+  const SimResult sim = simulate(lower(s, g), g, so);
+  EXPECT_EQ(find_dependence_violation(g, m, s), std::nullopt);
+  EXPECT_GT(sim.makespan, 0);
+}
+
+TEST(EdgeCosts, JitterAddsOnTopOfTheEdgeBase) {
+  const Ddg g = fig7_cheap_backedges();
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  const PartitionedProgram p = lower(materialize(*r.pattern, 2, 20), g);
+  SimOptions lo, hi;
+  lo.machine = hi.machine = m;
+  lo.mm = 1;
+  hi.mm = 4;  // every message pays base + 3
+  EXPECT_LE(simulate(p, g, lo).makespan, simulate(p, g, hi).makespan);
+}
+
+TEST(EdgeCosts, SchedulerRejectsCostAboveK) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0, 5);
+  g.add_edge(b, a, 1);
+  EXPECT_THROW((void)cyclic_sched(g, Machine{2, 3}), ContractViolation);
+}
+
+TEST(EdgeCosts, PatternWindowHeightStillCoversCheapEdges) {
+  // The configuration window is k+1 tall; cheap edges never need more.
+  const Ddg g = fig7_cheap_backedges();
+  const Machine m{2, 2};
+  CyclicSchedOptions horizon;
+  horizon.horizon_iterations = 50;
+  const Schedule s = cyclic_sched(g, m, horizon).schedule;
+  const auto w = detect_pattern_window(s, g, m.comm_estimate + 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(w->initiation_interval(),
+              cyclic_sched(g, m).pattern->initiation_interval(), 1e-9);
+}
+
+}  // namespace
+}  // namespace mimd

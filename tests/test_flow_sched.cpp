@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "classify/classify.hpp"
+#include "graph/algorithms.hpp"
+#include "schedule/flow_sched.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(FlowProcessorCount, CeilingOfLoadOverHeight) {
+  EXPECT_EQ(flow_processor_count(11, 6, 1), 2);  // ceil(11/6)
+  EXPECT_EQ(flow_processor_count(12, 6, 1), 2);
+  EXPECT_EQ(flow_processor_count(13, 6, 1), 3);
+  EXPECT_EQ(flow_processor_count(6, 6, 1), 1);
+  EXPECT_EQ(flow_processor_count(1, 100, 1), 1);
+}
+
+TEST(FlowProcessorCount, ScalesWithPatternIterations) {
+  // A pattern advancing 2 iterations per 6 cycles needs twice the pool.
+  EXPECT_EQ(flow_processor_count(6, 6, 2), 2);
+  EXPECT_EQ(flow_processor_count(5, 6, 2), 2);
+}
+
+TEST(FlowProcessorCount, EmptySubsetNeedsNothing) {
+  EXPECT_EQ(flow_processor_count(0, 6, 1), 0);
+}
+
+TEST(FlowProcessorCount, RejectsBadHeight) {
+  EXPECT_THROW((void)flow_processor_count(4, 0, 1), ContractViolation);
+}
+
+class FlowSubsetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = workloads::cytron86_loop();
+    cls_ = classify(g_);
+    const auto order = topo_order_intra(g_);
+    std::vector<bool> in_flow(g_.num_nodes(), false);
+    for (const NodeId v : cls_.flow_in) in_flow[v] = true;
+    for (const NodeId v : order) {
+      if (in_flow[v]) topo_.push_back(v);
+    }
+  }
+
+  Ddg g_;
+  Classification cls_;
+  std::vector<NodeId> topo_;
+};
+
+TEST_F(FlowSubsetTest, RoundRobinAssignsIterationsToPool) {
+  Schedule s(8);
+  schedule_flow_subset(g_, Machine{8, 2}, topo_, {5, 6}, 6, s);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (const NodeId v : topo_) {
+      const auto p = s.lookup(Inst{v, i});
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->proc, i % 2 == 0 ? 5 : 6);
+    }
+  }
+}
+
+TEST_F(FlowSubsetTest, ResultRespectsDependences) {
+  const Machine m{8, 2};
+  Schedule s(8);
+  schedule_flow_subset(g_, m, topo_, {5, 6, 7}, 9, s);
+  // Flow-in only depends on Flow-in, so the subset schedule is complete
+  // with respect to its own nodes.
+  EXPECT_EQ(find_dependence_violation(g_, m, s, /*partial=*/true),
+            std::nullopt);
+}
+
+TEST_F(FlowSubsetTest, SinglePoolProcessorSerializes) {
+  Schedule s(8);
+  schedule_flow_subset(g_, Machine{8, 2}, topo_, {3}, 4, s);
+  // 11 nodes of total latency 12 per iteration, back to back.
+  EXPECT_EQ(s.makespan(), 4 * 12);
+}
+
+TEST_F(FlowSubsetTest, ThroughputMatchesPoolSize) {
+  // With p pool processors the steady rate approaches L/p per iteration.
+  Schedule s1(8), s2(8);
+  schedule_flow_subset(g_, Machine{8, 2}, topo_, {4}, 8, s1);
+  schedule_flow_subset(g_, Machine{8, 2}, topo_, {4, 5}, 8, s2);
+  EXPECT_GT(s1.makespan(), s2.makespan());
+  EXPECT_EQ(s2.makespan(), 4 * 12);  // each pool proc serves 4 iterations
+}
+
+TEST_F(FlowSubsetTest, EmptySubsetOrZeroIterationsIsNoop) {
+  Schedule s(4);
+  schedule_flow_subset(g_, Machine{4, 2}, {}, {0}, 5, s);
+  EXPECT_EQ(s.size(), 0u);
+  schedule_flow_subset(g_, Machine{4, 2}, topo_, {0}, 0, s);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST_F(FlowSubsetTest, NonEmptySubsetRequiresPool) {
+  Schedule s(4);
+  EXPECT_THROW(schedule_flow_subset(g_, Machine{4, 2}, topo_, {}, 3, s),
+               ContractViolation);
+}
+
+TEST(FlowSubset, CrossIterationFlowEdgesRespectComm) {
+  // Flow-in chain with a loop-carried edge inside the subset: iteration i
+  // on one pool proc feeds iteration i+1 on the other.
+  Ddg g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const NodeId r = g.add_node("r");
+  g.add_edge(a, b, 0);
+  g.add_edge(a, a, 1);  // lcd within what we schedule as a flow subset
+  g.add_edge(b, r, 0);
+  g.add_edge(r, r, 1);
+  const Machine m{4, 3};
+  Schedule s(4);
+  schedule_flow_subset(g, m, {a, b}, {0, 1}, 6, s);
+  EXPECT_EQ(find_dependence_violation(g, m, s, /*partial=*/true),
+            std::nullopt);
+  // a@1 sits on proc 1 and must wait for a@0 (proc 0) + k = 1 + 3.
+  const auto p = s.lookup(Inst{a, 1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->start, 4);
+}
+
+}  // namespace
+}  // namespace mimd

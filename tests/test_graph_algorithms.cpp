@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+Ddg chain3() {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  return g;
+}
+
+TEST(TopoOrder, ChainIsInOrder) {
+  const auto order = topo_order_intra(chain3());
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopoOrder, IgnoresLoopCarriedEdges) {
+  Ddg g = chain3();
+  g.add_edge(2, 0, 1);  // C -> A across iterations: still a valid body
+  EXPECT_EQ(topo_order_intra(g), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopoOrder, DetectsIntraIterationCycle) {
+  Ddg g = chain3();
+  g.add_edge(2, 0, 0);  // C -> A same iteration: body cannot execute
+  EXPECT_THROW((void)topo_order_intra(g), ContractViolation);
+  EXPECT_FALSE(intra_iteration_acyclic(g));
+}
+
+TEST(TopoOrder, BreaksTiesByNodeId) {
+  Ddg g;
+  g.add_node("X");
+  g.add_node("Y");
+  g.add_node("Z");  // all roots
+  EXPECT_EQ(topo_order_intra(g), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopoOrder, RespectsAllIntraEdges) {
+  const Ddg g = workloads::livermore18_loop();
+  const auto order = topo_order_intra(g);
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : g.edges()) {
+    if (e.distance == 0) EXPECT_LT(pos[e.src], pos[e.dst]);
+  }
+}
+
+TEST(Scc, Fig1HasTheTwoDocumentedComponents) {
+  const Ddg g = workloads::fig1_classification();
+  const auto sccs = strongly_connected_components(g);
+  // Count non-trivial components: (E, I) as a 2-cycle; L's self-loop is a
+  // singleton SCC and detected separately via has_nontrivial_scc.
+  std::size_t big = 0;
+  for (const auto& c : sccs) {
+    if (c.size() > 1) ++big;
+  }
+  EXPECT_EQ(big, 1u);
+  EXPECT_TRUE(has_nontrivial_scc(g));
+}
+
+TEST(Scc, PartitionsAllNodes) {
+  const Ddg g = workloads::elliptic_filter_loop();
+  const auto sccs = strongly_connected_components(g);
+  std::set<NodeId> seen;
+  for (const auto& c : sccs) {
+    for (const NodeId v : c) EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes());
+}
+
+TEST(Scc, AcyclicGraphHasOnlySingletons) {
+  const Ddg g = chain3();
+  for (const auto& c : strongly_connected_components(g)) {
+    EXPECT_EQ(c.size(), 1u);
+  }
+  EXPECT_FALSE(has_nontrivial_scc(g));
+}
+
+TEST(Scc, SelfLoopCountsAsNontrivial) {
+  Ddg g = chain3();
+  g.add_edge(1, 1, 1);
+  EXPECT_TRUE(has_nontrivial_scc(g));
+}
+
+TEST(ConnectedComponents, SplitsDisjointSubgraphs) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  const NodeId d = g.add_node("D");
+  g.add_edge(a, b, 0);
+  g.add_edge(c, d, 1);
+  const auto comps = connected_components(g);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{c, d}));
+}
+
+TEST(ConnectedComponents, PaperGraphsAreConnected) {
+  for (const auto& [name, g] : workloads::livermore_suite()) {
+    EXPECT_EQ(connected_components(g).size(), 1u) << name;
+  }
+  EXPECT_EQ(connected_components(workloads::fig7_loop()).size(), 1u);
+  EXPECT_EQ(connected_components(workloads::cytron86_loop()).size(), 1u);
+  EXPECT_EQ(connected_components(workloads::elliptic_filter_loop()).size(), 1u);
+}
+
+TEST(MaxCycleRatio, Fig7IsTwoPointFive) {
+  // Cycle A->B->C->D->E->A: latency 5, distance 2.
+  EXPECT_NEAR(max_cycle_ratio(workloads::fig7_loop()), 2.5, 1e-6);
+}
+
+TEST(MaxCycleRatio, Fig3IsThree) {
+  // The C-D-F ring: latency 3, distance 1.
+  EXPECT_NEAR(max_cycle_ratio(workloads::fig3_loop()), 3.0, 1e-6);
+}
+
+TEST(MaxCycleRatio, CytronMainRecurrenceIsSix) {
+  // 0->1->2->3 -(d1)-> 0 with latencies 1+1+1+3.
+  EXPECT_NEAR(max_cycle_ratio(workloads::cytron86_loop()), 6.0, 1e-6);
+}
+
+TEST(MaxCycleRatio, SelfLoopEqualsOwnLatency) {
+  Ddg g;
+  const NodeId a = g.add_node("A", 4);
+  g.add_edge(a, a, 1);
+  EXPECT_NEAR(max_cycle_ratio(g), 4.0, 1e-6);
+}
+
+TEST(MaxCycleRatio, DistanceTwoHalvesTheRatio) {
+  Ddg g;
+  const NodeId a = g.add_node("A", 3);
+  g.add_edge(a, a, 2);
+  EXPECT_NEAR(max_cycle_ratio(g), 1.5, 1e-6);
+}
+
+TEST(MaxCycleRatio, AcyclicIsZero) {
+  EXPECT_EQ(max_cycle_ratio(chain3()), 0.0);
+}
+
+TEST(LongestIntraPath, ChainSumsLatencies) {
+  Ddg g;
+  const NodeId a = g.add_node("A", 2);
+  const NodeId b = g.add_node("B", 3);
+  const NodeId c = g.add_node("C", 1);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  g.add_edge(c, a, 1);
+  EXPECT_EQ(longest_intra_path(g), 6);
+}
+
+TEST(LongestIntraPath, TakesTheHeavierBranch) {
+  Ddg g;
+  const NodeId a = g.add_node("A", 1);
+  const NodeId b = g.add_node("B", 5);
+  const NodeId c = g.add_node("C", 2);
+  const NodeId d = g.add_node("D", 1);
+  g.add_edge(a, b, 0);
+  g.add_edge(a, c, 0);
+  g.add_edge(b, d, 0);
+  g.add_edge(c, d, 0);
+  EXPECT_EQ(longest_intra_path(g), 7);  // A + B + D
+}
+
+/// Property: on random loops, MII (max cycle ratio) never exceeds the
+/// sequential body latency, and is positive iff a recurrence exists.
+class RatioProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RatioProperty, RatioBoundedByBodyLatency) {
+  const Ddg g = workloads::random_loop(GetParam());
+  const double r = max_cycle_ratio(g);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, static_cast<double>(g.body_latency()) + 1e-6);
+  EXPECT_EQ(r > 0.0, has_nontrivial_scc(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RatioProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 17, 23));
+
+}  // namespace
+}  // namespace mimd

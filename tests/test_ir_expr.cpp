@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "ir/expr.hpp"
+
+namespace mimd::ir {
+namespace {
+
+TEST(Expr, BuildersSetKinds) {
+  EXPECT_EQ(constant(3.5)->kind, Expr::Kind::Const);
+  EXPECT_EQ(scalar("s")->kind, Expr::Kind::Scalar);
+  EXPECT_EQ(array_ref("A", -1)->kind, Expr::Kind::ArrayRef);
+  EXPECT_EQ(unary("-", constant(1))->kind, Expr::Kind::Unary);
+  EXPECT_EQ(binary("+", constant(1), constant(2))->kind, Expr::Kind::Binary);
+  EXPECT_EQ(select(constant(1), constant(2), constant(3))->kind,
+            Expr::Kind::Select);
+}
+
+TEST(Expr, BuildersValidateArguments) {
+  EXPECT_THROW((void)scalar(""), mimd::ContractViolation);
+  EXPECT_THROW((void)array_ref("", 0), mimd::ContractViolation);
+  EXPECT_THROW((void)unary("-", nullptr), mimd::ContractViolation);
+  EXPECT_THROW((void)binary("+", constant(1), nullptr),
+               mimd::ContractViolation);
+}
+
+TEST(Expr, ToStringRendersSubscripts) {
+  EXPECT_EQ(to_string(*array_ref("A", 0)), "A[i]");
+  EXPECT_EQ(to_string(*array_ref("A", -1)), "A[i-1]");
+  EXPECT_EQ(to_string(*array_ref("A", 2)), "A[i+2]");
+  EXPECT_EQ(to_string(*array_ref("A", -1), "j"), "A[j-1]");
+}
+
+TEST(Expr, ToStringRendersNestedArithmetic) {
+  const ExprPtr e =
+      binary("+", array_ref("A", -1), binary("*", scalar("c"), array_ref("B", 0)));
+  EXPECT_EQ(to_string(*e), "(A[i-1] + (c * B[i]))");
+}
+
+TEST(Expr, ToStringRendersSelect) {
+  const ExprPtr e = select(binary(">", array_ref("Z", 0), constant(0)),
+                           constant(1), constant(2));
+  const std::string s = to_string(*e);
+  EXPECT_NE(s.find("select("), std::string::npos);
+  EXPECT_NE(s.find("(Z[i] > 0)"), std::string::npos);
+}
+
+TEST(Expr, CollectArrayRefsFindsAllOccurrences) {
+  const ExprPtr e =
+      binary("+", array_ref("A", -1),
+             select(array_ref("G", 0), array_ref("A", 0), scalar("x")));
+  std::vector<const Expr*> refs;
+  collect_array_refs(e, refs);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0]->name, "A");
+  EXPECT_EQ(refs[0]->offset, -1);
+  EXPECT_EQ(refs[1]->name, "G");
+  EXPECT_EQ(refs[2]->offset, 0);
+}
+
+TEST(Expr, OperatorCountCountsAllOperatorNodes) {
+  EXPECT_EQ(operator_count(*constant(1)), 0);
+  EXPECT_EQ(operator_count(*binary("+", constant(1), constant(2))), 1);
+  const ExprPtr e = binary(
+      "*", unary("-", array_ref("A", 0)),
+      select(constant(1), binary("+", constant(1), constant(2)), constant(0)));
+  EXPECT_EQ(operator_count(*e), 4);
+}
+
+}  // namespace
+}  // namespace mimd::ir

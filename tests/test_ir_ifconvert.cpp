@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "ir/ifconvert.hpp"
+#include "ir/parser.hpp"
+
+namespace mimd::ir {
+namespace {
+
+TEST(IfConvert, PlainLoopIsUnchanged) {
+  const Loop loop = parse_loop("for i:\n X[i] = X[i-1] + 1\n");
+  const Loop flat = if_convert(loop);
+  ASSERT_EQ(flat.body.size(), 1u);
+  EXPECT_EQ(to_string(*flat.body[0].rhs), to_string(*loop.body[0].rhs));
+}
+
+TEST(IfConvert, GuardedAssignmentBecomesSelect) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if Z[i] > 0 {
+    X[i] = Z[i] * 2
+  }
+)");
+  const Loop flat = if_convert(loop);
+  ASSERT_EQ(flat.body.size(), 1u);
+  EXPECT_EQ(flat.body[0].kind, Stmt::Kind::Assign);
+  const Expr& rhs = *flat.body[0].rhs;
+  EXPECT_EQ(rhs.kind, Expr::Kind::Select);
+  // select(guard, then-value, old element value X[i]).
+  EXPECT_EQ(rhs.args[2]->kind, Expr::Kind::ArrayRef);
+  EXPECT_EQ(rhs.args[2]->name, "X");
+  EXPECT_FALSE(flat.has_control_flow());
+}
+
+TEST(IfConvert, ElseBranchGetsNegatedGuard) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if Z[i] > 0 {
+    X[i] = 1
+  } else {
+    X[i] = 2
+  }
+)");
+  const Loop flat = if_convert(loop);
+  ASSERT_EQ(flat.body.size(), 2u);
+  const std::string second = to_string(*flat.body[1].rhs);
+  EXPECT_NE(second.find("(!"), std::string::npos);
+}
+
+TEST(IfConvert, NestedGuardsAreConjoined) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if a > 0 {
+    if b > 0 {
+      X[i] = 1
+    }
+  }
+)");
+  const Loop flat = if_convert(loop);
+  ASSERT_EQ(flat.body.size(), 1u);
+  const std::string s = to_string(*flat.body[0].rhs);
+  EXPECT_NE(s.find("&&"), std::string::npos);
+}
+
+TEST(IfConvert, PreservesStatementOrderAcrossBranches) {
+  const Loop loop = parse_loop(R"(
+for i:
+  A[i] = 1
+  if g > 0 {
+    B[i] = 2
+  } else {
+    C[i] = 3
+  }
+  D[i] = 4
+)");
+  const Loop flat = if_convert(loop);
+  ASSERT_EQ(flat.body.size(), 4u);
+  EXPECT_EQ(flat.body[0].target, "A");
+  EXPECT_EQ(flat.body[1].target, "B");
+  EXPECT_EQ(flat.body[2].target, "C");
+  EXPECT_EQ(flat.body[3].target, "D");
+}
+
+TEST(IfConvert, IsIdempotent) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if g > 0 {
+    X[i] = X[i-1] + 1
+  }
+)");
+  const Loop once = if_convert(loop);
+  const Loop twice = if_convert(once);
+  ASSERT_EQ(once.body.size(), twice.body.size());
+  EXPECT_EQ(to_string(*once.body[0].rhs), to_string(*twice.body[0].rhs));
+}
+
+TEST(IfConvert, KeepsLatencyAnnotations) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if g > 0 {
+    X[i] = Y[i] @4
+  }
+)");
+  const Loop flat = if_convert(loop);
+  EXPECT_EQ(flat.body[0].latency, 4);
+}
+
+}  // namespace
+}  // namespace mimd::ir

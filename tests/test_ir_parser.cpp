@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "support/random.hpp"
+
+namespace mimd::ir {
+namespace {
+
+const char* kFig7Source = R"(
+# Figure 7(a) of the paper
+for I:
+  A[I] = A[I-1] + E[I-1]
+  B[I] = A[I]
+  C[I] = B[I]
+  D[I] = D[I-1] + C[I-1]
+  E[I] = D[I]
+)";
+
+TEST(Parser, ParsesFig7Loop) {
+  const Loop loop = parse_loop(kFig7Source);
+  EXPECT_EQ(loop.induction, "I");
+  ASSERT_EQ(loop.body.size(), 5u);
+  EXPECT_EQ(loop.body[0].target, "A");
+  EXPECT_EQ(loop.body[4].target, "E");
+  EXPECT_FALSE(loop.has_control_flow());
+}
+
+TEST(Parser, SubscriptOffsetsAreSigned) {
+  const Loop loop = parse_loop("for i:\n X[i] = Y[i-2] + Z[i+1]\n");
+  std::vector<const Expr*> refs;
+  collect_array_refs(loop.body[0].rhs, refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0]->offset, -2);
+  EXPECT_EQ(refs[1]->offset, 1);
+}
+
+TEST(Parser, LatencyAnnotation) {
+  const Loop loop = parse_loop("for i:\n X[i] = Y[i] @3\n Z[i] = X[i]\n");
+  EXPECT_EQ(loop.body[0].latency, 3);
+  EXPECT_EQ(loop.body[1].latency, 0);  // unannotated
+}
+
+TEST(Parser, RejectsZeroLatency) {
+  EXPECT_THROW((void)parse_loop("for i:\n X[i] = Y[i] @0\n"), ParseError);
+}
+
+TEST(Parser, PrecedenceMultiplicationBindsTighter) {
+  const Loop loop = parse_loop("for i:\n X[i] = a + b * c\n");
+  const Expr& e = *loop.body[0].rhs;
+  ASSERT_EQ(e.kind, Expr::Kind::Binary);
+  EXPECT_EQ(e.name, "+");
+  EXPECT_EQ(e.args[1]->name, "*");
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const Loop loop = parse_loop("for i:\n X[i] = (a + b) * c\n");
+  EXPECT_EQ(loop.body[0].rhs->name, "*");
+}
+
+TEST(Parser, UnaryMinusAndNot) {
+  const Loop loop = parse_loop("for i:\n X[i] = -Y[i] * 2\n");
+  EXPECT_EQ(loop.body[0].rhs->name, "*");
+  EXPECT_EQ(loop.body[0].rhs->args[0]->name, "-");
+}
+
+TEST(Parser, IfElseBlocks) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if Z[i] > 0 && Z[i] < 10 {
+    X[i] = Z[i] * 2
+  } else {
+    X[i] = 0
+  }
+)");
+  ASSERT_EQ(loop.body.size(), 1u);
+  const Stmt& s = loop.body[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::If);
+  EXPECT_EQ(s.guard->name, "&&");
+  ASSERT_EQ(s.then_body.size(), 1u);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_TRUE(loop.has_control_flow());
+}
+
+TEST(Parser, NestedIfs) {
+  const Loop loop = parse_loop(R"(
+for i:
+  if a > 0 {
+    if b > 0 {
+      X[i] = 1
+    }
+  }
+)");
+  ASSERT_EQ(loop.body.size(), 1u);
+  ASSERT_EQ(loop.body[0].then_body.size(), 1u);
+  EXPECT_EQ(loop.body[0].then_body[0].kind, Stmt::Kind::If);
+}
+
+TEST(Parser, CommentsAreIgnored) {
+  const Loop loop = parse_loop("for i: # head\n X[i] = 1 # trailing\n");
+  EXPECT_EQ(loop.body.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    (void)parse_loop("for i:\n X[j] = 1\n");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("induction"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedInputs) {
+  EXPECT_THROW((void)parse_loop(""), ParseError);
+  EXPECT_THROW((void)parse_loop("for i:\n X[i] = \n"), ParseError);
+  EXPECT_THROW((void)parse_loop("for i:\n X[i] 1\n"), ParseError);
+  EXPECT_THROW((void)parse_loop("while i:\n X[i] = 1\n"), ParseError);
+  EXPECT_THROW((void)parse_loop("for i:\n if a > 0 { X[i] = 1\n"), ParseError);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const Loop loop = parse_loop(kFig7Source);
+  const std::string rendered = to_string(loop);
+  EXPECT_NE(rendered.find("A[I] = (A[I-1] + E[I-1])"), std::string::npos);
+  // Re-parse the rendering: same shape.
+  const Loop again = parse_loop(rendered);
+  EXPECT_EQ(again.body.size(), loop.body.size());
+}
+
+namespace {
+
+/// Random expression generator for the round-trip property.
+ExprPtr random_expr(mimd::SplitMix64& rng, int depth) {
+  if (depth == 0 || rng.uniform(0, 3) == 0) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        return constant(static_cast<double>(rng.uniform(0, 99)));
+      case 1:
+        return scalar("s" + std::to_string(rng.uniform(0, 4)));
+      default:
+        return array_ref("A" + std::to_string(rng.uniform(0, 3)),
+                         static_cast<int>(rng.uniform(-3, 3)));
+    }
+  }
+  static const char* kBinOps[] = {"+", "-", "*", "/", ">", "<", "&&", "||"};
+  if (rng.uniform(0, 5) == 0) {
+    return unary(rng.uniform(0, 1) == 0 ? "-" : "!", random_expr(rng, depth - 1));
+  }
+  return binary(kBinOps[rng.uniform(0, 7)], random_expr(rng, depth - 1),
+                random_expr(rng, depth - 1));
+}
+
+}  // namespace
+
+/// Property: to_string(parse(to_string(e))) is a fixpoint — whatever the
+/// parser reads back renders identically (parenthesization is canonical).
+class ParserRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRoundTrip, RandomExpressionsReachAFixpoint) {
+  mimd::SplitMix64 rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const ExprPtr e = random_expr(rng, 4);
+    const std::string src = "for i:\n X[i] = " + to_string(*e) + "\n";
+    const Loop first = parse_loop(src);
+    const std::string once = to_string(*first.body[0].rhs);
+    const Loop second = parse_loop("for i:\n X[i] = " + once + "\n");
+    EXPECT_EQ(to_string(*second.body[0].rhs), once) << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mimd::ir

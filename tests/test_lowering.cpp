@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "baseline/doacross.hpp"
+#include "baseline/sequential.hpp"
+#include "partition/lowering.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/full_sched.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+PartitionedProgram fig7_program(std::int64_t n) {
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  return lower(materialize(*r.pattern, m.processors, n), g);
+}
+
+TEST(Lowering, SequentialScheduleHasNoMessages) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = lower(sequential_schedule(g, 8), g);
+  EXPECT_EQ(p.count(Op::Kind::Send), 0u);
+  EXPECT_EQ(p.count(Op::Kind::Receive), 0u);
+  EXPECT_EQ(p.count(Op::Kind::Compute), 40u);
+}
+
+TEST(Lowering, ComputeCountEqualsScheduleSize) {
+  const PartitionedProgram p = fig7_program(12);
+  EXPECT_EQ(p.count(Op::Kind::Compute), 60u);
+}
+
+TEST(Lowering, SendsMatchReceives) {
+  const PartitionedProgram p = fig7_program(12);
+  EXPECT_GT(p.count(Op::Kind::Send), 0u);  // fig7 really partitions
+  EXPECT_EQ(p.count(Op::Kind::Send), p.count(Op::Kind::Receive));
+}
+
+TEST(Lowering, WellFormedForPatternSchedules) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = fig7_program(20);
+  EXPECT_EQ(find_program_violation(p, g), std::nullopt);
+}
+
+TEST(Lowering, WellFormedForDoacrossSchedules) {
+  const Ddg g = workloads::cytron86_loop();
+  const DoacrossResult r = doacross(g, Machine{4, 2}, 12);
+  const PartitionedProgram p = lower(r.schedule, g);
+  EXPECT_EQ(find_program_violation(p, g), std::nullopt);
+}
+
+TEST(Lowering, WellFormedForFullSchedules) {
+  const Ddg g = workloads::cytron86_loop();
+  const FullSchedResult r = full_sched(g, Machine{8, 2}, 16);
+  const PartitionedProgram p = lower(r.schedule, g);
+  EXPECT_EQ(find_program_violation(p, g), std::nullopt);
+}
+
+TEST(Lowering, ProgramsOrderedByStartTimePerProcessor) {
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  const Schedule s = materialize(*r.pattern, m.processors, 15);
+  const PartitionedProgram p = lower(s, g);
+  for (const ProcessorProgram& prog : p.programs) {
+    std::int64_t last = -1;
+    for (const Op& op : prog.ops) {
+      if (op.kind != Op::Kind::Compute) continue;
+      const auto pl = s.lookup(op.inst);
+      ASSERT_TRUE(pl.has_value());
+      EXPECT_GT(pl->start, last - 1);
+      last = pl->start;
+    }
+  }
+}
+
+TEST(ProgramViolation, DetectsComputeBeforeOperand) {
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram p;
+  p.processors = 1;
+  p.programs.resize(1);
+  p.programs[0].proc = 0;
+  // B@0 computed without A@0 anywhere.
+  p.programs[0].ops.push_back(Op{Op::Kind::Compute, Inst{*g.find("B"), 0}, 0, -1});
+  const auto v = find_program_violation(p, g);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("before operand"), std::string::npos);
+}
+
+TEST(ProgramViolation, DetectsUnmatchedSend) {
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram p;
+  p.processors = 2;
+  p.programs.resize(2);
+  p.programs[0].proc = 0;
+  p.programs[1].proc = 1;
+  const NodeId a = *g.find("A");
+  const EdgeId ab = g.out_edges(a)[0];
+  p.programs[0].ops.push_back(Op{Op::Kind::Compute, Inst{a, 0}, 0, -1});
+  p.programs[0].ops.push_back(Op{Op::Kind::Send, Inst{a, 0}, ab, 1});
+  // PE1 never receives.
+  const auto v = find_program_violation(p, g);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("unmatched"), std::string::npos);
+}
+
+TEST(ProgramViolation, DetectsSendBeforeCompute) {
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram p;
+  p.processors = 2;
+  p.programs.resize(2);
+  p.programs[0].proc = 0;
+  p.programs[1].proc = 1;
+  const NodeId a = *g.find("A");
+  const EdgeId ab = g.out_edges(a)[0];
+  p.programs[0].ops.push_back(Op{Op::Kind::Send, Inst{a, 0}, ab, 1});
+  const auto v = find_program_violation(p, g);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("before it is computed"), std::string::npos);
+}
+
+TEST(ProgramViolation, DetectsFifoInversion) {
+  // Two sends on one channel in iteration order, receives inverted.
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  const EdgeId e = 0;
+  PartitionedProgram p;
+  p.processors = 2;
+  p.programs.resize(2);
+  p.programs[0].proc = 0;
+  p.programs[1].proc = 1;
+  auto& s0 = p.programs[0].ops;
+  auto& s1 = p.programs[1].ops;
+  s0.push_back(Op{Op::Kind::Compute, Inst{a, 0}, 0, -1});
+  s0.push_back(Op{Op::Kind::Send, Inst{a, 0}, e, 1});
+  s0.push_back(Op{Op::Kind::Compute, Inst{a, 1}, 0, -1});
+  s0.push_back(Op{Op::Kind::Send, Inst{a, 1}, e, 1});
+  s1.push_back(Op{Op::Kind::Receive, Inst{a, 1}, e, 0});  // inverted
+  s1.push_back(Op{Op::Kind::Compute, Inst{b, 1}, 0, -1});
+  s1.push_back(Op{Op::Kind::Receive, Inst{a, 0}, e, 0});
+  s1.push_back(Op{Op::Kind::Compute, Inst{b, 0}, 0, -1});
+  const auto v = find_program_violation(p, g);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("FIFO"), std::string::npos);
+}
+
+TEST(Lowering, RandomLoopProgramsAreWellFormed) {
+  for (const std::uint64_t seed : {1, 4, 9}) {
+    const Ddg g = workloads::random_connected_cyclic_loop(seed);
+    const Machine m{8, 3};
+    const CyclicSchedResult r = cyclic_sched(g, m);
+    ASSERT_TRUE(r.pattern.has_value());
+    const PartitionedProgram p =
+        lower(materialize(*r.pattern, m.processors, 30), g);
+    EXPECT_EQ(find_program_violation(p, g), std::nullopt) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mimd

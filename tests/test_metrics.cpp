@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Metrics, PercentageParallelismMatchesFig7Numbers) {
+  // Figure 7: sequential 5 cycles/iteration, ours 3 -> 40%.
+  EXPECT_DOUBLE_EQ(percentage_parallelism(5, 3), 40.0);
+  EXPECT_DOUBLE_EQ(percentage_parallelism_asymptotic(5, 3.0), 40.0);
+}
+
+TEST(Metrics, PercentageParallelismMatchesCytronNumbers) {
+  // Figure 9: body 22, ours II 6 -> 72.7%; DOACROSS II 15 -> 31.8%.
+  EXPECT_NEAR(percentage_parallelism_asymptotic(22, 6.0), 72.7, 0.05);
+  EXPECT_NEAR(percentage_parallelism_asymptotic(22, 15.0), 31.8, 0.05);
+}
+
+TEST(Metrics, ZeroWhenParallelEqualsSequential) {
+  EXPECT_DOUBLE_EQ(percentage_parallelism(100, 100), 0.0);
+}
+
+TEST(Metrics, NegativeWhenSlowerThanSequential) {
+  EXPECT_LT(percentage_parallelism(100, 120), 0.0);
+}
+
+TEST(Metrics, RejectsNonPositiveSequentialTime) {
+  EXPECT_THROW((void)percentage_parallelism(0, 1), ContractViolation);
+}
+
+TEST(Metrics, SpeedupFromSp) {
+  EXPECT_DOUBLE_EQ(speedup_from_sp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(speedup_from_sp(50.0), 2.0);
+  EXPECT_NEAR(speedup_from_sp(72.7), 3.663, 1e-3);
+  EXPECT_THROW((void)speedup_from_sp(100.0), ContractViolation);
+}
+
+TEST(Metrics, UtilizationOfDenseSingleProcessorScheduleIsOne) {
+  Ddg g;
+  g.add_node("A");
+  Schedule s(1);
+  for (std::int64_t i = 0; i < 5; ++i) s.place(Inst{0, i}, 0, i, i + 1);
+  EXPECT_DOUBLE_EQ(utilization(s), 1.0);
+}
+
+TEST(Metrics, UtilizationCountsOnlyOccupiedProcessors) {
+  Ddg g;
+  g.add_node("A");
+  g.add_node("B");
+  Schedule s(4);  // two of four processors ever used
+  s.place(Inst{0, 0}, 0, 0, 2);
+  s.place(Inst{1, 0}, 1, 0, 1);
+  // busy = 3, span = 2, procs used = 2 -> 3 / 4.
+  EXPECT_DOUBLE_EQ(utilization(s), 0.75);
+}
+
+TEST(Metrics, UtilizationOfEmptyScheduleIsZero) {
+  EXPECT_DOUBLE_EQ(utilization(Schedule(3)), 0.0);
+}
+
+}  // namespace
+}  // namespace mimd

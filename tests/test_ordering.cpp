@@ -1,0 +1,73 @@
+// The ready-queue ordering policy (footnote 7's free parameter).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+double ii_with(const Ddg& g, const Machine& m, ReadyOrder order) {
+  CyclicSchedOptions opts;
+  opts.order = order;
+  const CyclicSchedResult r = cyclic_sched(g, m, opts);
+  EXPECT_TRUE(r.pattern.has_value());
+  return r.pattern->initiation_interval();
+}
+
+TEST(Ordering, BothPoliciesFindPatternsOnPaperLoops) {
+  EXPECT_GT(ii_with(workloads::fig7_loop(), Machine{2, 2},
+                    ReadyOrder::CriticalPath),
+            0.0);
+  EXPECT_GT(ii_with(workloads::elliptic_filter_loop(), Machine{8, 2},
+                    ReadyOrder::CriticalPath),
+            0.0);
+}
+
+TEST(Ordering, Fig7UnaffectedByPolicy) {
+  // The fig7 chain has no slack-rich side ops; both policies coincide.
+  EXPECT_DOUBLE_EQ(
+      ii_with(workloads::fig7_loop(), Machine{2, 2}, ReadyOrder::Topological),
+      ii_with(workloads::fig7_loop(), Machine{2, 2}, ReadyOrder::CriticalPath));
+}
+
+TEST(Ordering, BothPoliciesRespectTheRecurrenceBound) {
+  for (const std::uint64_t seed : {1, 2, 3, 5, 8}) {
+    const Ddg g = workloads::random_connected_cyclic_loop(seed);
+    const double mii = max_cycle_ratio(g);
+    EXPECT_GE(ii_with(g, Machine{8, 3}, ReadyOrder::Topological) + 1e-6, mii);
+    EXPECT_GE(ii_with(g, Machine{8, 3}, ReadyOrder::CriticalPath) + 1e-6, mii);
+  }
+}
+
+TEST(Ordering, CriticalPathSchedulesAreValid) {
+  const Ddg g = workloads::livermore18_loop();
+  const Machine m{8, 2};
+  CyclicSchedOptions opts;
+  opts.order = ReadyOrder::CriticalPath;
+  const CyclicSchedResult r = cyclic_sched(g, m, opts);
+  ASSERT_TRUE(r.pattern.has_value());
+  const Schedule s = materialize(*r.pattern, m.processors, 30);
+  EXPECT_EQ(find_dependence_violation(g, m, s), std::nullopt);
+  EXPECT_EQ(s.size(), g.num_nodes() * 30);
+}
+
+TEST(Ordering, PoliciesAreDeterministic) {
+  const Ddg g = workloads::random_connected_cyclic_loop(7);
+  const Machine m{8, 3};
+  for (const ReadyOrder ord :
+       {ReadyOrder::Topological, ReadyOrder::CriticalPath}) {
+    CyclicSchedOptions opts;
+    opts.order = ord;
+    const CyclicSchedResult a = cyclic_sched(g, m, opts);
+    const CyclicSchedResult b = cyclic_sched(g, m, opts);
+    ASSERT_EQ(a.schedule.size(), b.schedule.size());
+    EXPECT_EQ(a.schedule.placements(), b.schedule.placements());
+  }
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,144 @@
+// Integration tests pinning the paper's headline claims, figure by figure.
+// EXPERIMENTS.md records the measured values next to the published ones;
+// these tests keep the two from drifting apart.
+#include <gtest/gtest.h>
+
+#include "core/mimd.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+// ---- Figure 3: a pattern emerges under greedy scheduling (k = 1). ----
+TEST(PaperResults, Fig3PatternEmerges) {
+  const CyclicSchedResult r =
+      cyclic_sched(workloads::fig3_loop(), Machine{2, 1});
+  ASSERT_TRUE(r.pattern.has_value());
+  // The C-D-F ring binds at ratio 3; with k = 1 the greedy settles at 5
+  // of the sequential 7 — comfortably ahead of DOACROSS (6).
+  EXPECT_GE(r.pattern->initiation_interval(), 3.0);
+  EXPECT_LE(r.pattern->initiation_interval(), 5.5);
+}
+
+TEST(PaperResults, Fig3BeatsDoacross) {
+  const FigureComparison c =
+      compare_on(workloads::fig3_loop(), Machine{4, 1}, 60);
+  EXPECT_GT(c.sp_ours, c.sp_doacross);
+}
+
+// ---- Figures 7/8: Sp = 40% vs 0 (even with optimal reordering). ----
+TEST(PaperResults, Fig7HeadlineNumbers) {
+  const FigureComparison c =
+      compare_on(workloads::fig7_loop(), Machine{4, 2}, 60);
+  EXPECT_NEAR(c.sp_ours, 40.0, 1e-6);       // paper: 40
+  EXPECT_DOUBLE_EQ(c.sp_doacross, 0.0);     // paper: 0
+  const BestReorderResult best =
+      best_reorder_doacross(workloads::fig7_loop(), Machine{4, 2}, 60);
+  EXPECT_TRUE(best.doacross.degenerated_to_sequential);  // Figure 8(b)
+}
+
+// ---- Figures 9/10: Sp = 72.7% vs 31.8%; five subloops in the paper. ----
+TEST(PaperResults, CytronHeadlineNumbers) {
+  const FigureComparison c =
+      compare_on(workloads::cytron86_loop(), Machine{8, 2}, 80);
+  EXPECT_NEAR(c.sp_ours, 72.7, 0.1);    // paper: 72.7
+  EXPECT_NEAR(c.sp_doacross, 31.8, 0.1);  // paper: 31.8
+  // Partitioning: 2 cyclic + 2 flow-in subloops (the paper counts 3
+  // flow-in pools from L=11, H=6; our ceil(12/6)=2 — see EXPERIMENTS.md).
+  EXPECT_EQ(c.ours.cyclic_processors, 2);
+  EXPECT_GE(c.ours.flow_in_processors, 2);
+}
+
+// ---- Figure 11: Livermore 18 — paper: 49.4% vs 12.6%. ----
+TEST(PaperResults, Livermore18Shape) {
+  const FigureComparison c =
+      compare_on(workloads::livermore18_loop(), Machine{8, 2}, 80);
+  // Reconstructed DDG: the shape must hold (ours far ahead, DOACROSS
+  // positive but small); exact values recorded in EXPERIMENTS.md.
+  EXPECT_GT(c.sp_ours, 35.0);
+  EXPECT_LT(c.sp_doacross, c.sp_ours / 2.0);
+  EXPECT_GE(c.sp_doacross, 0.0);
+}
+
+// ---- Figure 12: elliptic filter — paper: 30.9% vs 0. ----
+TEST(PaperResults, EllipticFilterShape) {
+  const FigureComparison c =
+      compare_on(workloads::elliptic_filter_loop(), Machine{8, 2}, 80);
+  EXPECT_GT(c.sp_ours, 20.0);
+  EXPECT_DOUBLE_EQ(c.sp_doacross, 0.0);  // paper: 0 — degenerate
+  EXPECT_TRUE(c.doacross_degenerated);
+}
+
+// ---- Theorem 1 on every workload in the repository. ----
+TEST(PaperResults, Theorem1PatternExistsEverywhere) {
+  const Machine m{8, 2};
+  for (const auto& [name, g0] : workloads::livermore_suite()) {
+    const Ddg g = normalize_distances(g0).graph;
+    EXPECT_TRUE(cyclic_sched(g, m).pattern.has_value()) << name;
+  }
+  EXPECT_TRUE(cyclic_sched(workloads::fig3_loop(), m).pattern.has_value());
+  EXPECT_TRUE(cyclic_sched(workloads::fig7_loop(), m).pattern.has_value());
+  EXPECT_TRUE(
+      cyclic_sched(workloads::elliptic_filter_loop(), m).pattern.has_value());
+}
+
+class Theorem1Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Random, PatternExistsOnRandomLoops) {
+  // Patterns exist per connected component (Section 2.1 + Theorem 1);
+  // component_cyclic_sched throws if any component fails to converge.
+  const Ddg g = workloads::random_cyclic_loop(GetParam());
+  const ComponentSchedResult r = component_cyclic_sched(g, Machine{8, 3});
+  EXPECT_FALSE(r.components.empty());
+  for (const ComponentPlan& c : r.components) {
+    EXPECT_FALSE(c.pattern.kernel.empty());
+  }
+  // The connected core alone must also converge.  The paper reports
+  // M < 10 for its (tightly coupled) examples; for loosely coupled
+  // recurrences detection is dominated by the iteration-lead window
+  // (see CyclicSchedOptions::lead_window), which bounds M here.
+  const Ddg core = workloads::random_connected_cyclic_loop(GetParam());
+  const CyclicSchedResult rc = cyclic_sched(core, Machine{8, 3});
+  ASSERT_TRUE(rc.pattern.has_value());
+  const std::int64_t window =
+      2 * (core.body_latency() + 4 * static_cast<std::int64_t>(core.num_nodes())) + 16;
+  EXPECT_LE(rc.iterations_scheduled, 8 * window + 256);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Random,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// ---- Table 1 shape on a subsample (the bench runs the full table). ----
+TEST(PaperResults, Table1SubsampleShape) {
+  Table1Config cfg;
+  cfg.loops = 8;
+  cfg.iterations = 80;
+  const Table1Result r = run_table1(cfg);
+  // Paper Table 1(b): ours 47.4 / 39.1 / 30.3, DOACROSS 16.3 / 13.1 / 9.5,
+  // factor 2.9 / 3.0 / 3.3.  On a subsample we assert the ordering and
+  // the rough magnitudes.
+  EXPECT_GT(r.avg_ours.at(1), r.avg_ours.at(3));
+  EXPECT_GT(r.avg_ours.at(3), r.avg_ours.at(5));
+  EXPECT_GT(r.avg_ours.at(1), 25.0);
+  EXPECT_GT(r.factor.at(1), 1.5);
+  for (const int mm : {1, 3, 5}) {
+    EXPECT_GT(r.avg_ours.at(mm), r.avg_doacross.at(mm));
+  }
+}
+
+// ---- The robustness claim: relative advantage survives jitter. ----
+TEST(PaperResults, RelativeAdvantageSurvivesWorstCaseJitter) {
+  Table1Config cfg;
+  cfg.loops = 6;
+  cfg.iterations = 80;
+  const Table1Result r = run_table1(cfg);
+  // "in the presence of unstable communication cost, our relative
+  // performance versus DOACROSS actually improves" — at minimum it must
+  // not collapse.
+  EXPECT_GT(r.avg_ours.at(5), 0.0);
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/mimd.hpp"
+#include "ir/dependence.hpp"
+#include "ir/ifconvert.hpp"
+#include "ir/parser.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Parallelizer, Fig7EndToEnd) {
+  ParallelizeOptions opts;
+  opts.machine = Machine{2, 2};
+  opts.iterations = 50;
+  const ParallelizeResult r = parallelize(workloads::fig7_loop(), opts);
+  EXPECT_EQ(r.normalized.factor, 1);
+  EXPECT_NEAR(r.cycles_per_iteration, 3.0, 1e-9);
+  EXPECT_NEAR(r.percentage_parallelism, 40.0, 1e-6);
+  EXPECT_NE(r.parbegin_code.find("PARBEGIN"), std::string::npos);
+  EXPECT_GT(r.program.total_ops(), 0u);
+}
+
+TEST(Parallelizer, Ll6UnrollsDistanceTwoAutomatically) {
+  const Ddg g = workloads::ll6_linear_recurrence();
+  ParallelizeOptions opts;
+  opts.machine = Machine{4, 1};
+  opts.iterations = 40;
+  const ParallelizeResult r = parallelize(g, opts);
+  EXPECT_EQ(r.normalized.factor, 2);
+  EXPECT_EQ(r.normalized_iterations, 20);
+  EXPECT_TRUE(r.normalized.graph.distances_normalized());
+  // Two original iterations complete per normalized iteration, so the
+  // per-original-iteration rate is steady_ii / 2.
+  EXPECT_NEAR(r.cycles_per_iteration, r.sched.steady_ii / 2.0, 1e-9);
+}
+
+TEST(Parallelizer, ProgramIsWellFormed) {
+  ParallelizeOptions opts;
+  opts.machine = Machine{8, 2};
+  opts.iterations = 24;
+  const ParallelizeResult r = parallelize(workloads::cytron86_loop(), opts);
+  EXPECT_EQ(find_program_violation(r.program, r.normalized.graph),
+            std::nullopt);
+}
+
+TEST(Parallelizer, CodeEmissionCanBeDisabled) {
+  ParallelizeOptions opts;
+  opts.machine = Machine{2, 2};
+  opts.iterations = 10;
+  opts.emit_code = false;
+  const ParallelizeResult r = parallelize(workloads::fig7_loop(), opts);
+  EXPECT_TRUE(r.parbegin_code.empty());
+}
+
+TEST(Parallelizer, SourceTextToParallelLoop) {
+  // The full front-to-back pipeline: parse -> if-convert -> dependences ->
+  // classify/schedule/partition.
+  const ir::Loop loop = ir::if_convert(ir::parse_loop(R"(
+for i:
+  S[i] = S[i-1] + X[i]
+  if S[i] > 10 {
+    T[i] = S[i] * 2
+  }
+)"));
+  const ir::DependenceResult dep = ir::analyze_dependences(loop);
+  ParallelizeOptions opts;
+  opts.machine = Machine{2, 1};
+  opts.iterations = 30;
+  const ParallelizeResult r = parallelize(dep.graph, opts);
+  EXPECT_GT(r.percentage_parallelism, -1e12);  // well-defined
+  EXPECT_EQ(find_dependence_violation(dep.graph, opts.machine,
+                                      r.sched.schedule),
+            std::nullopt);
+}
+
+TEST(Parallelizer, RejectsNonPositiveIterations) {
+  ParallelizeOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW((void)parallelize(workloads::fig7_loop(), opts),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mimd

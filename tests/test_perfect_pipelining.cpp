@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "baseline/perfect_pipelining.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/unwind.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(PerfectPipelining, Fig7AchievesTheRecurrenceBound) {
+  // With zero communication and enough processors, greedy ASAP scheduling
+  // is rate-optimal: II = max cycle ratio = 2.5 for the Figure-7 loop.
+  const PerfectPipeliningResult r =
+      perfect_pipelining(workloads::fig7_loop());
+  ASSERT_TRUE(r.sched.pattern.has_value());
+  EXPECT_NEAR(r.initiation_interval, 2.5, 1e-9);
+}
+
+TEST(PerfectPipelining, Ll20AchievesItsRatio) {
+  const Ddg g = workloads::ll20_discrete_ordinates();
+  const PerfectPipeliningResult r = perfect_pipelining(g);
+  ASSERT_TRUE(r.sched.pattern.has_value());
+  EXPECT_NEAR(r.initiation_interval, max_cycle_ratio(g), 1e-6);
+}
+
+TEST(PerfectPipelining, ClearsPerEdgeCommCosts) {
+  // Edges with explicit costs would violate the k=0 machine contract if
+  // they weren't cleared.
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0, 4);
+  g.add_edge(b, a, 1, 4);
+  EXPECT_NO_THROW((void)perfect_pipelining(g));
+}
+
+TEST(PerfectPipelining, NeverSlowerThanCommAwareSchedule) {
+  for (const std::uint64_t seed : {1, 2, 3, 7, 11}) {
+    const Ddg g = workloads::random_connected_cyclic_loop(seed);
+    const PerfectPipeliningResult ideal = perfect_pipelining(g);
+    const CyclicSchedResult real = cyclic_sched(g, Machine{8, 3});
+    ASSERT_TRUE(ideal.sched.pattern.has_value());
+    ASSERT_TRUE(real.pattern.has_value());
+    EXPECT_LE(ideal.initiation_interval,
+              real.pattern->initiation_interval() + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(PerfectPipelining, ExplicitProcessorBudgetIsRespected) {
+  const PerfectPipeliningResult r =
+      perfect_pipelining(workloads::fig7_loop(), 1);
+  ASSERT_TRUE(r.sched.pattern.has_value());
+  EXPECT_NEAR(r.initiation_interval, 5.0, 1e-9);  // sequential rate
+}
+
+TEST(PerfectPipelining, MatchesRatioAcrossLivermoreSuite) {
+  for (const auto& [name, g0] : workloads::livermore_suite()) {
+    const Ddg g = normalize_distances(g0).graph;
+    const PerfectPipeliningResult r = perfect_pipelining(g);
+    ASSERT_TRUE(r.sched.pattern.has_value()) << name;
+    // Greedy ASAP with free communication is rate-optimal for these
+    // single-recurrence-dominated kernels.
+    EXPECT_NEAR(r.initiation_interval, max_cycle_ratio(g), 1e-5) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "classify/classify.hpp"
+#include "graph/algorithms.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(RandomLoops, SpecDefaultsMatchSection4) {
+  const workloads::RandomLoopSpec spec;
+  EXPECT_EQ(spec.nodes, 40u);
+  EXPECT_EQ(spec.loop_carried, 20u);
+  EXPECT_EQ(spec.simple, 20u);
+  EXPECT_EQ(spec.min_latency, 1);
+  EXPECT_EQ(spec.max_latency, 3);
+}
+
+TEST(RandomLoops, GeneratedGraphHonorsTheSpec) {
+  const Ddg g = workloads::random_loop(1);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_EQ(g.num_edges(), 40u);
+  std::size_t lcd = 0, sd = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.distance == 1) {
+      ++lcd;
+    } else if (e.distance == 0) {
+      ++sd;
+      EXPECT_LT(e.src, e.dst);  // body stays acyclic by construction
+    }
+  }
+  EXPECT_EQ(lcd, 20u);
+  EXPECT_EQ(sd, 20u);
+  for (const Node& n : g.nodes()) {
+    EXPECT_GE(n.latency, 1);
+    EXPECT_LE(n.latency, 3);
+  }
+}
+
+TEST(RandomLoops, BodyIsAlwaysAcyclic) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    EXPECT_TRUE(intra_iteration_acyclic(workloads::random_loop(seed)))
+        << seed;
+  }
+}
+
+TEST(RandomLoops, DeterministicPerSeed) {
+  const Ddg a = workloads::random_loop(7);
+  const Ddg b = workloads::random_loop(7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+    EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+    EXPECT_EQ(a.edge(e).distance, b.edge(e).distance);
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.node(v).latency, b.node(v).latency);
+  }
+}
+
+TEST(RandomLoops, DifferentSeedsGiveDifferentGraphs) {
+  const Ddg a = workloads::random_loop(1);
+  const Ddg b = workloads::random_loop(2);
+  bool differ = a.num_edges() != b.num_edges();
+  for (EdgeId e = 0; !differ && e < a.num_edges(); ++e) {
+    differ = a.edge(e).src != b.edge(e).src || a.edge(e).dst != b.edge(e).dst;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomLoops, NoDuplicateEdges) {
+  const Ddg g = workloads::random_loop(13);
+  std::set<std::tuple<NodeId, NodeId, int>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(seen.insert({e.src, e.dst, e.distance}).second);
+  }
+}
+
+TEST(RandomLoops, CyclicExtractionIsNonEmptyForAllTableSeeds) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Ddg g = workloads::random_cyclic_loop(seed);
+    EXPECT_GT(g.num_nodes(), 0u) << seed;
+    EXPECT_TRUE(has_nontrivial_scc(g)) << seed;  // Lemma 1 on the extract
+    EXPECT_TRUE(g.distances_normalized()) << seed;
+    EXPECT_TRUE(intra_iteration_acyclic(g)) << seed;
+  }
+}
+
+TEST(RandomLoops, ExtractedGraphIsInducedSubgraphOfFull) {
+  const Ddg full = workloads::random_loop(3);
+  const Classification cls = classify(full);
+  const Ddg sub = workloads::random_cyclic_loop(3);
+  EXPECT_EQ(sub.num_nodes(), cls.cyclic.size());
+  // Every extracted node name exists in the full graph.
+  for (const Node& n : sub.nodes()) {
+    EXPECT_TRUE(full.find(n.name).has_value()) << n.name;
+  }
+}
+
+TEST(RandomLoops, CustomSpecIsHonored) {
+  workloads::RandomLoopSpec spec;
+  spec.nodes = 10;
+  spec.loop_carried = 5;
+  spec.simple = 4;
+  spec.min_latency = 2;
+  spec.max_latency = 2;
+  const Ddg g = workloads::random_loop(5, spec);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (const Node& n : g.nodes()) EXPECT_EQ(n.latency, 2);
+}
+
+TEST(RandomLoops, RejectsDegenerateSpec) {
+  workloads::RandomLoopSpec spec;
+  spec.nodes = 1;
+  EXPECT_THROW((void)workloads::random_loop(1, spec), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "metrics/report.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(CompareOn, Fig7ReproducesPaperRow) {
+  // Paper Section 3: "The percentage parallelism obtained for this
+  // example ... is 40 by our algorithm, while that by DOACROSS is 0."
+  const FigureComparison c =
+      compare_on(workloads::fig7_loop(), Machine{4, 2}, 60);
+  EXPECT_NEAR(c.sp_ours, 40.0, 1e-6);
+  EXPECT_DOUBLE_EQ(c.sp_doacross, 0.0);
+  EXPECT_TRUE(c.doacross_degenerated);
+}
+
+TEST(CompareOn, CytronReproducesPaperRow) {
+  // "the percentage parallelism obtained by our algorithm is 72.7%, and
+  //  that by DOACROSS is 31.8%."
+  const FigureComparison c =
+      compare_on(workloads::cytron86_loop(), Machine{8, 2}, 80);
+  EXPECT_NEAR(c.sp_ours, 72.7, 0.1);
+  EXPECT_NEAR(c.sp_doacross, 31.8, 0.1);
+  EXPECT_FALSE(c.doacross_degenerated);
+}
+
+TEST(CompareOn, ProvidesScheduleForInspection) {
+  const FigureComparison c =
+      compare_on(workloads::fig7_loop(), Machine{4, 2}, 20);
+  EXPECT_EQ(c.ours.schedule.size(), 5u * 20u);
+  EXPECT_TRUE(c.ours.pattern.has_value());
+}
+
+TEST(Table1, MiniRunHasExpectedShape) {
+  Table1Config cfg;
+  cfg.loops = 4;           // keep the unit test fast; the bench runs all 25
+  cfg.iterations = 60;
+  const Table1Result r = run_table1(cfg);
+  ASSERT_EQ(r.rows.size(), 4u);
+  for (const Table1Row& row : r.rows) {
+    ASSERT_EQ(row.sp_ours.size(), 3u);
+    for (const int mm : {1, 3, 5}) {
+      EXPECT_GE(row.sp_doacross.at(mm), 0.0);   // clamped, as in the paper
+      EXPECT_LE(row.sp_ours.at(mm), 100.0);
+    }
+    // More jitter never helps our simulated schedules.
+    EXPECT_GE(row.sp_ours.at(1) + 1e-9, row.sp_ours.at(3));
+    EXPECT_GE(row.sp_ours.at(3) + 1e-9, row.sp_ours.at(5));
+  }
+  // Averages aggregate the rows.
+  double sum = 0;
+  for (const Table1Row& row : r.rows) sum += row.sp_ours.at(1);
+  EXPECT_NEAR(r.avg_ours.at(1), sum / 4.0, 1e-9);
+}
+
+TEST(Table1, OursBeatsDoacrossOnAverage) {
+  Table1Config cfg;
+  cfg.loops = 6;
+  cfg.iterations = 60;
+  const Table1Result r = run_table1(cfg);
+  for (const int mm : {1, 3, 5}) {
+    EXPECT_GT(r.avg_ours.at(mm), r.avg_doacross.at(mm)) << "mm " << mm;
+  }
+  // The paper's headline: a ~3x factor over DOACROSS.
+  EXPECT_GT(r.factor.at(1), 1.5);
+}
+
+}  // namespace
+}  // namespace mimd

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "baseline/doacross.hpp"
+#include "baseline/sequential.hpp"
+#include "partition/lowering.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "sim/machine_sim.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+SimOptions opts_for(const Machine& m, int mm = 1,
+                    JitterMode j = JitterMode::WorstCase,
+                    std::uint64_t seed = 1) {
+  SimOptions o;
+  o.machine = m;
+  o.mm = mm;
+  o.jitter = j;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Sim, SequentialProgramTakesExactlySequentialTime) {
+  const Ddg g = workloads::cytron86_loop();
+  const PartitionedProgram p = lower(sequential_schedule(g, 7), g);
+  const SimResult r = simulate(p, g, opts_for(Machine{1, 2}));
+  EXPECT_EQ(r.makespan, sequential_time(g, 7));
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.compute_cycles, sequential_time(g, 7));
+}
+
+TEST(Sim, NoJitterMatchesCompileTimeEstimate) {
+  // With mm = 1 the run-time costs equal the compile-time costs, so the
+  // dataflow execution can only be as fast or faster than the static
+  // schedule (in-order issue, same constraints).
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult cs = cyclic_sched(g, m);
+  const Schedule s = materialize(*cs.pattern, m.processors, 30);
+  const SimResult r = simulate(lower(s, g), g, opts_for(m));
+  EXPECT_LE(r.makespan, s.makespan());
+  EXPECT_GE(r.makespan, (s.makespan() * 9) / 10);  // and not wildly faster
+}
+
+TEST(Sim, TraceRespectsDependencesUnderJitter) {
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult cs = cyclic_sched(g, m);
+  const Schedule s = materialize(*cs.pattern, m.processors, 20);
+  for (const int mm : {1, 3, 5}) {
+    Trace t;
+    (void)simulate(lower(s, g), g, opts_for(m, mm, JitterMode::Uniform, 7), &t);
+    EXPECT_EQ(find_trace_violation(t, g, m.comm_estimate), std::nullopt)
+        << "mm " << mm;
+  }
+}
+
+TEST(Sim, WorstCaseJitterIsMonotoneInMm) {
+  const Ddg g = workloads::cytron86_loop();
+  const Machine m{8, 2};
+  const DoacrossResult doa = doacross(g, m, 30);
+  const PartitionedProgram p = lower(doa.schedule, g);
+  std::int64_t prev = 0;
+  for (const int mm : {1, 2, 3, 5, 8}) {
+    const SimResult r = simulate(p, g, opts_for(m, mm));
+    EXPECT_GE(r.makespan, prev);
+    prev = r.makespan;
+  }
+}
+
+TEST(Sim, UniformJitterIsDeterministicPerSeed) {
+  const Ddg g = workloads::random_connected_cyclic_loop(3);
+  const Machine m{8, 3};
+  const CyclicSchedResult cs = cyclic_sched(g, m);
+  const PartitionedProgram p =
+      lower(materialize(*cs.pattern, m.processors, 25), g);
+  const SimResult a = simulate(p, g, opts_for(m, 5, JitterMode::Uniform, 42));
+  const SimResult b = simulate(p, g, opts_for(m, 5, JitterMode::Uniform, 42));
+  const SimResult c = simulate(p, g, opts_for(m, 5, JitterMode::Uniform, 43));
+  EXPECT_EQ(a.makespan, b.makespan);
+  // Different seed usually lands elsewhere; at minimum it must stay within
+  // the jitter envelope.
+  EXPECT_LE(std::abs(a.makespan - c.makespan), a.makespan);
+}
+
+TEST(Sim, UniformJitterBoundedByWorstCase) {
+  const Ddg g = workloads::random_connected_cyclic_loop(5);
+  const Machine m{8, 3};
+  const CyclicSchedResult cs = cyclic_sched(g, m);
+  const PartitionedProgram p =
+      lower(materialize(*cs.pattern, m.processors, 25), g);
+  const SimResult lo = simulate(p, g, opts_for(m, 1));
+  const SimResult uni = simulate(p, g, opts_for(m, 5, JitterMode::Uniform, 9));
+  const SimResult hi = simulate(p, g, opts_for(m, 5, JitterMode::WorstCase));
+  EXPECT_LE(lo.makespan, uni.makespan);
+  EXPECT_LE(uni.makespan, hi.makespan);
+}
+
+TEST(Sim, MessageCountMatchesProgramSends) {
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult cs = cyclic_sched(g, m);
+  const PartitionedProgram p =
+      lower(materialize(*cs.pattern, m.processors, 16), g);
+  const SimResult r = simulate(p, g, opts_for(m));
+  EXPECT_EQ(static_cast<std::size_t>(r.messages), p.count(Op::Kind::Send));
+}
+
+TEST(Sim, DeadlockedProgramIsReported) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  PartitionedProgram p;
+  p.processors = 2;
+  p.programs.resize(2);
+  p.programs[0].proc = 0;
+  p.programs[1].proc = 1;
+  // PE1 waits for a message nobody sends.
+  p.programs[1].ops.push_back(Op{Op::Kind::Receive, Inst{a, 0}, 0, 0});
+  p.programs[1].ops.push_back(Op{Op::Kind::Compute, Inst{b, 0}, 0, -1});
+  EXPECT_THROW((void)simulate(p, g, opts_for(Machine{2, 1})), ContractViolation);
+}
+
+TEST(Sim, ComputeCyclesSumOverProcessors) {
+  const Ddg g = workloads::cytron86_loop();
+  const Machine m{8, 2};
+  const DoacrossResult doa = doacross(g, m, 10);
+  const SimResult r = simulate(lower(doa.schedule, g), g, opts_for(m));
+  EXPECT_EQ(r.compute_cycles, sequential_time(g, 10));
+}
+
+TEST(Sim, RejectsNonPositiveMm) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = lower(sequential_schedule(g, 1), g);
+  EXPECT_THROW((void)simulate(p, g, opts_for(Machine{1, 2}, 0)),
+               ContractViolation);
+}
+
+TEST(Trace, FindComputeLocatesEvents) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = lower(sequential_schedule(g, 2), g);
+  Trace t;
+  (void)simulate(p, g, opts_for(Machine{1, 2}), &t);
+  const auto ev = t.find_compute(Inst{*g.find("C"), 1});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->proc, 0);
+  EXPECT_FALSE(t.find_compute(Inst{*g.find("C"), 5}).has_value());
+  EXPECT_FALSE(render_trace(t, g).empty());
+}
+
+}  // namespace
+}  // namespace mimd

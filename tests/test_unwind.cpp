@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/unwind.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Unroll, FactorOneIsIdentity) {
+  const Ddg g = workloads::fig7_loop();
+  const Unrolled u = unroll(g, 1);
+  EXPECT_EQ(u.factor, 1);
+  EXPECT_EQ(u.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(u.graph.num_edges(), g.num_edges());
+}
+
+TEST(Unroll, NodeAndEdgeCountsScale) {
+  const Ddg g = workloads::fig7_loop();
+  const Unrolled u = unroll(g, 3);
+  EXPECT_EQ(u.graph.num_nodes(), g.num_nodes() * 3);
+  EXPECT_EQ(u.graph.num_edges(), g.num_edges() * 3);
+}
+
+TEST(Unroll, CopyNamingConvention) {
+  const Ddg g = workloads::fig7_loop();
+  const Unrolled u = unroll(g, 2);
+  EXPECT_TRUE(u.graph.find("A").has_value());
+  EXPECT_TRUE(u.graph.find("A#1").has_value());
+  EXPECT_FALSE(u.graph.find("A#2").has_value());
+}
+
+TEST(Unroll, OriginMappingRoundTrips) {
+  const Ddg g = workloads::fig7_loop();
+  const Unrolled u = unroll(g, 3);
+  for (NodeId v = 0; v < u.graph.num_nodes(); ++v) {
+    const auto [orig, copy] = u.origin[v];
+    EXPECT_LT(orig, g.num_nodes());
+    EXPECT_GE(copy, 0);
+    EXPECT_LT(copy, 3);
+    EXPECT_EQ(u.graph.node(v).latency, g.node(orig).latency);
+  }
+}
+
+TEST(Unroll, IntraIterationEdgesStayIntra) {
+  const Ddg g = workloads::fig7_loop();
+  const Unrolled u = unroll(g, 2);
+  // Every distance-0 edge of the original appears once per copy, still
+  // at distance 0 within the same copy.
+  std::size_t d0 = 0;
+  for (const Edge& e : u.graph.edges()) {
+    if (e.distance == 0 && u.origin[e.src].copy == u.origin[e.dst].copy) ++d0;
+  }
+  std::size_t orig_d0 = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.distance == 0) ++orig_d0;
+  }
+  EXPECT_GE(d0, orig_d0 * 2);
+}
+
+/// Instance-level semantics: edge (s -> d, q) of the original connects
+/// original instances (s, i) -> (d, i+q).  After unrolling by u, original
+/// instance (x, i) is new instance (x's copy i%u, i/u).  Check the edge
+/// sets agree over a window of iterations.
+void check_instance_isomorphism(const Ddg& g, int factor, int window) {
+  const Unrolled u = unroll(g, factor);
+  // new id of (orig node x, copy r) = r * |V| + x  (layout contract)
+  const auto n = static_cast<NodeId>(g.num_nodes());
+
+  std::set<std::tuple<NodeId, int, NodeId, int>> orig_inst_edges;
+  for (const Edge& e : g.edges()) {
+    for (int i = 0; i + e.distance < window; ++i) {
+      orig_inst_edges.insert({e.src, i, e.dst, i + e.distance});
+    }
+  }
+  std::set<std::tuple<NodeId, int, NodeId, int>> new_inst_edges;
+  for (const Edge& e : u.graph.edges()) {
+    for (int j = 0;; ++j) {
+      const int src_orig_iter = j * factor + u.origin[e.src].copy;
+      const int dst_orig_iter = (j + e.distance) * factor + u.origin[e.dst].copy;
+      if (dst_orig_iter >= window) break;
+      new_inst_edges.insert({u.origin[e.src].node, src_orig_iter,
+                             u.origin[e.dst].node, dst_orig_iter});
+    }
+  }
+  EXPECT_EQ(orig_inst_edges, new_inst_edges) << "factor " << factor;
+  (void)n;
+}
+
+TEST(Unroll, InstanceDependencesIsomorphicFig7) {
+  check_instance_isomorphism(workloads::fig7_loop(), 2, 12);
+  check_instance_isomorphism(workloads::fig7_loop(), 3, 12);
+}
+
+TEST(Unroll, InstanceDependencesIsomorphicLl6) {
+  check_instance_isomorphism(workloads::ll6_linear_recurrence(), 2, 12);
+  check_instance_isomorphism(workloads::ll6_linear_recurrence(), 4, 16);
+}
+
+TEST(NormalizeDistances, AlreadyNormalizedIsIdentity) {
+  const Ddg g = workloads::fig7_loop();
+  const Unrolled u = normalize_distances(g);
+  EXPECT_EQ(u.factor, 1);
+}
+
+TEST(NormalizeDistances, Ll6DistanceTwoUnrollsByTwo) {
+  const Ddg g = workloads::ll6_linear_recurrence();
+  EXPECT_EQ(g.max_distance(), 2);
+  const Unrolled u = normalize_distances(g);
+  EXPECT_EQ(u.factor, 2);
+  EXPECT_TRUE(u.graph.distances_normalized());
+  EXPECT_TRUE(intra_iteration_acyclic(u.graph));
+}
+
+TEST(NormalizeDistances, PreservesMaxCycleRatioPerOriginalIteration) {
+  // Unrolling by u multiplies cycle latency and distance alike, so the
+  // ratio in new-iteration units is u times the per-original ratio.
+  const Ddg g = workloads::ll6_linear_recurrence();
+  const double before = max_cycle_ratio(g);
+  const Unrolled u = normalize_distances(g);
+  const double after = max_cycle_ratio(u.graph);
+  EXPECT_NEAR(after, before * u.factor, 1e-5);
+}
+
+TEST(NormalizeDistances, LargeDistanceGraph) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 5);
+  const Unrolled u = normalize_distances(g);
+  EXPECT_EQ(u.factor, 5);
+  EXPECT_TRUE(u.graph.distances_normalized());
+  EXPECT_EQ(u.graph.num_nodes(), 10u);
+}
+
+TEST(Unroll, RejectsNonPositiveFactor) {
+  EXPECT_THROW((void)unroll(workloads::fig7_loop(), 0), ContractViolation);
+}
+
+class UnwindProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnwindProperty, RandomLoopsNormalizeCleanly) {
+  const Ddg g = workloads::random_loop(GetParam());
+  const Unrolled u = normalize_distances(g);
+  EXPECT_TRUE(u.graph.distances_normalized());
+  EXPECT_TRUE(intra_iteration_acyclic(u.graph));
+  EXPECT_EQ(u.graph.body_latency(), g.body_latency() * u.factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnwindProperty,
+                         ::testing::Values(1, 5, 9, 13, 21));
+
+}  // namespace
+}  // namespace mimd

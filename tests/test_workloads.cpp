@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "classify/classify.hpp"
+#include "graph/algorithms.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+TEST(Workloads, Fig7StructureMatchesTheSource) {
+  const Ddg g = workloads::fig7_loop();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.body_latency(), 5);
+  // A[I] = A[I-1] + E[I-1]: two loop-carried in-edges into A.
+  const NodeId a = *g.find("A");
+  EXPECT_EQ(g.in_edges(a).size(), 2u);
+  for (const EdgeId e : g.in_edges(a)) EXPECT_EQ(g.edge(e).distance, 1);
+}
+
+TEST(Workloads, Fig3IsSevenUnitLatencyNodes) {
+  const Ddg g = workloads::fig3_loop();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.body_latency(), 7);
+  EXPECT_TRUE(intra_iteration_acyclic(g));
+  EXPECT_TRUE(has_nontrivial_scc(g));
+}
+
+TEST(Workloads, CytronMatchesEveryPublishedConstraint) {
+  const Ddg g = workloads::cytron86_loop();
+  EXPECT_EQ(g.num_nodes(), 17u);
+  EXPECT_EQ(g.body_latency(), 22);  // so that II=6 <=> Sp=72.7%
+  const Classification cls = classify(g);
+  EXPECT_EQ(cls.flow_in.size(), 11u);
+  EXPECT_EQ(cls.cyclic.size(), 6u);
+  EXPECT_TRUE(cls.flow_out.empty());
+  // Main recurrence binds at ratio 6 == the paper's pattern height.
+  EXPECT_NEAR(max_cycle_ratio(g), 6.0, 1e-6);
+}
+
+TEST(Workloads, EllipticFilterIsTheStandard34OpBenchmark) {
+  const Ddg g = workloads::elliptic_filter_loop();
+  EXPECT_EQ(g.num_nodes(), 34u);
+  std::size_t adds = 0, muls = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.latency == 1) {
+      ++adds;
+    } else if (n.latency == 2) {
+      ++muls;
+    }
+  }
+  EXPECT_EQ(adds, 26u);
+  EXPECT_EQ(muls, 8u);
+  EXPECT_EQ(g.body_latency(), 42);
+  EXPECT_TRUE(intra_iteration_acyclic(g));
+}
+
+TEST(Workloads, EllipticFilterGlobalFeedbackBindsAtThirty) {
+  EXPECT_NEAR(max_cycle_ratio(workloads::elliptic_filter_loop()), 30.0, 1e-6);
+}
+
+TEST(Workloads, Livermore18ShapeMatchesFigure11) {
+  const Ddg g = workloads::livermore18_loop();
+  EXPECT_EQ(g.num_nodes(), 30u);
+  const Classification cls = classify(g);
+  EXPECT_EQ(cls.flow_in.size(), 8u);
+  EXPECT_EQ(cls.cyclic.size(), 22u);
+  EXPECT_TRUE(intra_iteration_acyclic(g));
+}
+
+TEST(Workloads, SuiteGraphsAreWellFormedLoops) {
+  for (const auto& [name, g] : workloads::livermore_suite()) {
+    EXPECT_GT(g.num_nodes(), 0u) << name;
+    EXPECT_TRUE(intra_iteration_acyclic(g)) << name;
+    EXPECT_TRUE(has_nontrivial_scc(g)) << name;  // all are recurrences
+    EXPECT_EQ(connected_components(g).size(), 1u) << name;
+  }
+}
+
+TEST(Workloads, Ll6IsTheOnlyNonNormalizedKernel) {
+  for (const auto& [name, g] : workloads::livermore_suite()) {
+    if (name == "LL6-linrec") {
+      EXPECT_EQ(g.max_distance(), 2) << name;
+    } else {
+      EXPECT_TRUE(g.distances_normalized()) << name;
+    }
+  }
+}
+
+TEST(Workloads, Ll5RecurrenceRatio) {
+  // Cycle X -> sub -> X: latency 2(mul) + 1(sub), distance 1.
+  EXPECT_NEAR(max_cycle_ratio(workloads::ll5_tridiag()), 3.0, 1e-6);
+}
+
+TEST(Workloads, Ll11PrefixSumRatioIsOne) {
+  EXPECT_NEAR(max_cycle_ratio(workloads::ll11_first_sum()), 1.0, 1e-6);
+}
+
+TEST(Workloads, Ll20RecurrenceRatio) {
+  // Longest cycle: XX -> m1 -> a1 -> m2 -> a2 -> XX = 2+1+2+1+2 = 8.
+  EXPECT_NEAR(max_cycle_ratio(workloads::ll20_discrete_ordinates()), 8.0,
+              1e-6);
+}
+
+TEST(Workloads, Fig1HasTwelveNodes) {
+  const Ddg g = workloads::fig1_classification();
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_TRUE(intra_iteration_acyclic(g));
+}
+
+}  // namespace
+}  // namespace mimd
