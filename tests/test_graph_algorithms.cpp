@@ -53,7 +53,9 @@ TEST(TopoOrder, RespectsAllIntraEdges) {
   std::vector<std::size_t> pos(g.num_nodes());
   for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
   for (const Edge& e : g.edges()) {
-    if (e.distance == 0) EXPECT_LT(pos[e.src], pos[e.dst]);
+    if (e.distance == 0) {
+      EXPECT_LT(pos[e.src], pos[e.dst]);
+    }
   }
 }
 
