@@ -1,0 +1,164 @@
+// Old-vs-new value transport, microbenchmarked (google-benchmark).
+//
+// The paper's premise is that partitioned loops win only when
+// cross-processor communication is cheap relative to compute; these
+// benchmarks measure exactly the per-message overhead each transport adds,
+// at the smallest payloads the runtime ever ships:
+//
+//  * PerMessage_*      — uncontended send+receive round on one thread: the
+//                        pure bookkeeping cost of a message (mutex lock /
+//                        condvar notify vs two cache-resident atomics);
+//  * Stream_*          — a real producer thread streaming a batch through
+//                        a channel to the consumer;
+//  * Executor_*        — the whole threaded runtime on fig7 at
+//                        work_per_cycle = 0 (the smallest kernel payload),
+//                        mutex+condvar baseline vs SPSC + slot-resolved
+//                        operands, with per-message cost reported;
+//  * PlanCompile/Run   — what ExecutorPlan amortizes: compile() cost vs a
+//                        reused plan's run() cost.
+//
+// tools/bench_runner.py records these as BENCH_bench_channel_transport.json;
+// EXPERIMENTS.md tracks the ratios (acceptance: SPSC >= 2x on per-message
+// overhead).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "partition/lowering.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace {
+
+using namespace mimd;
+
+// ---- Pure per-message overhead, uncontended. ----
+
+void BM_PerMessage_Mutex(benchmark::State& state) {
+  ValueChannel c;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    c.send({i, 1.0});
+    benchmark::DoNotOptimize(c.receive());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerMessage_Mutex);
+
+void BM_PerMessage_Spsc(benchmark::State& state) {
+  SpscChannel c(1024);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    c.send({i, 1.0});
+    benchmark::DoNotOptimize(c.receive());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerMessage_Spsc);
+
+// ---- Cross-thread streaming through one channel. ----
+
+constexpr std::int64_t kBatch = 8192;
+
+template <class Channel>
+void stream_batch(Channel& c) {
+  std::thread producer([&] {
+    for (std::int64_t i = 0; i < kBatch; ++i) c.send({i, 0.5});
+  });
+  double sink = 0.0;
+  for (std::int64_t i = 0; i < kBatch; ++i) sink += c.receive().value;
+  producer.join();
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_Stream_Mutex(benchmark::State& state) {
+  for (auto _ : state) {
+    ValueChannel c;
+    stream_batch(c);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_Stream_Mutex)->UseRealTime();
+
+void BM_Stream_Spsc(benchmark::State& state) {
+  for (auto _ : state) {
+    SpscChannel c(1024);
+    stream_batch(c);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_Stream_Spsc)->UseRealTime();
+
+// ---- End-to-end runtime at the smallest kernel payload. ----
+
+struct Fig7Plan {
+  Ddg g = workloads::fig7_loop();
+  std::int64_t n = 256;
+  ExecutorPlan plan;
+  std::int64_t messages = 0;
+
+  Fig7Plan() {
+    const Machine m{2, 2};
+    const CyclicSchedResult r = cyclic_sched(g, m);
+    plan = compile(lower(materialize(*r.pattern, m.processors, n), g), g);
+    for (const ChannelDesc& c : plan.program().channels) {
+      messages += c.messages;
+    }
+  }
+};
+
+Fig7Plan& fig7_plan() {
+  static Fig7Plan p;
+  return p;
+}
+
+void run_executor(benchmark::State& state, Transport transport) {
+  Fig7Plan& f = fig7_plan();
+  RunOptions opts;  // work_per_cycle = 0: messages are all that matters
+  opts.transport = transport;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.plan.run(f.n, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * f.messages);
+  state.counters["msgs"] =
+      benchmark::Counter(static_cast<double>(f.messages));
+}
+
+void BM_Executor_Mutex(benchmark::State& state) {
+  run_executor(state, Transport::Mutex);
+}
+BENCHMARK(BM_Executor_Mutex)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_Executor_Spsc(benchmark::State& state) {
+  run_executor(state, Transport::Spsc);
+}
+BENCHMARK(BM_Executor_Spsc)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// ---- What the plan split amortizes. ----
+
+void BM_PlanCompile(benchmark::State& state) {
+  Fig7Plan& f = fig7_plan();
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(f.g, m);
+  const PartitionedProgram prog =
+      lower(materialize(*r.pattern, m.processors, f.n), f.g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile(prog, f.g));
+  }
+}
+BENCHMARK(BM_PlanCompile)->Unit(benchmark::kMicrosecond);
+
+void BM_PlanRunReused(benchmark::State& state) {
+  Fig7Plan& f = fig7_plan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.plan.run(f.n));
+  }
+}
+BENCHMARK(BM_PlanRunReused)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,227 @@
+#include "partition/compiled_program.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "runtime/kernels.hpp"
+
+namespace mimd {
+
+namespace {
+
+using ChanKey = std::tuple<EdgeId, int, int>;  // edge, src proc, dst proc
+
+/// Dense channel ids, assigned in Send first-appearance order (processor
+/// order, then program order) so compilation is deterministic.
+struct ChannelTable {
+  std::map<ChanKey, ChannelId> ids;
+  std::vector<ChannelDesc> descs;
+
+  [[nodiscard]] ChannelId at(EdgeId e, int src, int dst) const {
+    const auto it = ids.find({e, src, dst});
+    MIMD_ENSURES(it != ids.end());
+    return it->second;
+  }
+};
+
+ChannelTable build_channel_table(const PartitionedProgram& prog) {
+  ChannelTable t;
+  for (const ProcessorProgram& p : prog.programs) {
+    for (const Op& op : p.ops) {
+      if (op.kind != Op::Kind::Send) continue;
+      const auto [it, fresh] = t.ids.try_emplace(
+          ChanKey{op.edge, p.proc, op.peer},
+          static_cast<ChannelId>(t.descs.size()));
+      if (fresh) t.descs.push_back(ChannelDesc{op.edge, p.proc, op.peer, 0});
+      ++t.descs[it->second].messages;
+    }
+  }
+  return t;
+}
+
+/// A receive waiting to be fused into the Compute operand that consumes it.
+struct PendingRecv {
+  EdgeId edge;
+  NodeId node;
+  std::int64_t iter;
+  ChannelId chan;
+};
+
+/// Compile one processor program.  With `fuse`, receives become ChannelRecv
+/// operands of their consuming Compute; returns false when fusion cannot be
+/// proven order-safe, in which case the caller retries without fusion
+/// (standalone Receive ops into slots — always possible for a validated
+/// program).
+bool compile_thread(const ProcessorProgram& p, const Ddg& g,
+                    const ChannelTable& chans, bool fuse,
+                    CompiledThread& out) {
+  out = CompiledThread{};
+  out.proc = p.proc;
+  std::map<std::pair<NodeId, std::int64_t>, SlotId> provider;
+  std::vector<PendingRecv> pending;  // fuse mode only
+
+  for (const Op& op : p.ops) {
+    switch (op.kind) {
+      case Op::Kind::Compute: {
+        CompiledOp c;
+        c.kind = CompiledOp::Kind::Compute;
+        c.node = op.inst.node;
+        c.iter = op.inst.iter;
+        c.first_operand = static_cast<std::uint32_t>(out.operands.size());
+        for (const EdgeId eid : g.in_edges(op.inst.node)) {
+          const Edge& e = g.edge(eid);
+          const std::int64_t src_iter = op.inst.iter - e.distance;
+          OperandRef ref;
+          if (src_iter < 0) {
+            ref.kind = OperandRef::Kind::InitialValue;
+            ref.initial = initial_value(e.src);
+          } else if (auto it = provider.find({e.src, src_iter});
+                     it != provider.end()) {
+            ref.kind = OperandRef::Kind::LocalSlot;
+            ref.index = it->second;
+          } else if (fuse) {
+            // Consume the earliest pending receive carrying this value.
+            auto r = pending.begin();
+            for (; r != pending.end(); ++r) {
+              if (r->edge == eid && r->node == e.src && r->iter == src_iter)
+                break;
+            }
+            if (r == pending.end()) return false;  // value has no source
+            ref.kind = OperandRef::Kind::ChannelRecv;
+            ref.index = r->chan;
+            ref.iter = src_iter;
+            pending.erase(r);
+          } else {
+            // find_program_violation guarantees availability; in non-fused
+            // mode every receive materialized a slot.
+            MIMD_UNREACHABLE("validated operand has no local provider");
+          }
+          out.operands.push_back(ref);
+        }
+        c.num_operands = static_cast<std::uint32_t>(out.operands.size()) -
+                         c.first_operand;
+        c.slot = out.num_slots++;
+        provider[{op.inst.node, op.inst.iter}] = c.slot;
+        out.ops.push_back(c);
+        break;
+      }
+      case Op::Kind::Send: {
+        const auto it = provider.find({op.inst.node, op.inst.iter});
+        // A send of a value that only exists as a pending fused receive
+        // (receive-then-forward) needs the value in a slot: retry unfused.
+        if (it == provider.end()) return false;
+        CompiledOp s;
+        s.kind = CompiledOp::Kind::Send;
+        s.node = op.inst.node;
+        s.iter = op.inst.iter;
+        s.slot = it->second;
+        s.chan = chans.at(op.edge, p.proc, op.peer);
+        out.ops.push_back(s);
+        break;
+      }
+      case Op::Kind::Receive: {
+        const ChannelId chan = chans.at(op.edge, op.peer, p.proc);
+        if (fuse) {
+          pending.push_back(
+              PendingRecv{op.edge, op.inst.node, op.inst.iter, chan});
+        } else {
+          CompiledOp r;
+          r.kind = CompiledOp::Kind::Receive;
+          r.node = op.inst.node;
+          r.iter = op.inst.iter;
+          r.chan = chan;
+          r.slot = out.num_slots++;
+          provider[{op.inst.node, op.inst.iter}] = r.slot;
+          out.ops.push_back(r);
+        }
+        break;
+      }
+    }
+  }
+  // A receive nothing consumes cannot be fused away: it must still pop its
+  // message or later tags on the channel would misalign.
+  return pending.empty();
+}
+
+/// Per-channel pop sequence (iteration tags) the compiled thread will
+/// execute, in execution order.
+std::map<ChannelId, std::vector<std::int64_t>> compiled_pop_sequences(
+    const CompiledThread& t) {
+  std::map<ChannelId, std::vector<std::int64_t>> seq;
+  for (const CompiledOp& op : t.ops) {
+    if (op.kind == CompiledOp::Kind::Receive) {
+      seq[op.chan].push_back(op.iter);
+    } else if (op.kind == CompiledOp::Kind::Compute) {
+      for (std::uint32_t i = 0; i < op.num_operands; ++i) {
+        const OperandRef& r = t.operands[op.first_operand + i];
+        if (r.kind == OperandRef::Kind::ChannelRecv) {
+          seq[r.index].push_back(r.iter);
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+/// Pop sequence the interpreted program performs (its Receive order).
+std::map<ChannelId, std::vector<std::int64_t>> interpreted_pop_sequences(
+    const ProcessorProgram& p, const ChannelTable& chans) {
+  std::map<ChannelId, std::vector<std::int64_t>> seq;
+  for (const Op& op : p.ops) {
+    if (op.kind == Op::Kind::Receive) {
+      seq[chans.at(op.edge, op.peer, p.proc)].push_back(op.inst.iter);
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::size_t CompiledProgram::count(CompiledOp::Kind k) const {
+  std::size_t n = 0;
+  for (const CompiledThread& t : threads) {
+    for (const CompiledOp& op : t.ops) {
+      if (op.kind == k) ++n;
+    }
+  }
+  return n;
+}
+
+CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g) {
+  if (const auto violation = find_program_violation(prog, g)) {
+    detail::contract_fail("compiled lowering", violation->c_str());
+  }
+
+  CompiledProgram cp;
+  cp.processors = prog.processors;
+  const ChannelTable chans = build_channel_table(prog);
+  cp.channels = chans.descs;
+
+  for (const ProcessorProgram& p : prog.programs) {
+    if (p.ops.empty()) continue;
+    CompiledThread t;
+    // Fused receives must preserve each channel's pop order; lowering's
+    // receive-immediately-before-consumer placement always does, but a
+    // hand-built program may not — verify, and fall back to standalone
+    // receives when fusion would reorder a channel.
+    const bool fused = compile_thread(p, g, chans, /*fuse=*/true, t) &&
+                       compiled_pop_sequences(t) ==
+                           interpreted_pop_sequences(p, chans);
+    if (!fused) {
+      const bool ok = compile_thread(p, g, chans, /*fuse=*/false, t);
+      MIMD_ENSURES(ok);
+    }
+    for (const CompiledOp& op : t.ops) {
+      if (op.kind == CompiledOp::Kind::Compute) {
+        cp.iterations = std::max(cp.iterations, op.iter + 1);
+      }
+    }
+    cp.threads.push_back(std::move(t));
+  }
+  return cp;
+}
+
+}  // namespace mimd

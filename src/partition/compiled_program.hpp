@@ -1,0 +1,104 @@
+// The compiled form of a PartitionedProgram: every name the runtime would
+// otherwise resolve with a map lookup is resolved here, at lowering time.
+//
+// The interpreted form (partitioned_loop.hpp) identifies values by
+// (node, iteration) and channels by the (edge, src proc, dst proc) triple;
+// executing it forces the runtime to probe associative containers on every
+// operand and every message.  Compilation replaces both:
+//
+//  * channels get a dense ChannelId (index into a flat channel table), in
+//    first-use order across the program;
+//  * every value a processor holds locally lives in a per-thread flat slot
+//    array (one double per slot, SSA-style: each compute/receive writes a
+//    fresh slot), and every Compute operand becomes an OperandRef —
+//    LocalSlot (read a slot), ChannelRecv (pop the next message from a
+//    channel, tag-checked), or InitialValue (a pre-loop constant baked in
+//    at compile time).
+//
+// `find_program_violation` remains the validator: compile_program() runs it
+// first and throws ContractViolation on any ill-formed input, so a program
+// that compiles is by construction race-free and FIFO-consistent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "partition/partitioned_loop.hpp"
+
+namespace mimd {
+
+using ChannelId = std::uint32_t;
+using SlotId = std::uint32_t;
+
+/// One point-to-point FIFO channel, dense-indexed.
+struct ChannelDesc {
+  EdgeId edge = 0;
+  int src_proc = -1;
+  int dst_proc = -1;
+  /// Total messages this channel carries over the whole program — the
+  /// exact ring capacity needed so a bounded sender can never deadlock.
+  std::int64_t messages = 0;
+};
+
+/// A compiled Compute operand, resolved at lowering time.
+struct OperandRef {
+  enum class Kind : std::uint8_t { LocalSlot, ChannelRecv, InitialValue };
+  Kind kind = Kind::LocalSlot;
+  /// LocalSlot: slot index.  ChannelRecv: channel index.
+  std::uint32_t index = 0;
+  /// ChannelRecv: producing iteration (the FIFO tag the message must carry).
+  std::int64_t iter = 0;
+  /// InitialValue: the constant.
+  double initial = 0.0;
+};
+
+struct CompiledOp {
+  enum class Kind : std::uint8_t { Compute, Send, Receive };
+  Kind kind = Kind::Compute;
+  /// Compute: node computed.  Send/Receive: producing node (diagnostics).
+  NodeId node = kInvalidNode;
+  /// Compute: iteration executed.  Send/Receive: producing iteration (tag).
+  std::int64_t iter = 0;
+  /// Compute: destination slot.  Send: source slot.  Receive: destination.
+  SlotId slot = 0;
+  /// Send/Receive only.
+  ChannelId chan = 0;
+  /// Compute only: range [first_operand, first_operand + num_operands) into
+  /// CompiledThread::operands, in the graph's fixed in-edge order.
+  std::uint32_t first_operand = 0;
+  std::uint32_t num_operands = 0;
+};
+
+/// The straight-line program one thread executes.
+struct CompiledThread {
+  int proc = 0;
+  std::uint32_t num_slots = 0;
+  std::vector<CompiledOp> ops;
+  std::vector<OperandRef> operands;  ///< flat pool referenced by Compute ops
+};
+
+struct CompiledProgram {
+  int processors = 0;               ///< of the source PartitionedProgram
+  std::vector<ChannelDesc> channels;
+  /// Only processors with a non-empty program; order fixes thread spawn
+  /// (pinning) order at compile time.
+  std::vector<CompiledThread> threads;
+  /// 1 + the largest compute iteration — the minimum `n` a result buffer
+  /// must provide.
+  std::int64_t iterations = 0;
+
+  [[nodiscard]] std::size_t count(CompiledOp::Kind k) const;
+};
+
+/// Compile `prog` (validated against `g` with find_program_violation) into
+/// the slot-resolved form.  Throws ContractViolation — with the validator's
+/// message — if the program is ill-formed.
+///
+/// Receives are fused into their consuming Compute operand (ChannelRecv)
+/// whenever the fusion provably preserves the per-channel pop order; the
+/// rare unfusable receive (only reachable from hand-built programs) is kept
+/// as a standalone Receive op writing a slot.
+CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g);
+
+}  // namespace mimd

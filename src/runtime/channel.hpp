@@ -1,12 +1,12 @@
-// Blocking FIFO channel for the threaded MIMD runtime.
+// Blocking FIFO channel for the threaded MIMD runtime, mutex+condvar
+// flavor — the portable baseline transport (Transport::Mutex).
 //
 // One channel per (dependence edge, producer processor, consumer
 // processor); values flow in iteration order (the lowering guarantees
-// FIFO, see partition/partitioned_loop.hpp).  Mutex + condition variable:
-// correctness and portability over micro-optimization — the runtime's job
-// here is to demonstrate and validate partitioned execution, and the
-// compute payload per message is made large enough (see kernels.hpp)
-// that channel overhead is secondary.
+// FIFO, see partition/partitioned_loop.hpp).  The lock-free fast path
+// lives in runtime/spsc_ring.hpp; this implementation is kept as the
+// reference both can be validated and benchmarked against
+// (bench_channel_transport).
 #pragma once
 
 #include <condition_variable>
@@ -17,12 +17,16 @@
 
 namespace mimd {
 
+/// The unit every transport carries: one value, tagged with its producing
+/// iteration so receivers can assert FIFO delivery.
+struct ChannelMessage {
+  std::int64_t iter = 0;  ///< producing iteration, for FIFO validation
+  double value = 0.0;
+};
+
 class ValueChannel {
  public:
-  struct Message {
-    std::int64_t iter = 0;  ///< producing iteration, for FIFO validation
-    double value = 0.0;
-  };
+  using Message = ChannelMessage;
 
   void send(Message m) {
     {

@@ -1,0 +1,226 @@
+// The compiled executor: compile() -> ExecutorPlan -> run(), both
+// transports, against the bit-for-bit sequential oracle.
+#include <gtest/gtest.h>
+
+#include "partition/compiled_program.hpp"
+#include "partition/lowering.hpp"
+#include "runtime/executor.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/full_sched.hpp"
+#include "support/assert.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+PartitionedProgram fig7_program(const Ddg& g, std::int64_t n) {
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  EXPECT_TRUE(r.pattern.has_value());
+  return lower(materialize(*r.pattern, m.processors, n), g);
+}
+
+void expect_equal_values(const ExecutionResult& a,
+                         const std::vector<std::vector<double>>& b,
+                         std::int64_t n) {
+  ASSERT_EQ(a.values.size(), b.size());
+  for (std::size_t v = 0; v < b.size(); ++v) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(a.values[v][static_cast<std::size_t>(i)],
+                b[v][static_cast<std::size_t>(i)])
+          << "node " << v << " iter " << i;
+    }
+  }
+}
+
+// ---- Compilation: name resolution happens at lowering time. ----
+
+TEST(CompiledProgram, ResolvesChannelsDenselyAndFusesReceives) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = fig7_program(g, 20);
+  const CompiledProgram cp = compile_program(p, g);
+
+  EXPECT_EQ(cp.processors, p.processors);
+  EXPECT_EQ(cp.iterations, 20);
+  // Every Compute survives; every Send keeps its channel; every Receive is
+  // fused into a ChannelRecv operand (lowering places receives immediately
+  // before their consumer, which is always fusable).
+  EXPECT_EQ(cp.count(CompiledOp::Kind::Compute), p.count(Op::Kind::Compute));
+  EXPECT_EQ(cp.count(CompiledOp::Kind::Send), p.count(Op::Kind::Send));
+  EXPECT_EQ(cp.count(CompiledOp::Kind::Receive), 0u);
+
+  // Dense channel table: one entry per distinct (edge, src, dst), message
+  // counts summing to the program's sends.
+  EXPECT_GT(cp.channels.size(), 0u);
+  std::int64_t messages = 0;
+  for (const ChannelDesc& c : cp.channels) {
+    EXPECT_GE(c.messages, 1);
+    messages += c.messages;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(messages), p.count(Op::Kind::Send));
+
+  // ChannelRecv operands reference valid channels; exactly as many as the
+  // interpreted program had receives.
+  std::size_t recv_operands = 0;
+  for (const CompiledThread& t : cp.threads) {
+    for (const OperandRef& r : t.operands) {
+      if (r.kind == OperandRef::Kind::ChannelRecv) {
+        EXPECT_LT(r.index, cp.channels.size());
+        ++recv_operands;
+      }
+    }
+  }
+  EXPECT_EQ(recv_operands, p.count(Op::Kind::Receive));
+}
+
+TEST(CompiledProgram, SlotArraysAreDenseAndInBounds) {
+  const Ddg g = workloads::cytron86_loop();
+  const FullSchedResult r = full_sched(g, Machine{8, 2}, 16);
+  const CompiledProgram cp = compile_program(lower(r.schedule, g), g);
+  for (const CompiledThread& t : cp.threads) {
+    EXPECT_FALSE(t.ops.empty());
+    std::uint32_t writes = 0;
+    for (const CompiledOp& op : t.ops) {
+      if (op.kind == CompiledOp::Kind::Send) continue;
+      EXPECT_LT(op.slot, t.num_slots);
+      ++writes;
+    }
+    // SSA-style slot assignment: one fresh slot per compute/receive.
+    EXPECT_EQ(writes, t.num_slots);
+    for (const OperandRef& ref : t.operands) {
+      if (ref.kind == OperandRef::Kind::LocalSlot) {
+        EXPECT_LT(ref.index, t.num_slots);
+      }
+    }
+  }
+}
+
+// ---- The validator gates compilation. ----
+
+TEST(CompiledProgram, RejectsComputeBeforeOperand) {
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram p;
+  p.processors = 1;
+  p.programs.resize(1);
+  p.programs[0].proc = 0;
+  p.programs[0].ops.push_back(
+      Op{Op::Kind::Compute, Inst{*g.find("B"), 0}, 0, -1});
+  EXPECT_THROW((void)compile_program(p, g), ContractViolation);
+  EXPECT_THROW((void)compile(p, g), ContractViolation);
+}
+
+TEST(CompiledProgram, RejectsUnmatchedSend) {
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram p;
+  p.processors = 2;
+  p.programs.resize(2);
+  p.programs[0].proc = 0;
+  p.programs[1].proc = 1;
+  const NodeId a = *g.find("A");
+  const EdgeId ab = g.out_edges(a)[0];
+  p.programs[0].ops.push_back(Op{Op::Kind::Compute, Inst{a, 0}, 0, -1});
+  p.programs[0].ops.push_back(Op{Op::Kind::Send, Inst{a, 0}, ab, 1});
+  EXPECT_THROW((void)compile_program(p, g), ContractViolation);
+}
+
+TEST(CompiledProgram, RejectsFifoInversion) {
+  Ddg g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  g.add_edge(a, b, 0);
+  const EdgeId e = 0;
+  PartitionedProgram p;
+  p.processors = 2;
+  p.programs.resize(2);
+  p.programs[0].proc = 0;
+  p.programs[1].proc = 1;
+  auto& s0 = p.programs[0].ops;
+  auto& s1 = p.programs[1].ops;
+  s0.push_back(Op{Op::Kind::Compute, Inst{a, 0}, 0, -1});
+  s0.push_back(Op{Op::Kind::Send, Inst{a, 0}, e, 1});
+  s0.push_back(Op{Op::Kind::Compute, Inst{a, 1}, 0, -1});
+  s0.push_back(Op{Op::Kind::Send, Inst{a, 1}, e, 1});
+  s1.push_back(Op{Op::Kind::Receive, Inst{a, 1}, e, 0});  // inverted
+  s1.push_back(Op{Op::Kind::Compute, Inst{b, 1}, 0, -1});
+  s1.push_back(Op{Op::Kind::Receive, Inst{a, 0}, e, 0});
+  s1.push_back(Op{Op::Kind::Compute, Inst{b, 0}, 0, -1});
+  EXPECT_THROW((void)compile_program(p, g), ContractViolation);
+}
+
+// ---- Plan reuse and transport equivalence. ----
+
+TEST(ExecutorPlan, RepeatedRunsAreBitIdentical) {
+  const Ddg g = workloads::fig7_loop();
+  const std::int64_t n = 40;
+  const ExecutorPlan plan = compile(fig7_program(g, n), g);
+  const ExecutionResult first = plan.run(n);
+  const ExecutionResult second = plan.run(n);
+  const auto reference = run_sequential(g, n);
+  expect_equal_values(first, reference, n);
+  expect_equal_values(second, reference, n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(first.values[v][static_cast<std::size_t>(i)],
+                second.values[v][static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(ExecutorPlan, BothTransportsMatchSequential) {
+  const Ddg g = workloads::ll20_discrete_ordinates();
+  const Machine m{3, 2};
+  const std::int64_t n = 30;
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  ASSERT_TRUE(r.pattern.has_value());
+  const ExecutorPlan plan =
+      compile(lower(materialize(*r.pattern, m.processors, n), g), g);
+  const auto reference = run_sequential(g, n);
+
+  RunOptions mutex_opts;
+  mutex_opts.transport = Transport::Mutex;
+  expect_equal_values(plan.run(n, mutex_opts), reference, n);
+
+  RunOptions spsc_opts;
+  spsc_opts.transport = Transport::Spsc;
+  expect_equal_values(plan.run(n, spsc_opts), reference, n);
+}
+
+TEST(ExecutorPlan, CappedRingsExerciseBackpressureAndStayCorrect) {
+  const Ddg g = workloads::fig7_loop();
+  const std::int64_t n = 60;
+  const ExecutorPlan plan = compile(fig7_program(g, n), g);
+  RunOptions opts;
+  opts.transport = Transport::Spsc;
+  opts.channel_capacity = 2;  // rings of 2 instead of exact message counts
+  expect_equal_values(plan.run(n, opts), run_sequential(g, n), n);
+}
+
+TEST(ExecutorPlan, RandomLoopsMatchOnBothTransports) {
+  for (const std::uint64_t seed : {3u, 12u, 19u}) {
+    const Ddg g = workloads::random_connected_cyclic_loop(seed);
+    const Machine m{4, 3};
+    const std::int64_t n = 20;
+    const CyclicSchedResult r = cyclic_sched(g, m);
+    ASSERT_TRUE(r.pattern.has_value());
+    const ExecutorPlan plan =
+        compile(lower(materialize(*r.pattern, m.processors, n), g), g);
+    const auto reference = run_sequential(g, n);
+    for (const Transport t : {Transport::Mutex, Transport::Spsc}) {
+      RunOptions opts;
+      opts.transport = t;
+      expect_equal_values(plan.run(n, opts), reference, n);
+    }
+  }
+}
+
+TEST(ExecutorPlan, RunRejectsTooFewIterations) {
+  const Ddg g = workloads::fig7_loop();
+  const ExecutorPlan plan = compile(fig7_program(g, 20), g);
+  EXPECT_EQ(plan.program().iterations, 20);
+  EXPECT_THROW((void)plan.run(10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mimd

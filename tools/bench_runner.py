@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bench regression harness: run the google-benchmark targets and record
+their numbers as JSON at the repository root.
+
+Discovers benchmarks the same way bench/CMakeLists.txt does — a bench
+source that includes benchmark/benchmark.h is a google-benchmark target —
+then runs each built binary with --benchmark_format=json and writes
+BENCH_<name>.json next to this repository's top-level CMakeLists.txt.
+Plain driver benches (their own main() and ASCII tables) are skipped; they
+are demos, not regression series.
+
+Usage:
+    tools/bench_runner.py [--build-dir BUILD] [--out-dir DIR]
+                          [--filter REGEX] [--min-time SECONDS]
+
+Exit status is non-zero if any discovered benchmark binary is missing or
+fails, so CI can surface breakage — the CI job itself is non-gating
+(continue-on-error), because bench numbers on shared runners are a record,
+not a pass/fail oracle.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GBENCH_INCLUDE = re.compile(r"benchmark/benchmark\.h")
+
+
+def discover_gbench_sources(bench_dir: Path) -> list[str]:
+    names = []
+    for src in sorted(bench_dir.glob("bench_*.cpp")):
+        head = src.read_text(errors="replace")[:4096]
+        if GBENCH_INCLUDE.search(head):
+            names.append(src.stem)
+    return names
+
+
+def run_one(binary: Path, out_path: Path, min_time: float) -> bool:
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    print(f"bench_runner: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print(f"bench_runner: {binary.name} FAILED (exit {proc.returncode})")
+        return False
+    payload = json.loads(proc.stdout)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    rows = payload.get("benchmarks", [])
+    print(f"bench_runner: wrote {out_path} ({len(rows)} benchmarks)")
+    return True
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=str(REPO_ROOT / "build"))
+    ap.add_argument("--out-dir", default=str(REPO_ROOT),
+                    help="where BENCH_<name>.json files go (repo root)")
+    ap.add_argument("--filter", default="",
+                    help="only run benches whose name matches this regex")
+    ap.add_argument("--min-time", type=float, default=0.5,
+                    help="--benchmark_min_time per benchmark")
+    args = ap.parse_args()
+
+    bench_bin_dir = Path(args.build_dir) / "bench"
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = discover_gbench_sources(REPO_ROOT / "bench")
+    if args.filter:
+        names = [n for n in names if re.search(args.filter, n)]
+    if not names:
+        print("bench_runner: no google-benchmark targets matched")
+        return 1
+
+    failures = 0
+    for name in names:
+        binary = bench_bin_dir / name
+        if not binary.exists():
+            print(f"bench_runner: missing binary {binary} "
+                  f"(build the bench_all target first)")
+            failures += 1
+            continue
+        if not run_one(binary, out_dir / f"BENCH_{name}.json", args.min_time):
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@
 //     --code      print the PARBEGIN pseudo-code        (default)
 //     --c         print a compilable C11+pthreads program
 //     --compare   print the comparison against DOACROSS
+//     --run       execute the partitioned program on real threads and
+//                 validate bit-for-bit against sequential execution
+//     --runtime=<mutex|spsc>
+//                 channel transport for --run (implies --run; default spsc)
 //
 // Example:
 //   echo 'for i:
@@ -27,13 +31,15 @@
 #include "ir/ifconvert.hpp"
 #include "ir/parser.hpp"
 #include "partition/c_codegen.hpp"
+#include "runtime/executor.hpp"
 
 namespace {
 
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::cerr << "mimdc: " << msg << "\n";
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
-               "[--schedule] [--code] [--c] [--compare] <file|->\n";
+               "[--schedule] [--code] [--c] [--compare] [--run] "
+               "[--runtime=<mutex|spsc>  (implies --run)] <file|->\n";
   std::exit(2);
 }
 
@@ -56,7 +62,8 @@ int main(int argc, char** argv) {
   int procs = 4, k = 1;
   std::int64_t n = 64;
   bool fold = false, want_dot = false, want_sched = false, want_code = false,
-       want_c = false, want_compare = false;
+       want_c = false, want_compare = false, want_run = false;
+  Transport transport = Transport::Spsc;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +90,18 @@ int main(int argc, char** argv) {
       want_c = true;
     } else if (a == "--compare") {
       want_compare = true;
+    } else if (a == "--run") {
+      want_run = true;
+    } else if (a.rfind("--runtime=", 0) == 0) {
+      const std::string which = a.substr(10);
+      if (which == "mutex") {
+        transport = Transport::Mutex;
+      } else if (which == "spsc") {
+        transport = Transport::Spsc;
+      } else {
+        usage("--runtime must be mutex or spsc");
+      }
+      want_run = true;  // choosing a transport is asking for execution
     } else if (a == "--help" || a == "-h") {
       usage(nullptr);
     } else if (!a.empty() && a[0] == '-' && a != "-") {
@@ -95,7 +114,8 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) usage("no input");
   if (procs < 1 || k < 0 || n < 1) usage("bad -p/-k/-n value");
-  if (!want_dot && !want_sched && !want_code && !want_c && !want_compare) {
+  if (!want_dot && !want_sched && !want_code && !want_c && !want_compare &&
+      !want_run) {
     want_code = true;
   }
 
@@ -132,6 +152,23 @@ int main(int argc, char** argv) {
     if (want_c) {
       std::cout << emit_c_program(r.program, r.normalized.graph,
                                   r.normalized_iterations);
+    }
+    if (want_run) {
+      const ExecutorPlan plan = compile(r.program, r.normalized.graph);
+      RunOptions ropts;
+      ropts.transport = transport;
+      const ExecutionResult par =
+          plan.run(r.normalized_iterations, ropts);
+      const ExecutionResult reference =
+          run_reference(r.normalized.graph, r.normalized_iterations);
+      const bool ok = values_match(par, reference, r.normalized_iterations);
+      std::cout << "run      : "
+                << (transport == Transport::Spsc ? "spsc" : "mutex")
+                << " transport, " << plan.program().threads.size()
+                << " threads, " << plan.program().channels.size()
+                << " channels, " << par.wall_seconds << " s, "
+                << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
+      if (!ok) return 1;
     }
     if (want_compare) {
       const FigureComparison cmp = compare_on(dep.graph, machine, n);
