@@ -1,74 +1,153 @@
-// Real-thread execution of partitioned loops: wall-clock speedup over
-// sequential execution on this host, with bitwise result validation.
-// Grain is controlled by work_per_cycle (the paper's footnote 3: node
-// execution time should be of the same order as communication cost).
+// Real-thread execution of partitioned loops (google-benchmark).  Grain is
+// controlled by work_per_cycle (the paper's footnote 3: node execution
+// time should be of the same order as communication cost).
 //
 // Uses the compiled-plan API: each loop is compiled once
-// (compile -> ExecutorPlan) and the same plan is executed with both
-// transports, so the table isolates transport cost from plan construction.
-#include <cstdio>
-#include <iostream>
+// (compile -> ExecutorPlan) and the same plan is executed under both
+// transports plus the sequential reference, so the series isolates
+// transport cost from plan construction.  Counters report the liveness
+// pass's effect (slots vs slots_ssa) so a slot-reuse regression shows up
+// in the recorded JSON, not just in wall time.
+//
+// tools/bench_runner.py records these as BENCH_bench_runtime_threads.json;
+// tools/bench_diff.py diffs two snapshots (CI keeps the previous run's
+// artifact for exactly that).  Set MIMD_BENCH_SLOTS=ssa to compile the
+// plans without the liveness pass — record one JSON per policy and diff
+// them to check slot reuse itself never regresses the hot path.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "core/mimd.hpp"
 #include "partition/lowering.hpp"
 #include "runtime/executor.hpp"
-#include "support/table.hpp"
 #include "workloads/livermore.hpp"
 #include "workloads/paper_examples.hpp"
 
 namespace {
 
-struct Case {
-  const char* name;
-  mimd::Ddg g;
+using namespace mimd;
+
+constexpr std::int64_t kIterations = 400;
+constexpr int kWorkPerCycle = 4000;  // coarse grain: channels amortized
+
+Ddg loop_by_name(const std::string& name) {
+  if (name == "fig7") return workloads::fig7_loop();
+  if (name == "LL18") return workloads::livermore18_loop();
+  if (name == "LL20") return workloads::ll20_discrete_ordinates();
+  // Loud on a kLoops entry with no mapping — a silent fallback would
+  // record a mislabeled benchmark series.
+  MIMD_EXPECTS(name == "elliptic");
+  return workloads::elliptic_filter_loop();
+}
+
+ExecutorPlan make_plan(const Ddg& g) {
+  const Machine m{2, 2};
+  FullSchedOptions fold;
+  fold.flow_strategy = FlowStrategy::Fold;
+  const FullSchedResult sched = full_sched(g, m, kIterations, fold);
+  CompileOptions copts;
+  const char* policy = std::getenv("MIMD_BENCH_SLOTS");
+  if (policy != nullptr && std::string(policy) == "ssa") {
+    copts.slots = SlotPolicy::Ssa;
+  }
+  return compile(lower(sched.schedule, g), g, copts);
+}
+
+struct LoopCase {
+  ExecutorPlan plan;
+  ExecutionResult reference;
 };
 
-const char* transport_name(mimd::Transport t) {
-  return t == mimd::Transport::Spsc ? "spsc" : "mutex";
+/// google-benchmark re-enters each benchmark function several times
+/// (iteration-count estimation, --min-time); cache the compiled plan and
+/// the sequential reference per loop so that setup runs once, not per
+/// re-entry.  Benchmarks run sequentially, so no locking.
+const LoopCase& cached_case(const std::string& name) {
+  static std::map<std::string, LoopCase> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const Ddg g = loop_by_name(name);
+    KernelOptions kernel;
+    kernel.work_per_cycle = kWorkPerCycle;
+    LoopCase c{make_plan(g), run_reference(g, kIterations, kernel)};
+    it = cache.emplace(name, std::move(c)).first;
+  }
+  return it->second;
 }
 
-}  // namespace
-
-int main() {
-  using namespace mimd;
-  const Case cases[] = {
-      {"fig7", workloads::fig7_loop()},
-      {"LL18", workloads::livermore18_loop()},
-      {"LL20", workloads::ll20_discrete_ordinates()},
-      {"elliptic", workloads::elliptic_filter_loop()},
-  };
-  const Machine m{2, 2};  // one thread per core on this host
-  const std::int64_t n = 1500;
+void BM_Threaded(benchmark::State& state, const std::string& name,
+                 Transport transport) {
+  const LoopCase& c = cached_case(name);
+  const ExecutorPlan& plan = c.plan;
   KernelOptions kernel;
-  kernel.work_per_cycle = 25000;  // coarse grain: channel overhead amortized
+  kernel.work_per_cycle = kWorkPerCycle;
+  RunOptions opts{kernel};
+  opts.transport = transport;
 
-  Table t({"loop", "predicted Sp (%)", "threads", "transport", "seq (s)",
-           "par (s)", "speedup", "valid"});
-  for (const Case& c : cases) {
-    FullSchedOptions fold;
-    fold.flow_strategy = FlowStrategy::Fold;
-    const FullSchedResult sched = full_sched(c.g, m, n, fold);
-    const ExecutorPlan plan = compile(lower(sched.schedule, c.g), c.g);
+  // Validate once per (loop, transport), outside the timed loop: the
+  // bench must not record a number for a wrong execution.
+  static std::set<std::string> validated;
+  const std::string key =
+      name + (transport == Transport::Spsc ? "/spsc" : "/mutex");
+  if (validated.find(key) == validated.end()) {
+    if (!values_match(plan.run(kIterations, opts), c.reference,
+                      kIterations)) {
+      state.SkipWithError("threaded execution mismatched sequential");
+      return;
+    }
+    validated.insert(key);
+  }
 
-    const ExecutionResult seq = run_reference(c.g, n, kernel);
-    for (const Transport transport : {Transport::Mutex, Transport::Spsc}) {
-      RunOptions opts{kernel};
-      opts.transport = transport;
-      const ExecutionResult par = plan.run(n, opts);
-      const bool ok = values_match(par, seq, n);
-      t.add_row({c.name,
-                 fmt_fixed(percentage_parallelism_asymptotic(
-                               c.g.body_latency(), sched.steady_ii),
-                           1),
-                 std::to_string(m.processors), transport_name(transport),
-                 fmt_fixed(seq.wall_seconds, 3),
-                 fmt_fixed(par.wall_seconds, 3),
-                 fmt_fixed(seq.wall_seconds / par.wall_seconds, 2),
-                 ok ? "bitwise" : "MISMATCH"});
+  for (auto _ : state) {
+    const ExecutionResult res = plan.run(kIterations, opts);
+    benchmark::DoNotOptimize(res.values.data());
+  }
+  state.counters["threads"] =
+      static_cast<double>(plan.program().threads.size());
+  state.counters["channels"] =
+      static_cast<double>(plan.program().channels.size());
+  state.counters["slots"] = static_cast<double>(plan.program().total_slots());
+  state.counters["slots_ssa"] =
+      static_cast<double>(plan.program().total_slots_ssa());
+}
+
+void BM_Sequential(benchmark::State& state, const std::string& name) {
+  const Ddg g = loop_by_name(name);
+  KernelOptions kernel;
+  kernel.work_per_cycle = kWorkPerCycle;
+  for (auto _ : state) {
+    const ExecutionResult res = run_reference(g, kIterations, kernel);
+    benchmark::DoNotOptimize(res.values.data());
+  }
+}
+
+const char* kLoops[] = {"fig7", "LL18", "LL20", "elliptic"};
+
+[[maybe_unused]] const bool registered = [] {
+  for (const char* loop : kLoops) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Sequential/") + loop).c_str(),
+        [loop](benchmark::State& s) { BM_Sequential(s, loop); })
+        ->Unit(benchmark::kMillisecond);
+    for (const Transport t : {Transport::Mutex, Transport::Spsc}) {
+      const std::string tag =
+          std::string("BM_Threaded/") + loop +
+          (t == Transport::Spsc ? "/spsc" : "/mutex");
+      benchmark::RegisterBenchmark(
+          tag.c_str(), [loop, t](benchmark::State& s) {
+            BM_Threaded(s, loop, t);
+          })
+          ->Unit(benchmark::kMillisecond);
     }
   }
-  std::cout << t.str();
-  std::puts("\n(speedup is bounded by min(predicted, cores); plans are "
-            "compiled once and reused across transports)");
-  return 0;
-}
+  return true;
+}();
+
+}  // namespace
+// main() comes from benchmark::benchmark_main (see bench/CMakeLists.txt);
+// the static registrar above runs before it.

@@ -1,54 +1,26 @@
 #include "partition/c_codegen.hpp"
 
-#include <cctype>
 #include <optional>
-#include <map>
 #include <sstream>
-#include <tuple>
+#include <string>
 #include <vector>
+
+#include "graph/algorithms.hpp"
+#include "runtime/kernels.hpp"
 
 namespace mimd {
 
 namespace {
 
-/// C identifier for a node's value array ('#' from unrolled copies and
-/// other punctuation mapped to '_').
-std::string array_name(const Ddg& g, NodeId v) {
-  std::string s = "V_" + g.node(v).name;
-  for (char& c : s) {
-    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')) {
-      c = '_';
-    }
-  }
-  return s;
-}
-
-/// The C expression for one operand of (v, iter): either the initial
-/// value (iteration < 0) or the producer's array slot.
-std::string operand_expr(const Ddg& g, const Edge& e) {
+/// A double literal that round-trips bit-for-bit through the C compiler.
+std::string fmt_double(double x) {
   std::ostringstream out;
-  out << "(i - " << e.distance << " < 0 ? " << "0.5 * (" << e.src
-      << " + 1.0) : " << array_name(g, e.src) << "[i - " << e.distance
-      << "])";
+  out.precision(17);
+  out << x;
   return out.str();
 }
 
-/// Emit the body of the synthetic node function for v — the exact C
-/// translation of runtime/kernels.hpp's synthetic_value (work knob 0).
-void emit_compute(const Ddg& g, NodeId v, std::ostringstream& out,
-                  const char* iter_var) {
-  out << "    {\n      long long i = " << iter_var << ";\n"
-      << "      double acc = " << g.node(v).latency << ".0 + 0.001 * "
-      << v << ".0 + 1e-6 * (double)(i % 1024);\n";
-  for (const EdgeId eid : g.in_edges(v)) {
-    out << "      acc = 0.5 * acc + 0.25 * " << operand_expr(g, g.edge(eid))
-        << " + 0.125;\n";
-  }
-  out << "      if (acc > 4.0) acc -= 4.0;\n"
-      << "      " << array_name(g, v) << "[i] = acc;\n    }\n";
-}
-
-/// Detected periodic structure of one processor's op stream: ops
+/// Detected periodic structure of one thread's compiled op stream: ops
 /// [0, prologue) straight-line, then `reps` repetitions of ops
 /// [prologue, prologue + period) with iteration shift `iter_shift` per
 /// repetition, then the remainder straight-line.
@@ -59,38 +31,68 @@ struct RolledShape {
   std::int64_t iter_shift = 0;
 };
 
-bool ops_equal_shifted(const Op& a, const Op& b, std::int64_t di) {
-  return a.kind == b.kind && a.inst.node == b.inst.node && a.edge == b.edge &&
-         a.peer == b.peer && b.inst.iter - a.inst.iter == di;
+bool operand_equal_shifted(const OperandRef& a, const OperandRef& b,
+                           std::int64_t di) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case OperandRef::Kind::LocalSlot:
+      return a.index == b.index;
+    case OperandRef::Kind::ChannelRecv:
+      return a.index == b.index && b.iter - a.iter == di;
+    case OperandRef::Kind::InitialValue:
+      return a.initial == b.initial;
+  }
+  return false;
+}
+
+/// Two compiled ops are a periodic pair iff they touch the same slots and
+/// channels and differ only by the iteration shift `di`.  Boundary
+/// instances (whose operands were resolved to InitialValue, or whose sends
+/// are absent because the consumer falls beyond N) never pair with
+/// steady-state ones, so they stay in the prologue/epilogue automatically.
+bool ops_equal_shifted(const CompiledThread& t, std::size_t ia,
+                       std::size_t ib, std::int64_t di) {
+  const CompiledOp& a = t.ops[ia];
+  const CompiledOp& b = t.ops[ib];
+  if (a.kind != b.kind || a.node != b.node || a.slot != b.slot ||
+      a.chan != b.chan || a.num_operands != b.num_operands ||
+      b.iter - a.iter != di) {
+    return false;
+  }
+  for (std::uint32_t j = 0; j < a.num_operands; ++j) {
+    if (!operand_equal_shifted(t.operands[a.first_operand + j],
+                               t.operands[b.first_operand + j], di)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Find the smallest period p whose repetitions cover the longest window
 /// around the middle of the stream with at least three full repetitions.
-/// The stream's head (greedy warm-up) and tail (boundary instances whose
-/// consumers fall beyond N, so their sends are absent) are not periodic;
-/// they stay straight-line as prologue/epilogue.
-std::optional<RolledShape> detect_period(const std::vector<Op>& ops) {
-  const std::size_t len = ops.size();
+/// The stream's head (greedy warm-up) and tail are not periodic; they stay
+/// straight-line as prologue/epilogue.
+std::optional<RolledShape> detect_period(const CompiledThread& t) {
+  const std::size_t len = t.ops.size();
   if (len < 6) return std::nullopt;
   const std::size_t anchor = len / 2;
   for (std::size_t p = 1; p * 3 <= len && anchor + p < len; ++p) {
-    const std::int64_t di =
-        ops[anchor + p].inst.iter - ops[anchor].inst.iter;
+    const std::int64_t di = t.ops[anchor + p].iter - t.ops[anchor].iter;
     if (di <= 0) continue;
     // Expand the pairwise-equal zone around the anchor.
     std::size_t s = anchor;
-    while (s > 0 && ops_equal_shifted(ops[s - 1], ops[s - 1 + p], di)) --s;
-    std::size_t t = anchor;
-    while (t + p < len && ops_equal_shifted(ops[t], ops[t + p], di)) ++t;
-    if (t < anchor || !ops_equal_shifted(ops[anchor], ops[anchor + p], di)) {
+    while (s > 0 && ops_equal_shifted(t, s - 1, s - 1 + p, di)) --s;
+    std::size_t e = anchor;
+    while (e + p < len && ops_equal_shifted(t, e, e + p, di)) ++e;
+    if (e < anchor || !ops_equal_shifted(t, anchor, anchor + p, di)) {
       continue;
     }
-    // [s, t + p) tiles with period p; align whole repetitions to its end.
-    const std::size_t run = t + p - s;
+    // [s, e + p) tiles with period p; align whole repetitions to its end.
+    const std::size_t run = e + p - s;
     const std::int64_t reps = static_cast<std::int64_t>(run / p);
     if (reps < 3) continue;
     RolledShape shape;
-    shape.prologue = (t + p) - static_cast<std::size_t>(reps) * p;
+    shape.prologue = (e + p) - static_cast<std::size_t>(reps) * p;
     shape.period = p;
     shape.reps = reps;
     shape.iter_shift = di;
@@ -99,104 +101,219 @@ std::optional<RolledShape> detect_period(const std::vector<Op>& ops) {
   return std::nullopt;
 }
 
-using ChanKey = std::tuple<EdgeId, int, int>;
-
-std::map<ChanKey, int> enumerate_channels(const PartitionedProgram& prog) {
-  std::map<ChanKey, int> chans;
-  for (const ProcessorProgram& p : prog.programs) {
-    for (const Op& op : p.ops) {
-      if (op.kind == Op::Kind::Send) {
-        chans.try_emplace(ChanKey{op.edge, p.proc, op.peer},
-                          static_cast<int>(chans.size()));
-      }
-    }
+/// Emit the channel type + send/recv functions for the chosen transport.
+/// Both carry double values through a power-of-two ring buffer; exact
+/// sizing (ring_capacity of the channel's total message count) means a
+/// send never finds the ring full in either implementation.
+void emit_channel_runtime(std::ostringstream& out, Transport transport) {
+  if (transport == Transport::Spsc) {
+    out << "/* Lock-free SPSC value ring — the C11 mirror of the in-process\n"
+           " * executor's runtime/spsc_ring.hpp: producer and consumer\n"
+           " * cursors on separate cache lines, each side caching the\n"
+           " * other's cursor; release-stores publish progress, acquire-\n"
+           " * loads observe it.  Exact capacity makes send wait-free. */\n"
+        << "typedef struct {\n"
+        << "  double* buf;\n"
+        << "  long long mask;\n"
+        << "  _Alignas(64) _Atomic long long head; /* producer line */\n"
+        << "  long long cached_tail;\n"
+        << "  _Alignas(64) _Atomic long long tail; /* consumer line */\n"
+        << "  long long cached_head;\n"
+        << "  _Alignas(64) char pad_;\n"
+        << "} chan_t;\n"
+        << "static void chan_send(chan_t* c, double v) {\n"
+        << "  long long head = atomic_load_explicit(&c->head, "
+           "memory_order_relaxed);\n"
+        << "  while (head - c->cached_tail > c->mask) { /* full: only if "
+           "capped */\n"
+        << "    sched_yield();\n"
+        << "    c->cached_tail = atomic_load_explicit(&c->tail, "
+           "memory_order_acquire);\n"
+        << "  }\n"
+        << "  c->buf[head & c->mask] = v;\n"
+        << "  atomic_store_explicit(&c->head, head + 1, "
+           "memory_order_release);\n"
+        << "}\n"
+        << "static double chan_recv(chan_t* c) {\n"
+        << "  long long tail = atomic_load_explicit(&c->tail, "
+           "memory_order_relaxed);\n"
+        << "  if (c->cached_head == tail) { /* looks empty: refresh, wait "
+           "*/\n"
+        << "    long long spin = 0;\n"
+        << "    do {\n"
+        << "      if ((++spin & 63) == 0) sched_yield();\n"
+        << "      c->cached_head = atomic_load_explicit(&c->head, "
+           "memory_order_acquire);\n"
+        << "    } while (c->cached_head == tail);\n"
+        << "  }\n"
+        << "  double v = c->buf[tail & c->mask];\n"
+        << "  atomic_store_explicit(&c->tail, tail + 1, "
+           "memory_order_release);\n"
+        << "  return v;\n"
+        << "}\n\n";
+  } else {
+    out << "/* Mutex+condvar value queue — portability fallback for\n"
+           " * pre-C11-atomics toolchains, and the contention baseline the\n"
+           " * paper's communication-cost argument is about.  Same ring\n"
+           " * storage and exact sizing, so send never blocks on full. */\n"
+        << "typedef struct {\n"
+        << "  double* buf;\n"
+        << "  long long mask;\n"
+        << "  pthread_mutex_t mu;\n"
+        << "  pthread_cond_t cv;\n"
+        << "  long long head;\n"
+        << "  long long tail;\n"
+        << "} chan_t;\n"
+        << "static void chan_send(chan_t* c, double v) {\n"
+        << "  pthread_mutex_lock(&c->mu);\n"
+        << "  c->buf[c->head++ & c->mask] = v;\n"
+        << "  pthread_cond_signal(&c->cv);\n"
+        << "  pthread_mutex_unlock(&c->mu);\n"
+        << "}\n"
+        << "static double chan_recv(chan_t* c) {\n"
+        << "  pthread_mutex_lock(&c->mu);\n"
+        << "  while (c->head == c->tail) pthread_cond_wait(&c->cv, "
+           "&c->mu);\n"
+        << "  double v = c->buf[c->tail++ & c->mask];\n"
+        << "  pthread_mutex_unlock(&c->mu);\n"
+        << "  return v;\n"
+        << "}\n\n";
   }
-  return chans;
+}
+
+/// The synthetic-kernel combine as C — the single point of truth for the
+/// exact translation of runtime/kernels.hpp's synthetic_value (work knob
+/// 0), shared by the per-thread emission and the sequential reference:
+/// seeds `acc`, folds one `operand_exprs` entry per in-edge in order,
+/// wraps at 4.0.  The caller stores `acc` wherever its values live.
+void emit_kernel_combine(std::ostringstream& out, const Ddg& g, NodeId v,
+                         const char* iter_var, const char* indent,
+                         const std::vector<std::string>& operand_exprs) {
+  out << indent << "double acc = " << g.node(v).latency << ".0 + 0.001 * "
+      << v << ".0 + 1e-6 * (double)(" << iter_var << " % 1024);\n";
+  for (const std::string& e : operand_exprs) {
+    out << indent << "acc = 0.5 * acc + 0.25 * " << e << " + 0.125;\n";
+  }
+  out << indent << "if (acc > 4.0) acc -= 4.0;\n";
+}
+
+/// One compiled op as C.  `iter_expr` is the op's iteration as a C
+/// expression — a literal in straight-line code, `(base + r * shift)` in a
+/// rolled steady state.
+void emit_op(std::ostringstream& out, const CompiledThread& t,
+             const CompiledOp& op, const Ddg& g,
+             const std::string& iter_expr, const char* note) {
+  switch (op.kind) {
+    case CompiledOp::Kind::Compute: {
+      out << "  { /* " << g.node(op.node).name << "[" << iter_expr << "]"
+          << note << " -> s[" << op.slot << "] */\n"
+          << "    long long i = " << iter_expr << ";\n";
+      // Gather operands into locals first: a reused slot may die at this
+      // op's reads and serve as its own destination.
+      std::vector<std::string> operand_exprs;
+      for (std::uint32_t j = 0; j < op.num_operands; ++j) {
+        const OperandRef& r = t.operands[op.first_operand + j];
+        out << "    double a" << j << " = ";
+        switch (r.kind) {
+          case OperandRef::Kind::LocalSlot:
+            out << "s[" << r.index << "];\n";
+            break;
+          case OperandRef::Kind::ChannelRecv:
+            out << "chan_recv(&chans[" << r.index << "]);\n";
+            break;
+          case OperandRef::Kind::InitialValue:
+            out << fmt_double(r.initial) << ";\n";
+            break;
+        }
+        operand_exprs.push_back("a" + std::to_string(j));
+      }
+      emit_kernel_combine(out, g, op.node, "i", "    ", operand_exprs);
+      out << "    s[" << op.slot << "] = acc;\n"
+          << "    R[" << op.node << "][i] = acc;\n  }\n";
+      break;
+    }
+    case CompiledOp::Kind::Send:
+      out << "  chan_send(&chans[" << op.chan << "], s[" << op.slot
+          << "]); /* " << g.node(op.node).name << "[" << iter_expr
+          << "]" << note << " */\n";
+      break;
+    case CompiledOp::Kind::Receive:
+      out << "  s[" << op.slot << "] = chan_recv(&chans[" << op.chan
+          << "]); /* " << g.node(op.node).name << "[" << iter_expr << "]"
+          << note << " */\n";
+      break;
+  }
 }
 
 }  // namespace
 
-std::string emit_c_program(const PartitionedProgram& prog, const Ddg& g,
-                           std::int64_t iterations,
-                           bool roll_steady_state) {
-  MIMD_EXPECTS(iterations >= 1);
-  const auto chans = enumerate_channels(prog);
+std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
+                           const CEmitOptions& opts) {
+  // main() compares every (node, i < N) entry, so N is exactly the
+  // compiled iteration count; a program computing nothing has no N.
+  MIMD_EXPECTS(cp.iterations >= 1);
+  const std::int64_t iterations = cp.iterations;
+  const std::size_t nchans = cp.channels.size();
+  const std::size_t nthreads = cp.threads.size();
 
   std::ostringstream out;
   out << "/* Generated by mimd-pattern-sched: partitioned MIMD loop.\n"
+      << " * Lowered from the same CompiledProgram the in-process executor\n"
+      << " * runs: per-thread slot arrays ("
+      << cp.total_slots() << " slots total, " << cp.total_slots_ssa()
+      << " before liveness reuse) and "
+      << (opts.transport == Transport::Spsc
+              ? "lock-free C11 SPSC value rings"
+              : "mutex+condvar value queues")
+      << ".\n"
       << " * Build: cc -O2 -std=c11 -pthread this_file.c\n"
       << " * Exit status 0 and a final \"OK\" line mean the parallel\n"
       << " * execution matched sequential execution bit for bit. */\n"
-      << "#include <pthread.h>\n#include <stdio.h>\n#include <stdlib.h>\n\n"
-      << "#define N " << iterations << "LL\n\n";
-
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    out << "static double " << array_name(g, v) << "[N];\n";
+      << "#include <pthread.h>\n"
+      << "#include <sched.h>\n"
+      << "#include <stdio.h>\n";
+  if (opts.transport == Transport::Spsc) {
+    out << "#include <stdatomic.h>\n";
   }
-  out << "static double R_check[" << g.num_nodes() << "][N];\n\n";
+  out << "\n#define N " << iterations << "LL\n"
+      << "#define NODES " << g.num_nodes() << "\n\n"
+      << "/* R[v][i]: written only by the thread computing (v, i);\n"
+      << " * SEQ[v][i]: the in-program sequential recompute. */\n"
+      << "static double R[NODES][N];\n"
+      << "static double SEQ[NODES][N];\n\n";
 
-  // Token channels: a counting semaphore per channel keeps FIFO order
-  // trivially (tokens are indistinguishable; values travel through the
-  // arrays, ordered by the channel mutex).
-  out << "typedef struct { pthread_mutex_t mu; pthread_cond_t cv; long "
-         "tokens; } chan_t;\n"
-      << "static chan_t chans[" << (chans.empty() ? 1 : chans.size())
-      << "];\n"
-      << "static void chan_send(chan_t* c) {\n"
-      << "  pthread_mutex_lock(&c->mu);\n"
-      << "  c->tokens++;\n"
-      << "  pthread_cond_signal(&c->cv);\n"
-      << "  pthread_mutex_unlock(&c->mu);\n"
-      << "}\n"
-      << "static void chan_recv(chan_t* c) {\n"
-      << "  pthread_mutex_lock(&c->mu);\n"
-      << "  while (c->tokens == 0) pthread_cond_wait(&c->cv, &c->mu);\n"
-      << "  c->tokens--;\n"
-      << "  pthread_mutex_unlock(&c->mu);\n"
-      << "}\n\n";
+  emit_channel_runtime(out, opts.transport);
 
-  // One function per processor.
-  auto emit_op = [&](const Op& op, int proc, const std::string& iter_expr,
-                     const char* note) {
-    switch (op.kind) {
-      case Op::Kind::Compute:
-        out << "  /* " << g.node(op.inst.node).name << "[" << iter_expr
-            << "]" << note << " */\n";
-        {
-          std::ostringstream body;
-          emit_compute(g, op.inst.node, body, iter_expr.c_str());
-          out << body.str();
-        }
-        break;
-      case Op::Kind::Send:
-        out << "  chan_send(&chans["
-            << chans.at(ChanKey{op.edge, proc, op.peer}) << "]); /* "
-            << g.node(op.inst.node).name << "[" << iter_expr << "] -> PE"
-            << op.peer << note << " */\n";
-        break;
-      case Op::Kind::Receive:
-        out << "  chan_recv(&chans["
-            << chans.at(ChanKey{op.edge, op.peer, proc}) << "]); /* "
-            << g.node(op.inst.node).name << "[" << iter_expr << "] <- PE"
-            << op.peer << note << " */\n";
-        break;
-    }
-  };
+  // Channel storage: one static buffer per channel, sized by the shared
+  // ring_capacity policy (runtime/transport.hpp) from the channel's exact
+  // message count — the same capacity the in-process executor would give
+  // its SpscChannel for this program.
+  for (std::size_t c = 0; c < nchans; ++c) {
+    const ChannelDesc& d = cp.channels[c];
+    out << "static double chan" << c << "_buf["
+        << ring_capacity(d.messages) << "]; /* edge " << d.edge << ", PE"
+        << d.src_proc << " -> PE" << d.dst_proc << ", " << d.messages
+        << " messages */\n";
+  }
+  out << "static chan_t chans[" << (nchans == 0 ? 1 : nchans) << "];\n\n";
 
-  for (const ProcessorProgram& p : prog.programs) {
-    if (p.ops.empty()) continue;
-    out << "static void* pe" << p.proc << "_main(void* arg) {\n"
-        << "  (void)arg;\n";
+  // One function per compiled thread, each with its fixed slot array.
+  for (const CompiledThread& t : cp.threads) {
+    out << "static void* pe" << t.proc << "_main(void* arg) {\n"
+        << "  (void)arg;\n"
+        << "  double s[" << (t.num_slots == 0 ? 1 : t.num_slots)
+        << "]; /* " << t.num_slots_ssa << " values, " << t.num_slots
+        << " after liveness reuse */\n";
     const auto shape =
-        roll_steady_state ? detect_period(p.ops) : std::nullopt;
+        opts.roll_steady_state ? detect_period(t) : std::nullopt;
     if (!shape.has_value()) {
-      for (const Op& op : p.ops) {
-        emit_op(op, p.proc, std::to_string(op.inst.iter), "");
+      for (const CompiledOp& op : t.ops) {
+        emit_op(out, t, op, g, std::to_string(op.iter), "");
       }
     } else {
       // Prologue, straight-line.
       for (std::size_t j = 0; j < shape->prologue; ++j) {
-        emit_op(p.ops[j], p.proc, std::to_string(p.ops[j].inst.iter), "");
+        emit_op(out, t, t.ops[j], g, std::to_string(t.ops[j].iter), "");
       }
       // Steady state, rolled: the paper's per-processor subloop.
       out << "  for (long long r = 0; r < " << shape->reps
@@ -204,94 +321,67 @@ std::string emit_c_program(const PartitionedProgram& prog, const Ddg& g,
           << shape->iter_shift << " iteration(s) per trip */\n";
       for (std::size_t j = shape->prologue;
            j < shape->prologue + shape->period; ++j) {
-        const Op& op = p.ops[j];
-        const std::string expr = "(" + std::to_string(op.inst.iter) +
-                                 " + r * " +
+        const CompiledOp& op = t.ops[j];
+        const std::string expr = "(" + std::to_string(op.iter) + " + r * " +
                                  std::to_string(shape->iter_shift) + ")";
-        emit_op(op, p.proc, expr, " (rolled)");
+        emit_op(out, t, op, g, expr, " (rolled)");
       }
       out << "  }\n";
       // Epilogue, straight-line (empty when the run divides evenly).
       for (std::size_t j = shape->prologue +
                            static_cast<std::size_t>(shape->reps) *
                                shape->period;
-           j < p.ops.size(); ++j) {
-        emit_op(p.ops[j], p.proc, std::to_string(p.ops[j].inst.iter), "");
+           j < t.ops.size(); ++j) {
+        emit_op(out, t, t.ops[j], g, std::to_string(t.ops[j].iter), "");
       }
     }
     out << "  return 0;\n}\n\n";
   }
 
-  // Sequential reference + main.
+  // Sequential reference: same kernel, same fold order, node order from
+  // the library's own intra-iteration topological sort.
   out << "static void sequential(void) {\n"
-      << "  for (long long it = 0; it < N; ++it) {\n";
-  // Intra-iteration topological order == creation order is not guaranteed;
-  // reuse the programs' own order: compute ops sorted per iteration are
-  // not available here, so emit in intra-topological order via a simple
-  // Kahn pass at generation time.
-  {
-    std::vector<int> indeg(g.num_nodes(), 0);
-    for (const Edge& e : g.edges()) {
-      if (e.distance == 0) ++indeg[e.dst];
+      << "  for (long long i = 0; i < N; ++i) {\n";
+  for (const NodeId v : topo_order_intra(g)) {
+    std::vector<std::string> operand_exprs;
+    for (const EdgeId eid : g.in_edges(v)) {
+      const Edge& e = g.edge(eid);
+      std::ostringstream expr;
+      expr << "(i - " << e.distance << " < 0 ? "
+           << fmt_double(initial_value(e.src)) << " : SEQ[" << e.src
+           << "][i - " << e.distance << "])";
+      operand_exprs.push_back(expr.str());
     }
-    std::vector<NodeId> order;
-    std::vector<NodeId> stack;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (indeg[v] == 0) stack.push_back(v);
-    }
-    while (!stack.empty()) {
-      // Smallest id first, deterministic.
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < stack.size(); ++i) {
-        if (stack[i] < stack[best]) best = i;
-      }
-      const NodeId v = stack[best];
-      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(best));
-      order.push_back(v);
-      for (const EdgeId eid : g.out_edges(v)) {
-        if (g.edge(eid).distance == 0 && --indeg[g.edge(eid).dst] == 0) {
-          stack.push_back(g.edge(eid).dst);
-        }
-      }
-    }
-    for (const NodeId v : order) {
-      std::ostringstream body;
-      emit_compute(g, v, body, "it");
-      out << body.str();
-    }
+    out << "    {\n";
+    emit_kernel_combine(out, g, v, "i", "      ", operand_exprs);
+    out << "      SEQ[" << v << "][i] = acc;\n    }\n";
   }
   out << "  }\n}\n\n";
 
   out << "int main(void) {\n";
-  std::size_t nthreads = 0;
-  for (const ProcessorProgram& p : prog.programs) {
-    if (!p.ops.empty()) ++nthreads;
+  for (std::size_t c = 0; c < nchans; ++c) {
+    out << "  chans[" << c << "].buf = chan" << c << "_buf;\n"
+        << "  chans[" << c << "].mask = "
+        << ring_capacity(cp.channels[c].messages) - 1 << ";\n";
   }
-  out << "  for (int c = 0; c < " << (chans.empty() ? 1 : chans.size())
-      << "; ++c) {\n"
-      << "    pthread_mutex_init(&chans[c].mu, 0);\n"
-      << "    pthread_cond_init(&chans[c].cv, 0);\n"
-      << "    chans[c].tokens = 0;\n  }\n"
-      << "  pthread_t th[" << (nthreads == 0 ? 1 : nthreads) << "];\n"
+  if (opts.transport == Transport::Mutex) {
+    out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
+        << "; ++c) {\n"
+        << "    pthread_mutex_init(&chans[c].mu, 0);\n"
+        << "    pthread_cond_init(&chans[c].cv, 0);\n  }\n";
+  }
+  out << "  pthread_t th[" << (nthreads == 0 ? 1 : nthreads) << "];\n"
       << "  int t = 0;\n";
-  for (const ProcessorProgram& p : prog.programs) {
-    if (!p.ops.empty()) {
-      out << "  pthread_create(&th[t++], 0, pe" << p.proc << "_main, 0);\n";
-    }
+  for (const CompiledThread& t : cp.threads) {
+    out << "  pthread_create(&th[t++], 0, pe" << t.proc << "_main, 0);\n";
   }
-  out << "  for (int i = 0; i < t; ++i) pthread_join(th[i], 0);\n\n"
-      << "  /* Snapshot parallel results, recompute sequentially, compare. */\n";
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    out << "  for (long long i = 0; i < N; ++i) R_check[" << v
-        << "][i] = " << array_name(g, v) << "[i];\n";
-  }
-  out << "  sequential();\n"
-      << "  long long bad = 0;\n";
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    out << "  for (long long i = 0; i < N; ++i) if (R_check[" << v
-        << "][i] != " << array_name(g, v) << "[i]) ++bad;\n";
-  }
-  out << "  if (bad) { printf(\"MISMATCH %lld\\n\", bad); return 1; }\n"
+  out << "  for (int j = 0; j < t; ++j) pthread_join(th[j], 0);\n\n"
+      << "  sequential();\n"
+      << "  long long bad = 0;\n"
+      << "  for (int v = 0; v < NODES; ++v)\n"
+      << "    for (long long i = 0; i < N; ++i)\n"
+      << "      if (R[v][i] != SEQ[v][i]) ++bad;\n"
+      << "  if (bad) { printf(\"MISMATCH %lld\\n\", bad); return 1; }\n"
       << "  printf(\"OK\\n\");\n  return 0;\n}\n";
   return out.str();
 }

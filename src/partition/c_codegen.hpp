@@ -3,41 +3,57 @@
 // parallelizing compiler of the paper's era would hand to the system
 // compiler.
 //
-// Layout of the generated program:
-//  * one global double array per DDG node (`V_<name>[N]`), holding the
-//    node's value stream;
-//  * one token channel (mutex + condvar counter) per (edge, src proc,
-//    dst proc) pair; a SEND posts a token after the producer stored its
-//    value, a RECEIVE waits for it — the store/load pair is ordered by
-//    the channel's mutex, so the program is race-free by construction;
-//  * one thread per processor running its op sequence;
-//  * a main() that runs the threads, then recomputes everything
-//    sequentially and reports "OK" iff the parallel values match the
-//    sequential ones bit for bit.
+// The backend consumes the same CompiledProgram the in-process executor
+// runs (partition/compiled_program.hpp): one lowering pipeline, no private
+// name-to-slot or name-to-channel resolution here.  Layout of the
+// generated program:
+//  * one fixed-size slot array per thread (`double s[num_slots]`, sized by
+//    the liveness-based reuse pass — O(live values), not O(ops));
+//  * one value-carrying channel per (edge, src proc, dst proc) pair.  By
+//    default (Transport::Spsc) that is a C11 `stdatomic.h` single-producer/
+//    single-consumer ring mirroring runtime/spsc_ring.hpp — cache-line-
+//    separated cursors, acquire/release publication, spin-then-yield waits
+//    — sized to the channel's exact message count by the shared
+//    ring_capacity policy (runtime/transport.hpp), so sends never block.
+//    Transport::Mutex emits a mutex+condvar queue instead, for pre-C11
+//    toolchains and as the contention baseline;
+//  * one thread per processor running its compiled op sequence; computed
+//    values are also stored to a global results array R[node][iter]
+//    (single writer per entry);
+//  * a main() that runs the threads, recomputes everything sequentially,
+//    and reports "OK" iff the parallel values match bit for bit.
 //
 // Node semantics: the same synthetic combine the in-process executors use
-// (runtime/kernels.hpp), emitted as C — identical operations in identical
-// order, hence bitwise-identical doubles.
+// (runtime/kernels.hpp, work knob 0), emitted as C — identical operations
+// in identical order, hence bitwise-identical doubles.
 #pragma once
 
 #include <string>
 
 #include "graph/ddg.hpp"
-#include "partition/partitioned_loop.hpp"
+#include "partition/compiled_program.hpp"
+#include "runtime/transport.hpp"
 
 namespace mimd {
 
-/// Emit the full C translation unit for `prog` over `iterations`
-/// iterations of `g`.
-///
-/// With `roll_steady_state` (the default), each processor's op stream is
-/// scanned for its periodic steady state (the pattern made it periodic by
-/// construction) and emitted as a real `for` loop — prologue straight-line,
-/// kernel rolled, epilogue straight-line — like the paper's Figure 7(e).
-/// Streams without at least three detected repetitions fall back to fully
-/// unrolled straight-line code, which is always correct.
-std::string emit_c_program(const PartitionedProgram& prog, const Ddg& g,
-                           std::int64_t iterations,
-                           bool roll_steady_state = true);
+struct CEmitOptions {
+  /// Detect each thread's periodic steady state (the pattern made it
+  /// periodic by construction) and emit it as a real `for` loop — prologue
+  /// straight-line, kernel rolled, epilogue straight-line — like the
+  /// paper's Figure 7(e).  Streams without at least three detected
+  /// repetitions fall back to fully unrolled straight-line code, which is
+  /// always correct.
+  bool roll_steady_state = true;
+  /// Which channel implementation the generated program uses.
+  Transport transport = Transport::Spsc;
+};
+
+/// Emit the full C translation unit executing `cp` (compiled from the
+/// partitioned program via compile_program) over cp.iterations of `g` —
+/// the emitted self-check compares every (node, i < cp.iterations) value,
+/// so the count is not a free parameter.  cp must compute at least one
+/// iteration (ContractViolation otherwise).
+std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
+                           const CEmitOptions& opts = {});
 
 }  // namespace mimd

@@ -178,6 +178,79 @@ std::map<ChannelId, std::vector<std::int64_t>> interpreted_pop_sequences(
   return seq;
 }
 
+/// Liveness-based slot reassignment over one thread's straight-line op
+/// stream.  compile_thread assigned SSA slots (each compute/receive writes
+/// a fresh one); here every slot is returned to a free list at its last
+/// read, and writes draw from that list, so num_slots shrinks from one per
+/// value instance to the thread's maximum number of simultaneously live
+/// values.
+///
+/// Within one Compute, operand reads happen before the destination write
+/// (both the executor and the generated C gather operands into locals
+/// first), so a slot whose last read is op i may be reused as op i's own
+/// destination.  A slot never read at all (a compute kept only for the
+/// result array, or a drain receive) is freed immediately after its write.
+/// The free list is LIFO: the most recently dead slot is reused first,
+/// which keeps the working set cache-resident and the steady-state
+/// assignment periodic (so c_codegen's period detector still rolls it).
+void reuse_slots(CompiledThread& t) {
+  constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> last_read(t.num_slots, kNever);
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    const CompiledOp& op = t.ops[i];
+    if (op.kind == CompiledOp::Kind::Send) {
+      last_read[op.slot] = i;
+    } else if (op.kind == CompiledOp::Kind::Compute) {
+      for (std::uint32_t j = 0; j < op.num_operands; ++j) {
+        const OperandRef& r = t.operands[op.first_operand + j];
+        if (r.kind == OperandRef::Kind::LocalSlot) last_read[r.index] = i;
+      }
+    }
+  }
+  // dies_at[i]: SSA slots whose last read is op i.
+  std::vector<std::vector<SlotId>> dies_at(t.ops.size());
+  for (SlotId s = 0; s < t.num_slots; ++s) {
+    if (last_read[s] != kNever) {
+      dies_at[last_read[s]].push_back(s);
+    }
+  }
+
+  std::vector<SlotId> remap(t.num_slots, 0);
+  std::vector<SlotId> free_list;
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    CompiledOp& op = t.ops[i];
+    // Reads first: rewrite through the current mapping.
+    if (op.kind == CompiledOp::Kind::Send) {
+      op.slot = remap[op.slot];
+    } else if (op.kind == CompiledOp::Kind::Compute) {
+      for (std::uint32_t j = 0; j < op.num_operands; ++j) {
+        OperandRef& r = t.operands[op.first_operand + j];
+        if (r.kind == OperandRef::Kind::LocalSlot) r.index = remap[r.index];
+      }
+    }
+    // Slots dead after this op's reads become available — including for
+    // this op's own write.
+    for (const SlotId s : dies_at[i]) free_list.push_back(remap[s]);
+    // The write draws from the free list.
+    if (op.kind != CompiledOp::Kind::Send) {
+      SlotId ns;
+      if (free_list.empty()) {
+        ns = next++;
+      } else {
+        ns = free_list.back();
+        free_list.pop_back();
+      }
+      const SlotId old = op.slot;
+      remap[old] = ns;
+      op.slot = ns;
+      if (last_read[old] == kNever) free_list.push_back(ns);  // dead write
+    }
+  }
+  MIMD_ENSURES(next <= t.num_slots);  // reuse never allocates more
+  t.num_slots = next;
+}
+
 }  // namespace
 
 std::size_t CompiledProgram::count(CompiledOp::Kind k) const {
@@ -190,7 +263,20 @@ std::size_t CompiledProgram::count(CompiledOp::Kind k) const {
   return n;
 }
 
-CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g) {
+std::size_t CompiledProgram::total_slots() const {
+  std::size_t n = 0;
+  for (const CompiledThread& t : threads) n += t.num_slots;
+  return n;
+}
+
+std::size_t CompiledProgram::total_slots_ssa() const {
+  std::size_t n = 0;
+  for (const CompiledThread& t : threads) n += t.num_slots_ssa;
+  return n;
+}
+
+CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g,
+                                const CompileOptions& opts) {
   if (const auto violation = find_program_violation(prog, g)) {
     detail::contract_fail("compiled lowering", violation->c_str());
   }
@@ -214,6 +300,8 @@ CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g) {
       const bool ok = compile_thread(p, g, chans, /*fuse=*/false, t);
       MIMD_ENSURES(ok);
     }
+    t.num_slots_ssa = t.num_slots;
+    if (opts.slots == SlotPolicy::Reuse) reuse_slots(t);
     for (const CompiledOp& op : t.ops) {
       if (op.kind == CompiledOp::Kind::Compute) {
         cp.iterations = std::max(cp.iterations, op.iter + 1);

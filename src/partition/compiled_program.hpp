@@ -9,11 +9,17 @@
 //  * channels get a dense ChannelId (index into a flat channel table), in
 //    first-use order across the program;
 //  * every value a processor holds locally lives in a per-thread flat slot
-//    array (one double per slot, SSA-style: each compute/receive writes a
-//    fresh slot), and every Compute operand becomes an OperandRef —
-//    LocalSlot (read a slot), ChannelRecv (pop the next message from a
-//    channel, tag-checked), or InitialValue (a pre-loop constant baked in
-//    at compile time).
+//    array (one double per slot), and every Compute operand becomes an
+//    OperandRef — LocalSlot (read a slot), ChannelRecv (pop the next
+//    message from a channel, tag-checked), or InitialValue (a pre-loop
+//    constant baked in at compile time).
+//
+// Slot assignment is first SSA-style (each compute/receive writes a fresh
+// slot), then — unless SlotPolicy::Ssa is requested for debugging — a
+// liveness pass reassigns slots with a free list so num_slots drops from
+// O(ops) to O(values simultaneously live): per-thread last-use analysis
+// over the straight-line op stream, each slot returned to the free list at
+// its last read (DESIGN.md, "Unified lowering and slot reuse").
 //
 // `find_program_violation` remains the validator: compile_program() runs it
 // first and throws ContractViolation on any ill-formed input, so a program
@@ -73,7 +79,13 @@ struct CompiledOp {
 /// The straight-line program one thread executes.
 struct CompiledThread {
   int proc = 0;
+  /// Size of this thread's slot array — after slot reuse (the default),
+  /// the number of simultaneously live values; under SlotPolicy::Ssa, one
+  /// slot per compute/receive.
   std::uint32_t num_slots = 0;
+  /// num_slots before the liveness pass ran (== num_slots under
+  /// SlotPolicy::Ssa) — kept so drivers can report the reduction.
+  std::uint32_t num_slots_ssa = 0;
   std::vector<CompiledOp> ops;
   std::vector<OperandRef> operands;  ///< flat pool referenced by Compute ops
 };
@@ -89,6 +101,20 @@ struct CompiledProgram {
   std::int64_t iterations = 0;
 
   [[nodiscard]] std::size_t count(CompiledOp::Kind k) const;
+  /// Sum of per-thread slot array sizes, after / before slot reuse.
+  [[nodiscard]] std::size_t total_slots() const;
+  [[nodiscard]] std::size_t total_slots_ssa() const;
+};
+
+/// How per-thread slot arrays are assigned.
+enum class SlotPolicy : std::uint8_t {
+  Reuse,  ///< liveness-based free-list reassignment (default)
+  Ssa,    ///< one fresh slot per value instance — debugging aid: every
+          ///< slot is written exactly once, so a stale read is visible
+};
+
+struct CompileOptions {
+  SlotPolicy slots = SlotPolicy::Reuse;
 };
 
 /// Compile `prog` (validated against `g` with find_program_violation) into
@@ -99,6 +125,7 @@ struct CompiledProgram {
 /// whenever the fusion provably preserves the per-channel pop order; the
 /// rare unfusable receive (only reachable from hand-built programs) is kept
 /// as a standalone Receive op writing a slot.
-CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g);
+CompiledProgram compile_program(const PartitionedProgram& prog, const Ddg& g,
+                                const CompileOptions& opts = {});
 
 }  // namespace mimd

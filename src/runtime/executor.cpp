@@ -73,9 +73,10 @@ void execute(const CompiledProgram& cp, const Ddg& g,
 
 }  // namespace
 
-ExecutorPlan compile(const PartitionedProgram& prog, const Ddg& g) {
+ExecutorPlan compile(const PartitionedProgram& prog, const Ddg& g,
+                     const CompileOptions& copts) {
   ExecutorPlan plan;
-  plan.compiled_ = compile_program(prog, g);
+  plan.compiled_ = compile_program(prog, g, copts);
   plan.graph_ = g;
   return plan;
 }
@@ -101,12 +102,10 @@ ExecutionResult ExecutorPlan::run(std::int64_t n,
     std::vector<std::unique_ptr<SpscChannel>> chans;
     chans.reserve(compiled_.channels.size());
     for (const ChannelDesc& c : compiled_.channels) {
-      std::int64_t cap = std::max<std::int64_t>(c.messages, 1);
-      if (opts.channel_capacity > 0) {
-        cap = std::min(cap, opts.channel_capacity);
-      }
-      chans.push_back(
-          std::make_unique<SpscChannel>(static_cast<std::size_t>(cap)));
+      // ring_capacity (runtime/transport.hpp) is the shared policy: the
+      // generated-C backend sizes its emitted rings with the same call.
+      chans.push_back(std::make_unique<SpscChannel>(
+          ring_capacity(c.messages, opts.channel_capacity)));
     }
     timed_execute(chans);
   } else {

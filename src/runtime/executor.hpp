@@ -31,6 +31,7 @@
 #include "partition/compiled_program.hpp"
 #include "partition/partitioned_loop.hpp"
 #include "runtime/kernels.hpp"
+#include "runtime/transport.hpp"
 
 namespace mimd {
 
@@ -38,12 +39,6 @@ struct ExecutionResult {
   /// values[v][i] — only entries computed by some processor are defined.
   std::vector<std::vector<double>> values;
   double wall_seconds = 0.0;
-};
-
-/// Which channel implementation carries cross-thread values.
-enum class Transport : std::uint8_t {
-  Mutex,  ///< runtime/channel.hpp — mutex + condvar deque (baseline)
-  Spsc,   ///< runtime/spsc_ring.hpp — lock-free bounded ring (default)
 };
 
 struct RunOptions {
@@ -88,17 +83,20 @@ class ExecutorPlan {
   [[nodiscard]] const Ddg& graph() const { return graph_; }
 
  private:
-  friend ExecutorPlan compile(const PartitionedProgram&, const Ddg&);
+  friend ExecutorPlan compile(const PartitionedProgram&, const Ddg&,
+                              const CompileOptions&);
 
   CompiledProgram compiled_;
   Ddg graph_;  ///< owned copy: a plan outlives its inputs
 };
 
 /// Validate (find_program_violation) and compile `prog` into a reusable
-/// plan.  Channel table, slot resolution, and thread spawn order are all
-/// fixed here, amortized across every subsequent run().
+/// plan.  Channel table, slot resolution (liveness-based reuse by default
+/// — CompileOptions::slots), and thread spawn order are all fixed here,
+/// amortized across every subsequent run().
 [[nodiscard]] ExecutorPlan compile(const PartitionedProgram& prog,
-                                   const Ddg& g);
+                                   const Ddg& g,
+                                   const CompileOptions& copts = {});
 
 /// One-shot convenience: compile(prog, g).run(n, opts).
 ExecutionResult run_threaded(const PartitionedProgram& prog, const Ddg& g,

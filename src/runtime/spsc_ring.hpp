@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "runtime/channel.hpp"
+#include "runtime/transport.hpp"
 #include "support/assert.hpp"
 
 namespace mimd {
@@ -41,12 +42,12 @@ class SpscChannel {
  public:
   using Message = ChannelMessage;
 
-  /// Capacity is `min_capacity` rounded up to a power of two (>= 2).
+  /// Capacity is `min_capacity` rounded up to a power of two (>= 2) —
+  /// spsc_ring_capacity(), the same policy the generated-C rings use.
   /// Sizing a ring to its channel's total message count (see
   /// ChannelDesc::messages) makes send() wait-free for the whole run.
   explicit SpscChannel(std::size_t min_capacity) {
-    std::size_t cap = 2;
-    while (cap < min_capacity) cap <<= 1;
+    const std::size_t cap = spsc_ring_capacity(min_capacity);
     buf_.resize(cap);
     mask_ = cap - 1;
   }

@@ -1,11 +1,16 @@
 // C code generation, validated the only way that counts: generate the
 // program, compile it with the system C compiler, run it, and let its
-// built-in bitwise self-check (parallel vs sequential) decide.
+// built-in bitwise self-check (parallel vs sequential) decide.  The
+// backend consumes the same CompiledProgram the in-process executor runs,
+// so these tests also pin the unified lowering pipeline: slot arrays sized
+// by the liveness pass and value-carrying channels under both emitted
+// transports (C11-atomic SPSC rings and the mutex+condvar fallback).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "baseline/doacross.hpp"
@@ -20,130 +25,217 @@
 namespace mimd {
 namespace {
 
-/// Write `source`, compile it, run it; returns the program's exit status
-/// or -1 if the toolchain is unavailable.
+/// True iff a C11 toolchain is available (probed once with a trivial
+/// program).  Checked up front so a *generated* program that fails to
+/// compile counts as a test failure, never as a missing toolchain.
+bool have_c_toolchain() {
+  static const bool ok = [] {
+    const std::string dir = ::testing::TempDir();
+    const std::string c_path = dir + "/probe.c";
+    {
+      std::ofstream f(c_path);
+      f << "int main(void) { return 0; }\n";
+    }
+    const std::string compile = "cc -O2 -std=c11 -pthread -o " + dir +
+                                "/probe " + c_path + " 2>/dev/null";
+    return std::system(compile.c_str()) == 0;
+  }();
+  return ok;
+}
+
+/// Write `source`, compile it, run it; any non-zero return — including a
+/// compile failure of the generated source — is a failure.  Call only
+/// after have_c_toolchain().
 int compile_and_run(const std::string& source, const std::string& tag) {
   const std::string dir = ::testing::TempDir();
   const std::string c_path = dir + "/gen_" + tag + ".c";
   const std::string bin_path = dir + "/gen_" + tag;
+  const std::string err_path = dir + "/gen_" + tag + ".err";
   {
     std::ofstream f(c_path);
     f << source;
   }
-  const std::string compile =
-      "cc -O2 -std=c11 -pthread -o " + bin_path + " " + c_path + " 2>/dev/null";
-  if (std::system(compile.c_str()) != 0) return -1;
+  const std::string compile = "cc -O2 -std=c11 -pthread -o " + bin_path +
+                              " " + c_path + " 2>" + err_path;
+  if (std::system(compile.c_str()) != 0) {
+    std::ifstream err(err_path);
+    std::stringstream diagnostics;
+    diagnostics << err.rdbuf();
+    ADD_FAILURE() << "generated C for '" << tag << "' failed to compile ("
+                  << c_path << "):\n"
+                  << diagnostics.str();
+    return -1;
+  }
   return std::system(bin_path.c_str());
 }
 
-PartitionedProgram pattern_program(const Ddg& g, const Machine& m,
-                                   std::int64_t n) {
+CompiledProgram pattern_compiled(const Ddg& g, const Machine& m,
+                                 std::int64_t n) {
   const CyclicSchedResult r = cyclic_sched(g, m);
   EXPECT_TRUE(r.pattern.has_value());
-  return lower(materialize(*r.pattern, m.processors, n), g);
+  return compile_program(lower(materialize(*r.pattern, m.processors, n), g),
+                         g);
+}
+
+CEmitOptions with_transport(Transport t) {
+  CEmitOptions opts;
+  opts.transport = t;
+  return opts;
 }
 
 TEST(CCodegen, EmitsCompleteTranslationUnit) {
   const Ddg g = workloads::fig7_loop();
-  const std::string src = emit_c_program(pattern_program(g, Machine{2, 2}, 6),
-                                         g, 6);
+  const std::string src =
+      emit_c_program(pattern_compiled(g, Machine{2, 2}, 6), g);
   EXPECT_NE(src.find("#include <pthread.h>"), std::string::npos);
-  EXPECT_NE(src.find("static double V_A[N]"), std::string::npos);
+  EXPECT_NE(src.find("#include <stdatomic.h>"), std::string::npos);
   EXPECT_NE(src.find("chan_send"), std::string::npos);
   EXPECT_NE(src.find("chan_recv"), std::string::npos);
   EXPECT_NE(src.find("pe0_main"), std::string::npos);
   EXPECT_NE(src.find("pe1_main"), std::string::npos);
   EXPECT_NE(src.find("int main(void)"), std::string::npos);
+  // The CompiledProgram layout, not the old per-node global arrays: fixed
+  // per-thread slot arrays and per-channel ring buffers.
+  EXPECT_NE(src.find("double s["), std::string::npos);
+  EXPECT_NE(src.find("chan0_buf"), std::string::npos);
+  EXPECT_EQ(src.find("V_A[N]"), std::string::npos);
 }
 
-TEST(CCodegen, UnrolledCopyNamesAreLegalIdentifiers) {
+TEST(CCodegen, MutexTransportEmitsNoAtomics) {
+  const Ddg g = workloads::fig7_loop();
+  const std::string src =
+      emit_c_program(pattern_compiled(g, Machine{2, 2}, 6), g,
+                     with_transport(Transport::Mutex));
+  EXPECT_EQ(src.find("stdatomic"), std::string::npos);
+  EXPECT_EQ(src.find("_Atomic"), std::string::npos);
+  EXPECT_NE(src.find("pthread_mutex_lock"), std::string::npos);
+  EXPECT_NE(src.find("pthread_cond_wait"), std::string::npos);
+}
+
+TEST(CCodegen, NodeNamesNeverBecomeIdentifiers) {
   Ddg g;
   g.add_node("A#1");  // the unroller produces names like this
   g.add_node("B");
   g.add_edge(1u, 0u, 0);
   g.add_edge(0u, 1u, 1);
   const std::string src =
-      emit_c_program(pattern_program(g, Machine{2, 1}, 4), g, 4);
-  EXPECT_NE(src.find("V_A_1"), std::string::npos);
-  EXPECT_EQ(src.find("V_A#1"), std::string::npos);
+      emit_c_program(pattern_compiled(g, Machine{2, 1}, 4), g);
+  // Names appear only inside comments; storage is slot- and ring-indexed,
+  // so nothing derived from a node name reaches the C namespace.
+  EXPECT_EQ(src.find("V_A"), std::string::npos);
+  EXPECT_NE(src.find("A#1["), std::string::npos);  // comment, legal there
 }
 
 TEST(CCodegen, Fig7ProgramCompilesRunsAndSelfValidates) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   const Ddg g = workloads::fig7_loop();
   const std::string src =
-      emit_c_program(pattern_program(g, Machine{2, 2}, 12), g, 12);
-  const int status = compile_and_run(src, "fig7");
-  if (status < 0) GTEST_SKIP() << "no C toolchain available";
-  EXPECT_EQ(status, 0);
+      emit_c_program(pattern_compiled(g, Machine{2, 2}, 12), g);
+  EXPECT_EQ(compile_and_run(src, "fig7"), 0);
 }
 
 TEST(CCodegen, CytronFullScheduleProgramSelfValidates) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   const Ddg g = workloads::cytron86_loop();
   const Machine m{8, 2};
   const FullSchedResult r = full_sched(g, m, 8);
-  const std::string src = emit_c_program(lower(r.schedule, g), g, 8);
-  const int status = compile_and_run(src, "cytron");
-  if (status < 0) GTEST_SKIP() << "no C toolchain available";
-  EXPECT_EQ(status, 0);
+  const std::string src =
+      emit_c_program(compile_program(lower(r.schedule, g), g), g);
+  EXPECT_EQ(compile_and_run(src, "cytron"), 0);
 }
 
 TEST(CCodegen, DoacrossProgramSelfValidates) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   const Ddg g = workloads::ll20_discrete_ordinates();
   const Machine m{3, 2};
   const DoacrossResult doa = doacross(g, m, 9);
-  const std::string src = emit_c_program(lower(doa.schedule, g), g, 9);
-  const int status = compile_and_run(src, "doacross");
-  if (status < 0) GTEST_SKIP() << "no C toolchain available";
-  EXPECT_EQ(status, 0);
+  const std::string src =
+      emit_c_program(compile_program(lower(doa.schedule, g), g), g);
+  EXPECT_EQ(compile_and_run(src, "doacross"), 0);
 }
 
-TEST(CCodegen, RandomLoopProgramSelfValidates) {
-  const Ddg g = workloads::random_connected_cyclic_loop(3);
-  const std::string src =
-      emit_c_program(pattern_program(g, Machine{4, 3}, 10), g, 10);
-  const int status = compile_and_run(src, "random3");
-  if (status < 0) GTEST_SKIP() << "no C toolchain available";
-  EXPECT_EQ(status, 0);
+// The differential test: a handful of random-loop workloads, each emitted
+// under both transports, each binary's internal recompute asserting the
+// bitwise match.  Exercises channels, slot reuse, and steady-state rolling
+// on irregular programs no hand-written case would cover.
+TEST(CCodegen, RandomLoopsSelfValidateUnderBothTransports) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
+  for (const std::uint64_t seed : {3u, 7u, 19u}) {
+    const Ddg g = workloads::random_connected_cyclic_loop(seed);
+    const CompiledProgram cp = pattern_compiled(g, Machine{4, 3}, 10);
+    for (const Transport t : {Transport::Spsc, Transport::Mutex}) {
+      const std::string src =
+          emit_c_program(cp, g, with_transport(t));
+      const std::string tag =
+          "rand" + std::to_string(seed) +
+          (t == Transport::Spsc ? "_spsc" : "_mutex");
+      EXPECT_EQ(compile_and_run(src, tag), 0) << tag;
+    }
+  }
 }
 
 TEST(CCodegen, RollsTheSteadyStateIntoARealLoop) {
   const Ddg g = workloads::fig7_loop();
-  const std::string src =
-      emit_c_program(pattern_program(g, Machine{2, 2}, 40), g, 40);
+  const CompiledProgram cp = pattern_compiled(g, Machine{2, 2}, 40);
+  const std::string src = emit_c_program(cp, g);
   EXPECT_NE(src.find("for (long long r = 0;"), std::string::npos);
   EXPECT_NE(src.find("steady state:"), std::string::npos);
   // Rolled output is dramatically smaller than the unrolled one.
-  const std::string flat = emit_c_program(
-      pattern_program(g, Machine{2, 2}, 40), g, 40, /*roll=*/false);
+  CEmitOptions flat_opts;
+  flat_opts.roll_steady_state = false;
+  const std::string flat = emit_c_program(cp, g, flat_opts);
   EXPECT_EQ(flat.find("for (long long r = 0;"), std::string::npos);
   EXPECT_LT(src.size(), flat.size() / 2);
 }
 
 TEST(CCodegen, RolledProgramSelfValidates) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   const Ddg g = workloads::fig7_loop();
   const std::string src =
-      emit_c_program(pattern_program(g, Machine{2, 2}, 48), g, 48);
-  const int status = compile_and_run(src, "fig7_rolled");
-  if (status < 0) GTEST_SKIP() << "no C toolchain available";
-  EXPECT_EQ(status, 0);
+      emit_c_program(pattern_compiled(g, Machine{2, 2}, 48), g);
+  EXPECT_EQ(compile_and_run(src, "fig7_rolled"), 0);
 }
 
-TEST(CCodegen, RolledLivermoreProgramSelfValidates) {
+TEST(CCodegen, RolledLivermoreProgramSelfValidatesOnBothTransports) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   const Ddg g = workloads::livermore18_loop();
   const Machine m{4, 2};
   const FullSchedResult r = full_sched(g, m, 32);
-  const std::string src = emit_c_program(lower(r.schedule, g), g, 32);
-  EXPECT_NE(src.find("for (long long r = 0;"), std::string::npos);
-  const int status = compile_and_run(src, "ll18_rolled");
-  if (status < 0) GTEST_SKIP() << "no C toolchain available";
-  EXPECT_EQ(status, 0);
+  const CompiledProgram cp = compile_program(lower(r.schedule, g), g);
+  for (const Transport t : {Transport::Spsc, Transport::Mutex}) {
+    const std::string src = emit_c_program(cp, g, with_transport(t));
+    EXPECT_NE(src.find("for (long long r = 0;"), std::string::npos);
+    EXPECT_EQ(compile_and_run(
+                  src, t == Transport::Spsc ? "ll18_spsc" : "ll18_mutex"),
+              0);
+  }
 }
 
-TEST(CCodegen, RejectsZeroIterations) {
+TEST(CCodegen, RingCapacitiesFollowTheSharedPolicy) {
   const Ddg g = workloads::fig7_loop();
-  EXPECT_THROW(
-      (void)emit_c_program(pattern_program(g, Machine{2, 2}, 4), g, 0),
-      ContractViolation);
+  const CompiledProgram cp = pattern_compiled(g, Machine{2, 2}, 24);
+  const std::string src = emit_c_program(cp, g);
+  ASSERT_FALSE(cp.channels.empty());
+  for (std::size_t c = 0; c < cp.channels.size(); ++c) {
+    const std::string decl =
+        "static double chan" + std::to_string(c) + "_buf[" +
+        std::to_string(ring_capacity(cp.channels[c].messages)) + "]";
+    EXPECT_NE(src.find(decl), std::string::npos) << decl;
+  }
+}
+
+TEST(CCodegen, RejectsProgramComputingNothing) {
+  // A compiled program with no compute ops has no iteration count for the
+  // self-check to range over.
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram empty;
+  empty.processors = 2;
+  empty.programs.resize(2);
+  empty.programs[0].proc = 0;
+  empty.programs[1].proc = 1;
+  const CompiledProgram cp = compile_program(empty, g);
+  EXPECT_EQ(cp.iterations, 0);
+  EXPECT_THROW((void)emit_c_program(cp, g), ContractViolation);
 }
 
 }  // namespace

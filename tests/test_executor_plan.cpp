@@ -87,13 +87,31 @@ TEST(CompiledProgram, SlotArraysAreDenseAndInBounds) {
       EXPECT_LT(op.slot, t.num_slots);
       ++writes;
     }
-    // SSA-style slot assignment: one fresh slot per compute/receive.
-    EXPECT_EQ(writes, t.num_slots);
+    // Liveness reuse (the default): at most one slot per compute/receive,
+    // usually far fewer; num_slots_ssa records the pre-reuse count.
+    EXPECT_LE(t.num_slots, writes);
+    EXPECT_EQ(t.num_slots_ssa, writes);
     for (const OperandRef& ref : t.operands) {
       if (ref.kind == OperandRef::Kind::LocalSlot) {
         EXPECT_LT(ref.index, t.num_slots);
       }
     }
+  }
+}
+
+TEST(CompiledProgram, SsaPolicyKeepsOneSlotPerValueInstance) {
+  const Ddg g = workloads::cytron86_loop();
+  const FullSchedResult r = full_sched(g, Machine{8, 2}, 16);
+  CompileOptions opts;
+  opts.slots = SlotPolicy::Ssa;
+  const CompiledProgram cp = compile_program(lower(r.schedule, g), g, opts);
+  for (const CompiledThread& t : cp.threads) {
+    std::uint32_t writes = 0;
+    for (const CompiledOp& op : t.ops) {
+      if (op.kind != CompiledOp::Kind::Send) ++writes;
+    }
+    EXPECT_EQ(writes, t.num_slots);
+    EXPECT_EQ(t.num_slots, t.num_slots_ssa);
   }
 }
 

@@ -9,12 +9,20 @@
 //     --dot       print the dependence graph (Graphviz, classified colors)
 //     --schedule  print the first cycles of the combined schedule
 //     --code      print the PARBEGIN pseudo-code        (default)
-//     --c         print a compilable C11+pthreads program
+//     --c         print a compilable C11+pthreads program (slot arrays +
+//                 SPSC rings, lowered from the same CompiledProgram --run
+//                 executes; compiled stats go to stderr)
 //     --compare   print the comparison against DOACROSS
 //     --run       execute the partitioned program on real threads and
 //                 validate bit-for-bit against sequential execution
 //     --runtime=<mutex|spsc>
-//                 channel transport for --run (implies --run; default spsc)
+//                 channel transport, for --run and for the emitted --c
+//                 program alike (default spsc; implies --run when neither
+//                 --run nor --c is requested)
+//     --slots=<reuse|ssa>
+//                 slot assignment policy for --run and --c (default reuse;
+//                 ssa keeps one slot per value instance, for debugging;
+//                 implies --run when neither --run nor --c is requested)
 //
 // Example:
 //   echo 'for i:
@@ -39,7 +47,7 @@ namespace {
   if (msg != nullptr) std::cerr << "mimdc: " << msg << "\n";
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
                "[--schedule] [--code] [--c] [--compare] [--run] "
-               "[--runtime=<mutex|spsc>  (implies --run)] <file|->\n";
+               "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] <file|->\n";
   std::exit(2);
 }
 
@@ -62,8 +70,10 @@ int main(int argc, char** argv) {
   int procs = 4, k = 1;
   std::int64_t n = 64;
   bool fold = false, want_dot = false, want_sched = false, want_code = false,
-       want_c = false, want_compare = false, want_run = false;
+       want_c = false, want_compare = false, want_run = false,
+       runtime_given = false, slots_given = false;
   Transport transport = Transport::Spsc;
+  CompileOptions copts;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,7 +111,17 @@ int main(int argc, char** argv) {
       } else {
         usage("--runtime must be mutex or spsc");
       }
-      want_run = true;  // choosing a transport is asking for execution
+      runtime_given = true;
+    } else if (a.rfind("--slots=", 0) == 0) {
+      const std::string which = a.substr(8);
+      if (which == "reuse") {
+        copts.slots = SlotPolicy::Reuse;
+      } else if (which == "ssa") {
+        copts.slots = SlotPolicy::Ssa;
+      } else {
+        usage("--slots must be reuse or ssa");
+      }
+      slots_given = true;
     } else if (a == "--help" || a == "-h") {
       usage(nullptr);
     } else if (!a.empty() && a[0] == '-' && a != "-") {
@@ -114,6 +134,9 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) usage("no input");
   if (procs < 1 || k < 0 || n < 1) usage("bad -p/-k/-n value");
+  // A bare transport or slot-policy choice is asking for execution;
+  // alongside --c they configure the emitted program instead.
+  if ((runtime_given || slots_given) && !want_c) want_run = true;
   if (!want_dot && !want_sched && !want_code && !want_c && !want_compare &&
       !want_run) {
     want_code = true;
@@ -149,26 +172,38 @@ int main(int argc, char** argv) {
                           std::min<std::int64_t>(40, r.sched.schedule.makespan()));
     }
     if (want_code) std::cout << r.parbegin_code;
-    if (want_c) {
-      std::cout << emit_c_program(r.program, r.normalized.graph,
-                                  r.normalized_iterations);
-    }
-    if (want_run) {
-      const ExecutorPlan plan = compile(r.program, r.normalized.graph);
-      RunOptions ropts;
-      ropts.transport = transport;
-      const ExecutionResult par =
-          plan.run(r.normalized_iterations, ropts);
-      const ExecutionResult reference =
-          run_reference(r.normalized.graph, r.normalized_iterations);
-      const bool ok = values_match(par, reference, r.normalized_iterations);
-      std::cout << "run      : "
-                << (transport == Transport::Spsc ? "spsc" : "mutex")
-                << " transport, " << plan.program().threads.size()
-                << " threads, " << plan.program().channels.size()
-                << " channels, " << par.wall_seconds << " s, "
-                << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
-      if (!ok) return 1;
+    if (want_c || want_run) {
+      // One lowering pipeline: the emitted C and the threaded run both
+      // consume this plan.
+      const ExecutorPlan plan = compile(r.program, r.normalized.graph, copts);
+      const CompiledProgram& cp = plan.program();
+      std::cerr << "mimdc: compiled " << cp.threads.size() << " threads, "
+                << cp.channels.size() << " channels, " << cp.total_slots()
+                << " slots (" << cp.total_slots_ssa()
+                << " before liveness reuse)\n";
+      if (want_c) {
+        CEmitOptions eopts;
+        eopts.transport = transport;
+        std::cout << emit_c_program(cp, r.normalized.graph, eopts);
+      }
+      if (want_run) {
+        RunOptions ropts;
+        ropts.transport = transport;
+        const ExecutionResult par =
+            plan.run(r.normalized_iterations, ropts);
+        const ExecutionResult reference =
+            run_reference(r.normalized.graph, r.normalized_iterations);
+        const bool ok =
+            values_match(par, reference, r.normalized_iterations);
+        std::cout << "run      : "
+                  << (transport == Transport::Spsc ? "spsc" : "mutex")
+                  << " transport, " << cp.threads.size() << " threads, "
+                  << cp.channels.size() << " channels, " << par.wall_seconds
+                  << " s, "
+                  << (ok ? "bitwise match vs sequential" : "MISMATCH")
+                  << "\n";
+        if (!ok) return 1;
+      }
     }
     if (want_compare) {
       const FigureComparison cmp = compare_on(dep.graph, machine, n);
