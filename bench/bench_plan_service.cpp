@@ -1,0 +1,186 @@
+// The plan service, A/B-benchmarked (google-benchmark): what a "request"
+// costs with and without the service's two amortizations.
+//
+// A request is "execute this partitioned loop for n iterations".  The
+// naive server pays the full pipeline per request; the plan service pays
+// it once per *structure*:
+//
+//  * Request_ColdCompileSpawn — compile(prog, g) + spawn-per-run run():
+//                               the pre-service cost of every request;
+//  * Request_CachedPooled     — PlanCache::get_or_compile + pooled run():
+//                               the steady-state service cost (first
+//                               iteration compiles, the rest hit).
+//                               ISSUE 4 acceptance: >= 2x over cold at
+//                               small n;
+//  * Run_Spawn / Run_Pooled   — the pool's own contribution, isolated
+//                               (plan held constant, only the thread
+//                               acquisition differs);
+//  * Run_PooledPinned         — affinity pinning on top of the pool
+//                               (RunOptions::pin_threads; on one-core CI
+//                               containers this measures overhead, not
+//                               placement benefit);
+//  * Batch_Throughput         — run_batch() end to end: 24 requests over
+//                               3 distinct structures, 4 concurrent
+//                               drivers, one cache + one pool.
+//
+// tools/bench_runner.py records BENCH_bench_plan_service.json; the
+// cold-vs-cached and pool-vs-spawn ratios live in EXPERIMENTS.md
+// ("Plan service A/B").
+#include <benchmark/benchmark.h>
+
+#include "partition/lowering.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/plan_service.hpp"
+#include "runtime/worker_pool.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace {
+
+using namespace mimd;
+
+/// Small-n fig7: the regime where per-request compile + spawn overhead
+/// dominates actual execution — exactly what a plan service amortizes.
+struct Fig7Request {
+  Ddg g = workloads::fig7_loop();
+  std::int64_t n = 24;
+  PartitionedProgram prog;
+
+  Fig7Request() {
+    const Machine m{2, 2};
+    const CyclicSchedResult r = cyclic_sched(g, m);
+    prog = lower(materialize(*r.pattern, m.processors, n), g);
+  }
+};
+
+Fig7Request& fig7_request() {
+  static Fig7Request r;
+  return r;
+}
+
+void BM_Request_ColdCompileSpawn(benchmark::State& state) {
+  Fig7Request& f = fig7_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile(f.prog, f.g).run(f.n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Request_ColdCompileSpawn)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Request_CachedPooled(benchmark::State& state) {
+  Fig7Request& f = fig7_request();
+  static PlanCache cache;
+  static WorkerPool pool;
+  RunOptions opts;
+  opts.pool = &pool;
+  for (auto _ : state) {
+    const auto plan = cache.get_or_compile(f.prog, f.g);
+    benchmark::DoNotOptimize(plan->run(f.n, opts));
+  }
+  state.SetItemsProcessed(state.iterations());
+  const PlanCache::Stats s = cache.stats();
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(s.hits));
+  state.counters["cache_misses"] =
+      benchmark::Counter(static_cast<double>(s.misses));
+}
+BENCHMARK(BM_Request_CachedPooled)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- The pool's contribution, isolated (plan construction excluded). ----
+
+ExecutorPlan& fig7_plan() {
+  static ExecutorPlan plan = [] {
+    Fig7Request& f = fig7_request();
+    return compile(f.prog, f.g);
+  }();
+  return plan;
+}
+
+void BM_Run_Spawn(benchmark::State& state) {
+  const ExecutorPlan& plan = fig7_plan();
+  Fig7Request& f = fig7_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.run(f.n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Run_Spawn)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_Run_Pooled(benchmark::State& state) {
+  const ExecutorPlan& plan = fig7_plan();
+  Fig7Request& f = fig7_request();
+  static WorkerPool pool;
+  RunOptions opts;
+  opts.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.run(f.n, opts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Run_Pooled)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_Run_PooledPinned(benchmark::State& state) {
+  const ExecutorPlan& plan = fig7_plan();
+  Fig7Request& f = fig7_request();
+  static WorkerPool pool;
+  RunOptions opts;
+  opts.pool = &pool;
+  opts.pin_threads = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.run(f.n, opts));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["affinity"] =
+      benchmark::Counter(affinity_supported() ? 1.0 : 0.0);
+}
+BENCHMARK(BM_Run_PooledPinned)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// ---- run_batch end to end. ----
+
+void BM_Batch_Throughput(benchmark::State& state) {
+  // 24 requests over 3 distinct structures — the shape of a service
+  // replaying hot loops: first touch compiles, the rest hit the cache.
+  static const std::vector<BatchJob> jobs = [] {
+    std::vector<BatchJob> js;
+    const Ddg fig7 = workloads::fig7_loop();
+    const Ddg ll20 = workloads::ll20_discrete_ordinates();
+    for (int copy = 0; copy < 8; ++copy) {
+      for (const std::int64_t n : {16, 24}) {
+        BatchJob j;
+        const Machine m{2, 2};
+        const CyclicSchedResult r = cyclic_sched(fig7, m);
+        j.program = lower(materialize(*r.pattern, m.processors, n), fig7);
+        j.graph = fig7;
+        j.iterations = n;
+        js.push_back(std::move(j));
+      }
+      BatchJob j;
+      const Machine m{3, 2};
+      const CyclicSchedResult r = cyclic_sched(ll20, m);
+      j.program = lower(materialize(*r.pattern, m.processors, 18), ll20);
+      j.graph = ll20;
+      j.iterations = 18;
+      js.push_back(std::move(j));
+    }
+    return js;
+  }();
+
+  static PlanCache cache;
+  static WorkerPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch(jobs, cache, pool, 4));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+  state.counters["jobs"] =
+      benchmark::Counter(static_cast<double>(jobs.size()));
+}
+BENCHMARK(BM_Batch_Throughput)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace

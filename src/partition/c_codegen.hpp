@@ -46,6 +46,14 @@ struct CEmitOptions {
   bool roll_steady_state = true;
   /// Which channel implementation the generated program uses.
   Transport transport = Transport::Spsc;
+  /// Emit the sequential recompute + bitwise comparison into main()
+  /// (default).  false (`mimdc --c --no-check`): skip the self-validation
+  /// entirely — no SEQ array, no sequential() function — and emit a
+  /// timing harness instead (CLOCK_MONOTONIC around the parallel section,
+  /// a fold of the results printed so the work is observably live), so
+  /// the emitted artifact serves as a standalone benchmark.  Validate a
+  /// loop once with the default before timing it with --no-check.
+  bool self_check = true;
 };
 
 /// Emit the full C translation unit executing `cp` (compiled from the

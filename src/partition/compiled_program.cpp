@@ -251,7 +251,84 @@ void reuse_slots(CompiledThread& t) {
   t.num_slots = next;
 }
 
+/// SplitMix64 finalizer — the same mixer support/random.cpp builds on.
+/// Each field is mixed before being folded so nearby integers (node ids,
+/// iterations) don't cancel; the fold itself is order-sensitive.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+struct StructuralHasher {
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  void fold(std::uint64_t v) { state = mix64(state ^ mix64(v)); }
+  void fold_signed(std::int64_t v) { fold(static_cast<std::uint64_t>(v)); }
+};
+
 }  // namespace
+
+std::uint64_t structural_hash(const Ddg& g) {
+  StructuralHasher h;
+  // Node/edge id order is stable: the graph is append-only.
+  h.fold(g.num_nodes());
+  for (const Node& n : g.nodes()) h.fold_signed(n.latency);
+  h.fold(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    h.fold(e.src);
+    h.fold(e.dst);
+    h.fold_signed(e.distance);
+    h.fold_signed(e.comm_cost);
+  }
+  return h.state;
+}
+
+bool structurally_equivalent(const Ddg& a, const Ddg& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.node(v).latency != b.node(v).latency) return false;
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const Edge& ea = a.edge(e);
+    const Edge& eb = b.edge(e);
+    if (ea.src != eb.src || ea.dst != eb.dst ||
+        ea.distance != eb.distance || ea.comm_cost != eb.comm_cost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t structural_hash(const PartitionedProgram& prog, const Ddg& g,
+                              const CompileOptions& opts) {
+  return structural_hash(prog, structural_hash(g), opts);
+}
+
+std::uint64_t structural_hash(const PartitionedProgram& prog,
+                              std::uint64_t graph_hash,
+                              const CompileOptions& opts) {
+  StructuralHasher h;
+  h.fold(graph_hash);
+  // The partitioned program, in processor then program order.
+  h.fold_signed(prog.processors);
+  h.fold(prog.programs.size());
+  for (const ProcessorProgram& p : prog.programs) {
+    h.fold_signed(p.proc);
+    h.fold(p.ops.size());
+    for (const Op& op : p.ops) {
+      h.fold(static_cast<std::uint64_t>(op.kind));
+      h.fold(op.inst.node);
+      h.fold_signed(op.inst.iter);
+      h.fold(op.edge);
+      h.fold_signed(op.peer);
+    }
+  }
+  h.fold(static_cast<std::uint64_t>(opts.slots));
+  return h.state;
+}
 
 std::size_t CompiledProgram::count(CompiledOp::Kind k) const {
   std::size_t n = 0;

@@ -115,7 +115,49 @@ enum class SlotPolicy : std::uint8_t {
 
 struct CompileOptions {
   SlotPolicy slots = SlotPolicy::Reuse;
+
+  friend bool operator==(const CompileOptions&,
+                         const CompileOptions&) = default;
 };
+
+/// Stable structural hash of everything that determines a compiled plan's
+/// observable values: the partitioned program (processors, per-processor
+/// op streams), the value-relevant graph structure (per-node latencies,
+/// edges with distances and communication costs — node *names* are
+/// deliberately excluded; they only feed diagnostics and comments, never
+/// runtime/kernels.hpp's synthetic values), and the compile options.
+///
+/// Stable means: a pure function of that structure — no pointers, no
+/// container iteration order, no per-process salt — so the same loop
+/// hashes identically across runs, processes, and builds.  This is
+/// PlanCache's key (runtime/plan_cache.hpp); the cache additionally
+/// verifies full structural equality on every hit, so a 64-bit collision
+/// can cost a recompile but can never return the wrong plan.
+[[nodiscard]] std::uint64_t structural_hash(const PartitionedProgram& prog,
+                                            const Ddg& g,
+                                            const CompileOptions& opts = {});
+
+/// The graph-only component of the hash above: latencies, edges,
+/// distances, communication costs (names excluded).  PlanCache folds it
+/// into the combined key and keeps it as a cheap pre-filter on hits.
+[[nodiscard]] std::uint64_t structural_hash(const Ddg& g);
+
+/// Combined hash from a precomputed graph hash — lets a caller that
+/// already holds structural_hash(g) (PlanCache) avoid walking the graph
+/// twice per lookup.  structural_hash(prog, g, opts) ==
+/// structural_hash(prog, structural_hash(g), opts), by construction.
+[[nodiscard]] std::uint64_t structural_hash(const PartitionedProgram& prog,
+                                            std::uint64_t graph_hash,
+                                            const CompileOptions& opts = {});
+
+/// True iff `a` and `b` agree on everything the synthetic kernel can
+/// observe: node count and latencies, edge list with distances and
+/// communication costs (names excluded, exactly the structural_hash(Ddg)
+/// domain).  This is PlanCache's hit-time collision guard —
+/// PartitionedProgram equality alone cannot distinguish two graphs that
+/// partition identically but compute different values, and a 64-bit hash
+/// alone is a probability, not a guarantee.
+[[nodiscard]] bool structurally_equivalent(const Ddg& a, const Ddg& b);
 
 /// Compile `prog` (validated against `g` with find_program_violation) into
 /// the slot-resolved form.  Throws ContractViolation — with the validator's

@@ -34,6 +34,9 @@ struct Op {
 struct ProcessorProgram {
   int proc = 0;
   std::vector<Op> ops;
+
+  friend bool operator==(const ProcessorProgram&,
+                         const ProcessorProgram&) = default;
 };
 
 struct PartitionedProgram {
@@ -42,6 +45,11 @@ struct PartitionedProgram {
 
   [[nodiscard]] std::size_t total_ops() const;
   [[nodiscard]] std::size_t count(Op::Kind k) const;
+
+  /// Structural equality — the collision guard behind PlanCache's hashed
+  /// lookup (runtime/plan_cache.hpp).
+  friend bool operator==(const PartitionedProgram&,
+                         const PartitionedProgram&) = default;
 };
 
 /// Structural validation: every Send has exactly one matching Receive on

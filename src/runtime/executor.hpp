@@ -41,9 +41,26 @@ struct ExecutionResult {
   double wall_seconds = 0.0;
 };
 
+class WorkerPool;
+
 struct RunOptions {
   KernelOptions kernel;
   Transport transport = Transport::Spsc;
+  /// Borrow threads from this persistent pool instead of spawning one
+  /// std::thread per compiled thread for the run (runtime/worker_pool.hpp
+  /// — the plan-service hot path; bench_plan_service measures the gap).
+  /// Null (default): spawn-per-run, the historical behavior.  Non-owning;
+  /// the pool must outlive the run.  Results are bit-identical either way.
+  WorkerPool* pool = nullptr;
+  /// Pin each compiled thread i to CPU ((slice + i) mod allowed CPUs) for
+  /// the duration of the run — the compiled thread order was frozen at
+  /// compile() time for exactly this, and the per-run rotating slice
+  /// gives concurrent pinned runs disjoint CPU ranges instead of stacking
+  /// them all on the first cores.  Works on both the pool and the spawn
+  /// path; masks restored afterwards; silently a no-op where unsupported
+  /// (affinity_supported()).  A placement hint only: results are
+  /// bit-identical pinned or not.
+  bool pin_threads = false;
   /// Spsc only.  0 (default): size each ring to its exact message count,
   /// so sends never block.  > 0: cap ring capacity at the next power of
   /// two >= this value — bounded memory with spin-then-yield backpressure.

@@ -1,0 +1,117 @@
+#include "runtime/plan_cache.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace mimd {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool PlanCache::matches_locked(const Entry& e, const PartitionedProgram& prog,
+                               const CompileOptions& copts) const {
+  return e.key_copts == copts && e.key_prog == prog;
+}
+
+void PlanCache::evict_to_capacity_locked() {
+  // Building entries are pinned (their builders hold iterators); walk from
+  // the cold end and drop the least recently used *built* entries.
+  auto it = lru_.end();
+  std::size_t built_over = lru_.size() > capacity_ ? lru_.size() - capacity_
+                                                   : 0;
+  while (built_over > 0 && it != lru_.begin()) {
+    --it;
+    if (it->plan == nullptr) continue;  // in flight: pinned
+    by_hash_.erase(it->hash);
+    it = lru_.erase(it);
+    ++evictions_;
+    --built_over;
+  }
+}
+
+std::shared_ptr<const ExecutorPlan> PlanCache::get_or_compile(
+    const PartitionedProgram& prog, const Ddg& g,
+    const CompileOptions& copts) {
+  // Hash the graph once; the combined key folds the precomputed value.
+  const std::uint64_t graph_hash = structural_hash(g);
+  const std::uint64_t hash = structural_hash(prog, graph_hash, copts);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = by_hash_.find(hash);
+    if (it == by_hash_.end()) break;  // miss: compile below
+    Entry& e = *it->second;
+    if (e.plan == nullptr) {
+      // Someone is compiling under this hash (almost surely this exact
+      // structure): wait for the publish — or for a failed build to
+      // retract the entry — then rescan.  The full-equality check below
+      // needs the built plan's graph anyway.
+      built_.wait(lock);
+      continue;
+    }
+    if (!matches_locked(e, prog, copts) || e.key_graph_hash != graph_hash ||
+        !structurally_equivalent(g, e.plan->graph())) {
+      // True 64-bit collision: two structures, one hash.  Never serve the
+      // wrong plan — program and options compare by full equality, the
+      // graph against the plan's own copy (the stored graph hash is just
+      // the cheap pre-filter).  Replace the resident entry.
+      const auto stale = it->second;
+      by_hash_.erase(it);
+      lru_.erase(stale);
+      ++evictions_;
+      break;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch: most recent
+    return e.plan;
+  }
+
+  ++misses_;
+  lru_.push_front(Entry{hash, prog, copts, graph_hash, nullptr});
+  const auto self = lru_.begin();
+  by_hash_[hash] = self;
+  lock.unlock();
+
+  std::shared_ptr<const ExecutorPlan> plan;
+  try {
+    plan = std::make_shared<const ExecutorPlan>(compile(prog, g, copts));
+  } catch (...) {
+    lock.lock();
+    by_hash_.erase(hash);
+    lru_.erase(self);
+    built_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  self->plan = plan;
+  evict_to_capacity_locked();
+  built_.notify_all();
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->plan == nullptr) {
+      ++it;  // in flight: its builder will publish into a live entry
+    } else {
+      by_hash_.erase(it->hash);
+      it = lru_.erase(it);
+    }
+  }
+}
+
+}  // namespace mimd

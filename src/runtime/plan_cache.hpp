@@ -1,0 +1,103 @@
+// PlanCache — the compiled-artifact half of the plan service: many
+// callers, one compile.
+//
+// The paper's speedup model assumes partitioning/scheduling cost is paid
+// once and amortized over many executions; PR 2 split the runtime into
+// compile() -> ExecutorPlan + plan.run() to make that amortization
+// *possible*, and this cache makes it *automatic*: a caller presents a
+// (PartitionedProgram, Ddg, CompileOptions) request and receives a
+// shared_ptr to the one compiled plan for that structure, compiling only
+// on the first request (the static/dynamic split Baghdadi et al.'s
+// synergistic-optimization study argues should live behind a reusable
+// compiled artifact — PAPERS.md).
+//
+// Keying: structural_hash (partition/compiled_program.hpp) — a stable
+// 64-bit hash of everything value-relevant (program op streams, graph
+// latencies/edges/distances, compile options; node names excluded, they
+// are diagnostic only).  Every hit is verified by full structural
+// equality, so a hash collision degrades to a recompile, never to the
+// wrong plan.
+//
+// Concurrency: one mutex guards the table, but compilation happens
+// *outside* it — a miss inserts a building placeholder, releases the
+// lock, compiles, then publishes.  Concurrent requests for the same key
+// wait on a condvar instead of compiling twice; requests for other keys
+// proceed untouched.  Plans are handed out as shared_ptr<const
+// ExecutorPlan> (run() is const and thread-compatible), so eviction can
+// never invalidate a plan a caller is still running.
+//
+// Eviction: LRU over built entries, bounded by `capacity`.  Entries
+// still compiling are never evicted (their builders hold iterators), so
+// the table can transiently exceed capacity by the number of in-flight
+// compiles.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "runtime/executor.hpp"
+
+namespace mimd {
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< each miss is one compile
+    std::uint64_t evictions = 0;   ///< LRU + collision replacements
+    std::size_t entries = 0;       ///< currently resident plans
+    std::size_t capacity = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The shared plan for this structure: compiled now if absent, returned
+  /// from cache otherwise.  Throws what compile() throws (ContractViolation
+  /// on an ill-formed program) — a failed build is not cached, and waiting
+  /// duplicates then compile for themselves (and fail identically).
+  std::shared_ptr<const ExecutorPlan> get_or_compile(
+      const PartitionedProgram& prog, const Ddg& g,
+      const CompileOptions& copts = {});
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop every *built* entry (in-flight compiles finish and publish as
+  /// usual; handed-out shared_ptrs stay valid).  Counters survive.
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    // Full structural key, kept to verify hits against hash collisions.
+    PartitionedProgram key_prog;
+    CompileOptions key_copts;
+    /// Cheap pre-filter only — a hit additionally verifies the request's
+    /// graph against the built plan's own copy (structurally_equivalent).
+    std::uint64_t key_graph_hash = 0;
+    std::shared_ptr<const ExecutorPlan> plan;  ///< null while building
+  };
+  using Lru = std::list<Entry>;  ///< front = most recently used
+
+  [[nodiscard]] bool matches_locked(const Entry& e,
+                                    const PartitionedProgram& prog,
+                                    const CompileOptions& copts) const;
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable built_;
+  Lru lru_;
+  std::unordered_map<std::uint64_t, Lru::iterator> by_hash_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mimd

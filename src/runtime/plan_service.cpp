@@ -1,0 +1,69 @@
+#include "runtime/plan_service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mimd {
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
+                      WorkerPool& pool, std::size_t concurrency) {
+  BatchReport report;
+  report.results.resize(jobs.size());
+  if (jobs.empty()) {
+    report.cache_stats = cache.stats();
+    return report;
+  }
+
+  if (concurrency == 0) {
+    concurrency = std::thread::hardware_concurrency();
+    if (concurrency == 0) concurrency = 1;
+  }
+  if (concurrency > jobs.size()) concurrency = jobs.size();
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto drive = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      const BatchJob& job = jobs[i];
+      try {
+        const auto plan =
+            cache.get_or_compile(job.program, job.graph, job.copts);
+        RunOptions opts = job.ropts;
+        opts.pool = &pool;
+        const std::int64_t n =
+            job.iterations > 0 ? job.iterations : plan->program().iterations;
+        report.results[i] = plan->run(n, opts);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Poison the cursor so peers stop picking up new jobs; jobs
+        // already in flight finish normally.
+        cursor.store(jobs.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(concurrency);
+  for (std::size_t d = 0; d < concurrency; ++d) {
+    drivers.emplace_back(drive);
+  }
+  for (std::thread& d : drivers) d.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.cache_stats = cache.stats();
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace mimd

@@ -1,0 +1,62 @@
+// run_batch — the plan service's front door: push N independent loop
+// instances through one shared PlanCache and one persistent WorkerPool,
+// concurrently, and report throughput.
+//
+// This is the first end-to-end "many requests, one compiled program"
+// scenario from the ROADMAP's north star: a service holding a warm cache
+// of compiled plans and a warm pool of workers, where a request costs
+// a hash lookup plus a pooled run instead of a full
+// partition/compile/spawn cycle.  Duplicate structures across the batch
+// — the common case for a service replaying the same hot loops — compile
+// exactly once (PlanCache dedupes concurrent first requests too).
+//
+// Concurrency shape: `concurrency` driver threads pull jobs from a
+// shared cursor; each driver resolves its job's plan in the cache and
+// runs it on the pool.  Driver threads are plain std::threads (they
+// spend their life blocked in run_gang), the pool's workers do the
+// actual loop execution.  Results land in per-job slots, so the output
+// vector is in job order regardless of completion order.
+//
+// mimdc --batch <dir> and bench_plan_service are the two callers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace mimd {
+
+/// One independent loop instance to execute.
+struct BatchJob {
+  PartitionedProgram program;
+  Ddg graph;
+  /// Iterations to run; 0 means the program's own compiled count.
+  std::int64_t iterations = 0;
+  CompileOptions copts;
+  /// Transport / kernel / pinning for this job.  `pool` is overridden by
+  /// the batch driver — every job runs on the shared pool.
+  RunOptions ropts;
+};
+
+struct BatchReport {
+  /// One result per job, in job order.
+  std::vector<ExecutionResult> results;
+  /// Cache stats after the batch (deltas vs before are the batch's own).
+  PlanCache::Stats cache_stats;
+  /// End-to-end wall time for the whole batch, including compiles.
+  double wall_seconds = 0.0;
+};
+
+/// Run every job through `cache` + `pool` with `concurrency` concurrent
+/// drivers (0 = hardware_concurrency, clamped to the job count).  If a
+/// job's program is ill-formed, peers stop picking up new jobs, in-flight
+/// jobs finish, and the first error (what compile() throws) is rethrown
+/// after all drivers drain.
+BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
+                      WorkerPool& pool, std::size_t concurrency = 0);
+
+}  // namespace mimd

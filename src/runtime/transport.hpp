@@ -23,6 +23,12 @@ enum class Transport : std::uint8_t {
   Spsc,   ///< lock-free bounded SPSC ring (default)
 };
 
+/// The transport's CLI / report spelling, shared by mimdc, the batch
+/// driver, and the benches.
+[[nodiscard]] constexpr const char* transport_name(Transport t) {
+  return t == Transport::Spsc ? "spsc" : "mutex";
+}
+
 /// Smallest power of two >= min_capacity (and >= 2): the ring sizes the
 /// SpscChannel constructor and the emitted C both use, so cursor masking
 /// works identically in both runtimes.

@@ -1,0 +1,128 @@
+// Persistent worker pool for the threaded executor — the "spawn once,
+// serve many runs" half of the plan service (the other half is
+// runtime/plan_cache.hpp).
+//
+// ExecutorPlan::run() historically spawned one fresh std::thread per
+// compiled thread on every call; at the small-n request sizes a plan
+// service handles, thread creation dominates the run itself — the exact
+// overhead inversion McKenney's *Is Parallel Programming Hard* warns
+// about for fine-grained parallel runtimes.  A WorkerPool keeps its
+// threads alive across runs, so a run costs two condvar handoffs per
+// worker instead of a clone()/join() pair (RunOptions::pool selects it;
+// bench_plan_service measures the gap).
+//
+// Scheduling unit: the *gang*.  A compiled program's threads communicate
+// through blocking channels, so a run's tasks must all be in flight
+// before any of them can finish — running half a gang can deadlock the
+// pool.  run_gang() therefore enqueues the task set as one unit and
+// grows the pool to cover every *admitted* task (all unfinished tasks of
+// queued and running gangs, plus the new gang's), so concurrent gangs
+// from independent callers genuinely overlap instead of serializing
+// behind one gang's width; growth is bounded by the callers themselves —
+// each blocks in run_gang(), so admitted work never exceeds
+// (concurrent callers) x (widest gang).  Workers claim tasks strictly
+// from the front gang (FIFO), which keeps even a hypothetically
+// undersized pool deadlock-free: at most one gang is ever partially
+// claimed (the front one), every fully claimed gang is self-contained
+// and finishes, and its freed workers then complete the front gang's
+// claim — no circular wait, for any mix of concurrent run_gang() callers.
+//
+// CPU-affinity pinning rides on the pool (and on spawn-per-run): the
+// compiled thread order was frozen at compile() time precisely so thread
+// i of a plan can be bound to CPU (i mod cores) run after run
+// (RunOptions::pin_threads).  The Linux implementation uses
+// pthread_setaffinity_np behind the portable shim below; elsewhere
+// pinning degrades to a no-op and pin_current_thread_to_cpu reports
+// false.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mimd {
+
+/// Opaque saved affinity mask, sized for Linux's cpu_set_t (1024 CPUs).
+/// Valid only after a successful pin_current_thread_to_cpu(..., &saved).
+struct CpuAffinityMask {
+  unsigned char bytes[128] = {};
+  bool valid = false;
+};
+
+/// True when this platform can pin threads to CPUs (Linux).
+[[nodiscard]] bool affinity_supported();
+
+/// Pin the calling thread to CPU `cpu % hardware_concurrency`, saving the
+/// previous mask into `*saved` (when non-null) for restoration.  Returns
+/// false — leaving the thread untouched — on unsupported platforms or if
+/// the syscall fails (e.g. a cgroup cpuset excluding that CPU).
+bool pin_current_thread_to_cpu(unsigned cpu, CpuAffinityMask* saved);
+
+/// Restore a mask saved by pin_current_thread_to_cpu.  No-op when
+/// !mask.valid.  Pool workers restore after every pinned gang so a later
+/// unpinned run on the same worker is not silently confined.
+void restore_current_thread_affinity(const CpuAffinityMask& mask);
+
+/// A persistent pool of worker threads executing gangs of blocking,
+/// mutually communicating tasks.  Thread-safe: any number of threads may
+/// call run_gang() concurrently; gangs are claimed FIFO.
+///
+/// Tasks must not throw — they run on pool threads where an escaping
+/// exception is std::terminate, exactly as on the spawn-per-run path
+/// (see ExecutorPlan::run's contract on mid-run channel violations).
+class WorkerPool {
+ public:
+  /// Workers are spawned lazily as gangs demand them; `initial_workers`
+  /// merely pre-warms.  The pool only ever grows (to the largest gang
+  /// seen), never shrinks — it is a process-lifetime resource.
+  explicit WorkerPool(std::size_t initial_workers = 0);
+
+  /// Completes every queued gang, then joins all workers.  The caller
+  /// must ensure no run_gang() is in flight.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run every task in `tasks` concurrently and return when all have
+  /// finished.  Grows the pool to cover all admitted tasks first, so the
+  /// gang can never starve itself and concurrent gangs run side by side.
+  /// The calling thread blocks but does not execute tasks (it typically
+  /// holds no worker invariants, and a blocked caller is exactly what
+  /// plan.run() promised).
+  void run_gang(std::vector<std::function<void()>> tasks);
+
+  [[nodiscard]] std::size_t num_workers() const;
+
+  /// Cumulative gangs executed — cheap observability for tests/benches.
+  [[nodiscard]] std::uint64_t gangs_run() const;
+
+ private:
+  struct Gang {
+    std::vector<std::function<void()>> tasks;
+    std::size_t next_task = 0;   ///< claim cursor
+    std::size_t remaining = 0;   ///< tasks not yet finished
+  };
+
+  void ensure_workers_locked(std::size_t want);
+  void worker_main();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;   ///< workers wait here
+  std::condition_variable gang_done_;    ///< run_gang callers wait here
+  std::deque<std::shared_ptr<Gang>> queue_;
+  std::vector<std::thread> workers_;
+  /// Unfinished tasks across every admitted gang — the pool-size floor
+  /// that lets concurrent gangs overlap.
+  std::size_t admitted_tasks_ = 0;
+  std::uint64_t gangs_run_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mimd

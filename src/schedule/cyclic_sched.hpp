@@ -53,7 +53,12 @@ struct CyclicSchedOptions {
   std::int64_t horizon_iterations = -1;
   /// Iteration-lead throttle, in iterations; <= 0 picks an automatic
   /// window.  No instance of iteration i may start before iteration
-  /// i - window has completely finished.  Rationale: when a connected
+  /// i - window has completely finished.  CAVEAT: an explicit window >=
+  /// max_iterations never activates within the detection bound, and on
+  /// graphs with root nodes (no incoming dependences) the checkpoint
+  /// signatures then never clamp — pattern detection cleanly fails
+  /// (nullopt) instead of settling; keep explicit windows well below
+  /// max_iterations (tests/test_throttle.cpp pins both sides).  Rationale: when a connected
   /// graph couples its recurrences only through *forward* dependences,
   /// pure greedy scheduling lets the upstream recurrence run ahead of the
   /// downstream one at its own faster rate, the gap grows without bound,

@@ -224,6 +224,42 @@ TEST(CCodegen, RingCapacitiesFollowTheSharedPolicy) {
   }
 }
 
+TEST(CCodegen, NoCheckModeEmitsATimingHarnessInsteadOfTheRecompute) {
+  const Ddg g = workloads::fig7_loop();
+  const CompiledProgram cp = pattern_compiled(g, Machine{2, 2}, 24);
+  CEmitOptions opts;
+  opts.self_check = false;
+  const std::string src = emit_c_program(cp, g, opts);
+  // No sequential recompute, no comparison storage...
+  EXPECT_EQ(src.find("SEQ"), std::string::npos);
+  EXPECT_EQ(src.find("sequential"), std::string::npos);
+  EXPECT_EQ(src.find("MISMATCH"), std::string::npos);
+  // ...but a monotonic-clock timing harness and a live result fold.
+  EXPECT_NE(src.find("clock_gettime"), std::string::npos);
+  EXPECT_NE(src.find("CLOCK_MONOTONIC"), std::string::npos);
+  EXPECT_NE(src.find("PARALLEL"), std::string::npos);
+  EXPECT_NE(src.find("fold"), std::string::npos);
+  // The parallel section itself is unchanged (same threads, same rings).
+  const std::string checked = emit_c_program(cp, g);
+  EXPECT_NE(checked.find("SEQ"), std::string::npos);
+  EXPECT_NE(src.find("pe0_main"), std::string::npos);
+  EXPECT_NE(src.find("pe1_main"), std::string::npos);
+}
+
+TEST(CCodegen, NoCheckProgramCompilesAndRunsOnBothTransports) {
+  if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
+  const Ddg g = workloads::fig7_loop();
+  const CompiledProgram cp = pattern_compiled(g, Machine{2, 2}, 24);
+  for (const Transport t : {Transport::Spsc, Transport::Mutex}) {
+    CEmitOptions opts = with_transport(t);
+    opts.self_check = false;
+    const std::string src = emit_c_program(cp, g, opts);
+    const std::string tag = std::string("nocheck_") +
+                            (t == Transport::Spsc ? "spsc" : "mutex");
+    EXPECT_EQ(compile_and_run(src, tag), 0) << tag;
+  }
+}
+
 TEST(CCodegen, RejectsProgramComputingNothing) {
   // A compiled program with no compute ops has no iteration count for the
   // self-check to range over.

@@ -1,0 +1,357 @@
+// The plan service's cache half: structural hashing (stability, value
+// relevance, name blindness), hit/miss/eviction accounting, single-compile
+// deduplication under concurrency (the suite the CI TSan job replays),
+// and run_batch pushing many loops through one cache + pool.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "partition/compiled_program.hpp"
+#include "partition/lowering.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/plan_service.hpp"
+#include "runtime/worker_pool.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd {
+namespace {
+
+PartitionedProgram pattern_program(const Ddg& g, const Machine& m,
+                                   std::int64_t n) {
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  EXPECT_TRUE(r.pattern.has_value());
+  return lower(materialize(*r.pattern, m.processors, n), g);
+}
+
+void expect_matches_sequential(const ExecutionResult& res, const Ddg& g,
+                               std::int64_t n) {
+  const auto reference = run_sequential(g, n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(res.values[v][static_cast<std::size_t>(i)],
+                reference[v][static_cast<std::size_t>(i)])
+          << "node " << v << " iter " << i;
+    }
+  }
+}
+
+// ---- structural_hash ----
+
+TEST(StructuralHash, StableAcrossCallsAndCopies) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = pattern_program(g, Machine{2, 2}, 20);
+  const std::uint64_t h1 = structural_hash(p, g);
+  const std::uint64_t h2 = structural_hash(p, g);
+  EXPECT_EQ(h1, h2);
+  // Deep copies hash identically: the hash is a pure function of
+  // structure, no addresses or container identity.
+  const PartitionedProgram p_copy = p;  // NOLINT(performance-*)
+  const Ddg g_copy = g;                 // NOLINT(performance-*)
+  EXPECT_EQ(structural_hash(p_copy, g_copy), h1);
+}
+
+TEST(StructuralHash, DistinguishesProgramGraphAndOptions) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p20 = pattern_program(g, Machine{2, 2}, 20);
+  const PartitionedProgram p24 = pattern_program(g, Machine{2, 2}, 24);
+  EXPECT_NE(structural_hash(p20, g), structural_hash(p24, g));
+
+  CompileOptions ssa;
+  ssa.slots = SlotPolicy::Ssa;
+  EXPECT_NE(structural_hash(p20, g), structural_hash(p20, g, ssa));
+
+  const Ddg other = workloads::ll20_discrete_ordinates();
+  EXPECT_NE(structural_hash(g), structural_hash(other));
+}
+
+TEST(StructuralHash, IgnoresNodeNamesButNotLatencies) {
+  // Two graphs identical except for names: same hash (names never reach
+  // the synthetic values).  Bump one latency: different hash.
+  Ddg a;
+  a.add_node("A", 1);
+  a.add_node("B", 2);
+  a.add_edge(0u, 1u, 0);
+  a.add_edge(1u, 0u, 1);
+
+  Ddg renamed;
+  renamed.add_node("X", 1);
+  renamed.add_node("Y", 2);
+  renamed.add_edge(0u, 1u, 0);
+  renamed.add_edge(1u, 0u, 1);
+  EXPECT_EQ(structural_hash(a), structural_hash(renamed));
+
+  Ddg slower;
+  slower.add_node("A", 1);
+  slower.add_node("B", 3);  // latency changes the computed values
+  slower.add_edge(0u, 1u, 0);
+  slower.add_edge(1u, 0u, 1);
+  EXPECT_NE(structural_hash(a), structural_hash(slower));
+}
+
+TEST(StructuralHash, EquivalenceMatchesTheHashDomain) {
+  // structurally_equivalent is the hit-time collision guard: it must see
+  // exactly what structural_hash(Ddg) sees — latencies and edges yes,
+  // names no.
+  Ddg a;
+  a.add_node("A", 1);
+  a.add_node("B", 2);
+  a.add_edge(0u, 1u, 0);
+  a.add_edge(1u, 0u, 1);
+
+  Ddg renamed;
+  renamed.add_node("X", 1);
+  renamed.add_node("Y", 2);
+  renamed.add_edge(0u, 1u, 0);
+  renamed.add_edge(1u, 0u, 1);
+  EXPECT_TRUE(structurally_equivalent(a, renamed));
+
+  Ddg slower = a;
+  EXPECT_TRUE(structurally_equivalent(a, slower));
+  Ddg different;
+  different.add_node("A", 1);
+  different.add_node("B", 2);
+  different.add_edge(0u, 1u, 0);
+  different.add_edge(1u, 0u, 2);  // distance differs
+  EXPECT_FALSE(structurally_equivalent(a, different));
+}
+
+// ---- Hit / miss / sharing ----
+
+TEST(PlanCache, SecondRequestHitsAndSharesThePlan) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = pattern_program(g, Machine{2, 2}, 20);
+
+  PlanCache cache;
+  const auto plan1 = cache.get_or_compile(p, g);
+  const auto plan2 = cache.get_or_compile(p, g);
+  EXPECT_EQ(plan1.get(), plan2.get());  // one artifact, shared
+
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  expect_matches_sequential(plan1->run(20), g, 20);
+}
+
+TEST(PlanCache, DifferentOptionsAreDifferentEntries) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = pattern_program(g, Machine{2, 2}, 20);
+
+  PlanCache cache;
+  CompileOptions ssa;
+  ssa.slots = SlotPolicy::Ssa;
+  const auto reuse_plan = cache.get_or_compile(p, g);
+  const auto ssa_plan = cache.get_or_compile(p, g, ssa);
+  EXPECT_NE(reuse_plan.get(), ssa_plan.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // Both policies execute identically (test_slot_reuse pins this too).
+  expect_matches_sequential(ssa_plan->run(20), g, 20);
+}
+
+TEST(PlanCache, EqualProgramsOnDifferentGraphsDoNotCollide) {
+  // A hand-built one-processor program is valid on two graphs that differ
+  // only in a latency — the values differ, so the cache must compile both.
+  auto make_graph = [](int latency_b) {
+    Ddg g;
+    g.add_node("A", 1);
+    g.add_node("B", latency_b);
+    g.add_edge(0u, 1u, 0);
+    g.add_edge(1u, 0u, 1);
+    return g;
+  };
+  const Ddg g1 = make_graph(2);
+  const Ddg g2 = make_graph(3);
+
+  PartitionedProgram p;
+  p.processors = 1;
+  p.programs.resize(1);
+  p.programs[0].proc = 0;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    p.programs[0].ops.push_back(Op{Op::Kind::Compute, Inst{0u, i}, 0, -1});
+    p.programs[0].ops.push_back(Op{Op::Kind::Compute, Inst{1u, i}, 0, -1});
+  }
+
+  PlanCache cache;
+  const auto plan1 = cache.get_or_compile(p, g1);
+  const auto plan2 = cache.get_or_compile(p, g2);
+  EXPECT_NE(plan1.get(), plan2.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  expect_matches_sequential(plan1->run(4), g1, 4);
+  expect_matches_sequential(plan2->run(4), g2, 4);
+}
+
+TEST(PlanCache, FailedCompileIsNotCached) {
+  const Ddg g = workloads::fig7_loop();
+  PartitionedProgram bad;  // compute before its operand exists
+  bad.processors = 1;
+  bad.programs.resize(1);
+  bad.programs[0].proc = 0;
+  bad.programs[0].ops.push_back(
+      Op{Op::Kind::Compute, Inst{*g.find("B"), 0}, 0, -1});
+
+  PlanCache cache;
+  EXPECT_THROW((void)cache.get_or_compile(bad, g), ContractViolation);
+  EXPECT_THROW((void)cache.get_or_compile(bad, g), ContractViolation);
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);   // the retracted build left nothing behind
+  EXPECT_EQ(s.misses, 2u);    // and did not poison later requests
+}
+
+// ---- LRU eviction ----
+
+TEST(PlanCache, EvictsLeastRecentlyUsedAtCapacity) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram a = pattern_program(g, Machine{2, 2}, 12);
+  const PartitionedProgram b = pattern_program(g, Machine{2, 2}, 16);
+  const PartitionedProgram c = pattern_program(g, Machine{2, 2}, 20);
+
+  PlanCache cache(2);
+  (void)cache.get_or_compile(a, g);
+  (void)cache.get_or_compile(b, g);
+  (void)cache.get_or_compile(a, g);  // touch a: b becomes the LRU entry
+  (void)cache.get_or_compile(c, g);  // evicts b
+
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+
+  (void)cache.get_or_compile(a, g);  // still resident: hit
+  EXPECT_EQ(cache.stats().hits, 2u);
+  (void)cache.get_or_compile(b, g);  // evicted: recompiles
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(PlanCache, ClearDropsEntriesButKeepsHandedOutPlans) {
+  const Ddg g = workloads::fig7_loop();
+  const PartitionedProgram p = pattern_program(g, Machine{2, 2}, 20);
+  PlanCache cache;
+  const auto plan = cache.get_or_compile(p, g);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The shared_ptr we hold is unaffected by eviction.
+  expect_matches_sequential(plan->run(20), g, 20);
+  (void)cache.get_or_compile(p, g);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// ---- Concurrency (replayed under TSan in CI) ----
+
+TEST(PlanCache, ConcurrentRequestsCompileEachStructureOnce) {
+  const Ddg g = workloads::fig7_loop();
+  std::vector<PartitionedProgram> programs;
+  for (const std::int64_t n : {12, 16, 20}) {
+    programs.push_back(pattern_program(g, Machine{2, 2}, n));
+  }
+
+  PlanCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 16;
+  std::vector<std::shared_ptr<const ExecutorPlan>> seen(
+      static_cast<std::size_t>(kThreads) * programs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t j = 0; j < programs.size(); ++j) {
+          auto plan = cache.get_or_compile(programs[j], g);
+          seen[static_cast<std::size_t>(t) * programs.size() + j] =
+              std::move(plan);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Exactly one compile per distinct structure — concurrent first
+  // requests waited for the builder instead of duplicating the work.
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, programs.size());
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds *
+                programs.size());
+  // Every thread ended holding the same artifact per structure.
+  for (std::size_t j = 0; j < programs.size(); ++j) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[j].get(),
+                seen[static_cast<std::size_t>(t) * programs.size() + j].get());
+    }
+  }
+}
+
+// ---- run_batch: the end-to-end plan service ----
+
+TEST(PlanService, BatchMatchesSequentialAndDedupesPlans) {
+  const Ddg fig7 = workloads::fig7_loop();
+  const Ddg ll20 = workloads::ll20_discrete_ordinates();
+
+  std::vector<BatchJob> jobs;
+  for (int copy = 0; copy < 3; ++copy) {
+    BatchJob a;
+    a.program = pattern_program(fig7, Machine{2, 2}, 20);
+    a.graph = fig7;
+    a.iterations = 20;
+    jobs.push_back(a);
+
+    BatchJob b;
+    b.program = pattern_program(ll20, Machine{3, 2}, 18);
+    b.graph = ll20;
+    b.iterations = 18;
+    b.ropts.transport = Transport::Mutex;  // per-job transport respected
+    jobs.push_back(b);
+  }
+
+  PlanCache cache;
+  WorkerPool pool;
+  const BatchReport report = run_batch(jobs, cache, pool, 4);
+
+  ASSERT_EQ(report.results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_matches_sequential(report.results[i], jobs[i].graph,
+                              jobs[i].iterations);
+  }
+  // Six jobs, two distinct structures: two compiles, four hits.
+  EXPECT_EQ(report.cache_stats.misses, 2u);
+  EXPECT_EQ(report.cache_stats.hits, 4u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(PlanService, BatchIterationsDefaultToTheCompiledCount) {
+  const Ddg g = workloads::fig7_loop();
+  std::vector<BatchJob> jobs(1);
+  jobs[0].program = pattern_program(g, Machine{2, 2}, 16);
+  jobs[0].graph = g;
+  jobs[0].iterations = 0;  // "the program's own count"
+
+  PlanCache cache;
+  WorkerPool pool;
+  const BatchReport report = run_batch(jobs, cache, pool, 1);
+  expect_matches_sequential(report.results[0], g, 16);
+}
+
+TEST(PlanService, BatchRethrowsTheFirstCompileError) {
+  const Ddg g = workloads::fig7_loop();
+  std::vector<BatchJob> jobs(2);
+  jobs[0].program = pattern_program(g, Machine{2, 2}, 12);
+  jobs[0].graph = g;
+  jobs[0].iterations = 12;
+  // Ill-formed: a compute whose cross-processor operand never arrives.
+  jobs[1].graph = g;
+  jobs[1].program.processors = 1;
+  jobs[1].program.programs.resize(1);
+  jobs[1].program.programs[0].proc = 0;
+  jobs[1].program.programs[0].ops.push_back(
+      Op{Op::Kind::Compute, Inst{*g.find("B"), 0}, 0, -1});
+
+  PlanCache cache;
+  WorkerPool pool;
+  EXPECT_THROW((void)run_batch(jobs, cache, pool, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mimd

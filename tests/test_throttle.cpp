@@ -76,15 +76,34 @@ TEST(Throttle, ExplicitWindowIsHonoredAndStillValid) {
 TEST(Throttle, DoesNotSlowTightPaperLoops) {
   // On tightly coupled loops the throttle window exceeds the schedule
   // span, so results are identical with and without an explicit window.
+  // 4096 is orders of magnitude beyond fig7's span (~50 cycles) while
+  // staying below max_iterations — a window >= the detection bound can
+  // never activate, which suppresses pattern detection on rooted graphs
+  // (see CyclicSchedOptions::lead_window).  The original 1 << 20 hit
+  // exactly that: no pattern, and the unchecked optional dereference was
+  // undefined behavior that happened to read a plausible stale Pattern
+  // in release builds (caught by the ASan/Debug CI job).
   const Ddg g = workloads::fig7_loop();
   CyclicSchedOptions wide;
-  wide.lead_window = 1 << 20;
-  const double ii_default =
-      cyclic_sched(g, Machine{2, 2}).pattern->initiation_interval();
-  const double ii_wide =
-      cyclic_sched(g, Machine{2, 2}, wide).pattern->initiation_interval();
-  EXPECT_DOUBLE_EQ(ii_default, 3.0);
-  EXPECT_DOUBLE_EQ(ii_wide, 3.0);
+  wide.lead_window = 4096;
+  const CyclicSchedResult def = cyclic_sched(g, Machine{2, 2});
+  const CyclicSchedResult w = cyclic_sched(g, Machine{2, 2}, wide);
+  ASSERT_TRUE(def.pattern.has_value());
+  ASSERT_TRUE(w.pattern.has_value());
+  EXPECT_DOUBLE_EQ(def.pattern->initiation_interval(), 3.0);
+  EXPECT_DOUBLE_EQ(w.pattern->initiation_interval(), 3.0);
+}
+
+TEST(Throttle, WindowBeyondTheDetectionBoundFindsNoPatternOnRootedGraphs) {
+  // Pins the limitation the test above works around: an explicit window
+  // >= max_iterations never activates, the signature offsets of a graph
+  // with root nodes never clamp, and detection exhausts its bound.  The
+  // result is a clean "no pattern", not a bogus one.
+  const Ddg g = workloads::fig7_loop();
+  CyclicSchedOptions huge;
+  huge.lead_window = 1 << 20;
+  const CyclicSchedResult r = cyclic_sched(g, Machine{2, 2}, huge);
+  EXPECT_FALSE(r.pattern.has_value());
 }
 
 TEST(Throttle, TightWindowNeverBreaksDependenceValidity) {

@@ -1,0 +1,214 @@
+// The plan service's pool half: gang execution, growth, concurrent gangs
+// (the FIFO-claim deadlock-freedom invariant, replayed under TSan in CI),
+// pooled runs bit-identical to spawn-per-run on both transports, and the
+// CPU-affinity shim behind RunOptions::pin_threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "partition/lowering.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/worker_pool.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/livermore.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace mimd {
+namespace {
+
+ExecutorPlan fig7_plan(std::int64_t n) {
+  const Ddg g = workloads::fig7_loop();
+  const Machine m{2, 2};
+  const CyclicSchedResult r = cyclic_sched(g, m);
+  EXPECT_TRUE(r.pattern.has_value());
+  return compile(lower(materialize(*r.pattern, m.processors, n), g), g);
+}
+
+void expect_identical(const ExecutionResult& a, const ExecutionResult& b,
+                      std::int64_t n) {
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t v = 0; v < a.values.size(); ++v) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(a.values[v][static_cast<std::size_t>(i)],
+                b.values[v][static_cast<std::size_t>(i)])
+          << "node " << v << " iter " << i;
+    }
+  }
+}
+
+// ---- The pool itself ----
+
+TEST(WorkerPool, RunsEveryTaskOfAGangExactlyOnce) {
+  WorkerPool pool;
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_gang(std::move(tasks));
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_EQ(pool.gangs_run(), 1u);
+  EXPECT_GE(pool.num_workers(), 8u);
+}
+
+TEST(WorkerPool, GrowsToTheWidestGangAndPersists) {
+  WorkerPool pool(2);
+  EXPECT_EQ(pool.num_workers(), 2u);
+  pool.run_gang({[] {}, [] {}, [] {}, [] {}, [] {}});
+  EXPECT_GE(pool.num_workers(), 5u);
+  const std::size_t grown = pool.num_workers();
+  pool.run_gang({[] {}});
+  EXPECT_EQ(pool.num_workers(), grown);  // never shrinks
+  EXPECT_EQ(pool.gangs_run(), 2u);
+}
+
+TEST(WorkerPool, EmptyGangIsANoOp) {
+  WorkerPool pool;
+  pool.run_gang({});
+  EXPECT_EQ(pool.gangs_run(), 0u);
+}
+
+TEST(WorkerPool, GangTasksMayBlockOnEachOther) {
+  // The executor's real shape: tasks that cannot finish until their gang
+  // peers run.  A pool that ran tasks one at a time would deadlock here.
+  WorkerPool pool;
+  std::atomic<int> arrived{0};
+  std::vector<std::function<void()>> tasks;
+  constexpr int kGang = 4;
+  for (int i = 0; i < kGang; ++i) {
+    tasks.emplace_back([&arrived] {
+      arrived.fetch_add(1);
+      while (arrived.load() < kGang) std::this_thread::yield();
+    });
+  }
+  pool.run_gang(std::move(tasks));
+  EXPECT_EQ(arrived.load(), kGang);
+}
+
+TEST(WorkerPool, ConcurrentGangsFromManyCallersComplete) {
+  WorkerPool pool;
+  constexpr int kCallers = 6;
+  constexpr int kGangsEach = 10;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kGangsEach; ++r) {
+        std::atomic<int> arrived{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 3; ++i) {
+          tasks.emplace_back([&arrived, &total] {
+            arrived.fetch_add(1);
+            while (arrived.load() < 3) std::this_thread::yield();
+            total.fetch_add(1);
+          });
+        }
+        pool.run_gang(std::move(tasks));
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * kGangsEach * 3);
+  EXPECT_EQ(pool.gangs_run(),
+            static_cast<std::uint64_t>(kCallers) * kGangsEach);
+}
+
+// ---- Pooled executor runs ----
+
+TEST(WorkerPool, PooledRunIsBitIdenticalToSpawnOnBothTransports) {
+  const std::int64_t n = 40;
+  const ExecutorPlan plan = fig7_plan(n);
+  WorkerPool pool;
+  for (const Transport transport : {Transport::Spsc, Transport::Mutex}) {
+    RunOptions spawn_opts;
+    spawn_opts.transport = transport;
+    const ExecutionResult spawned = plan.run(n, spawn_opts);
+
+    RunOptions pooled_opts = spawn_opts;
+    pooled_opts.pool = &pool;
+    const ExecutionResult pooled_first = plan.run(n, pooled_opts);
+    const ExecutionResult pooled_again = plan.run(n, pooled_opts);
+
+    expect_identical(pooled_first, spawned, n);
+    expect_identical(pooled_again, spawned, n);  // reuse changes nothing
+  }
+  EXPECT_EQ(pool.gangs_run(), 4u);
+}
+
+TEST(WorkerPool, OnePoolServesManyPlansAndConcurrentRuns) {
+  const std::int64_t n = 30;
+  const Ddg ll20 = workloads::ll20_discrete_ordinates();
+  const Machine m{3, 2};
+  const CyclicSchedResult r = cyclic_sched(ll20, m);
+  ASSERT_TRUE(r.pattern.has_value());
+  const ExecutorPlan ll20_plan =
+      compile(lower(materialize(*r.pattern, m.processors, n), ll20), ll20);
+  const ExecutorPlan fig7 = fig7_plan(n);
+
+  WorkerPool pool;
+  std::vector<std::thread> drivers;
+  std::atomic<bool> ok{true};
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&, d] {
+      const ExecutorPlan& plan = (d % 2 == 0) ? fig7 : ll20_plan;
+      const Ddg& g = (d % 2 == 0) ? fig7.graph() : ll20;
+      RunOptions opts;
+      opts.pool = &pool;
+      const ExecutionResult res = plan.run(n, opts);
+      const auto reference = run_sequential(g, n);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          if (res.values[v][static_cast<std::size_t>(i)] !=
+              reference[v][static_cast<std::size_t>(i)]) {
+            ok.store(false);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(pool.gangs_run(), 4u);
+}
+
+// ---- Affinity pinning ----
+
+TEST(Affinity, PinAndRestoreRoundTripOnSupportedPlatforms) {
+  if (!affinity_supported()) {
+    GTEST_SKIP() << "affinity pinning unsupported on this platform";
+  }
+  CpuAffinityMask saved;
+  ASSERT_TRUE(pin_current_thread_to_cpu(0, &saved));
+  EXPECT_TRUE(saved.valid);
+  // Pinning again with a huge index wraps into the allowed set rather
+  // than failing — the shim pins within the thread's cgroup allowance.
+  EXPECT_TRUE(pin_current_thread_to_cpu(1u << 20, nullptr));
+  restore_current_thread_affinity(saved);
+}
+
+TEST(Affinity, PinnedRunsAreBitIdenticalPooledAndSpawned) {
+  const std::int64_t n = 40;
+  const ExecutorPlan plan = fig7_plan(n);
+  RunOptions plain;
+  const ExecutionResult unpinned = plan.run(n, plain);
+
+  RunOptions pinned;
+  pinned.pin_threads = true;
+  expect_identical(plan.run(n, pinned), unpinned, n);  // spawn path
+
+  WorkerPool pool;
+  pinned.pool = &pool;
+  expect_identical(plan.run(n, pinned), unpinned, n);  // pool path
+  // A later unpinned pooled run still matches: workers restored their
+  // masks after the pinned gang.
+  RunOptions pooled_plain;
+  pooled_plain.pool = &pool;
+  expect_identical(plan.run(n, pooled_plain), unpinned, n);
+}
+
+}  // namespace
+}  // namespace mimd

@@ -15,24 +15,43 @@
 //     --compare   print the comparison against DOACROSS
 //     --run       execute the partitioned program on real threads and
 //                 validate bit-for-bit against sequential execution
+//     --batch <dir>
+//                 parse every file in <dir>, push all loops through ONE
+//                 shared plan cache and persistent worker pool (the plan
+//                 service), validate each bit-for-bit against sequential,
+//                 and report cache hits/misses + throughput.  Standalone
+//                 mode: replaces the per-loop output modes.
+//     --pin       pin compiled thread i to CPU (slice + i mod cores)
+//                 during --run/--batch execution (Linux; no-op
+//                 elsewhere).  Pinning is a run-time knob with no
+//                 meaning for emitted C, so outside --batch it always
+//                 implies --run
+
+//     --no-check  with --c: skip the emitted sequential self-validation;
+//                 the artifact becomes a standalone timing benchmark
 //     --runtime=<mutex|spsc>
-//                 channel transport, for --run and for the emitted --c
-//                 program alike (default spsc; implies --run when neither
-//                 --run nor --c is requested)
+//                 channel transport, for --run/--batch and for the emitted
+//                 --c program alike (default spsc; implies --run when no
+//                 execution or emission mode is requested)
 //     --slots=<reuse|ssa>
 //                 slot assignment policy for --run and --c (default reuse;
 //                 ssa keeps one slot per value instance, for debugging;
-//                 implies --run when neither --run nor --c is requested)
+//                 implies --run when no execution or emission mode is
+//                 requested)
 //
 // Example:
 //   echo 'for i:
 //     S[i] = S[i-1] + X[i]
 //     if S[i] > 10 { T[i] = S[i] * 2 }' | mimdc -p 2 -k 1 --compare -
+//   mimdc -p 2 --batch examples/loops
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/mimd.hpp"
 #include "ir/dependence.hpp"
@@ -40,14 +59,19 @@
 #include "ir/parser.hpp"
 #include "partition/c_codegen.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/plan_service.hpp"
 
 namespace {
 
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::cerr << "mimdc: " << msg << "\n";
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
-               "[--schedule] [--code] [--c] [--compare] [--run] "
-               "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] <file|->\n";
+               "[--schedule] [--code] [--c] [--no-check] [--compare] "
+               "[--run] [--pin] [--runtime=<mutex|spsc>] "
+               "[--slots=<reuse|ssa>] <file|->\n"
+               "       mimdc [-p N] [-k N] [-n N] [--fold] [--pin] "
+               "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] "
+               "--batch <dir>\n";
   std::exit(2);
 }
 
@@ -63,6 +87,89 @@ std::string read_all(const std::string& path) {
   return buf.str();
 }
 
+/// --batch's front end for one loop source: parse, if-convert, analyze,
+/// parallelize, no pseudo-code rendering.  The single-file path keeps its
+/// own inline copy of this pipeline because it also reports the
+/// intermediate classification/schedule stats on stderr.
+mimd::ParallelizeResult parallelize_source(const std::string& source,
+                                           int procs, int k, std::int64_t n,
+                                           bool fold) {
+  using namespace mimd;
+  const ir::Loop raw = ir::parse_loop(source);
+  const ir::Loop loop = raw.has_control_flow() ? ir::if_convert(raw) : raw;
+  const ir::DependenceResult dep = ir::analyze_dependences(loop);
+  ParallelizeOptions opts;
+  opts.machine = Machine{procs, k};
+  opts.iterations = n;
+  opts.schedule.flow_strategy =
+      fold ? FlowStrategy::Fold : FlowStrategy::SeparateProcessors;
+  opts.emit_code = false;
+  return parallelize(dep.graph, opts);
+}
+
+/// --batch <dir>: every file in the directory is one loop; all of them go
+/// through one PlanCache + WorkerPool concurrently (the plan service),
+/// each validated bit-for-bit against sequential execution — the same
+/// oracle --run applies per loop.
+int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
+                   bool fold, mimd::Transport transport, bool pin,
+                   const mimd::CompileOptions& copts) {
+  using namespace mimd;
+  namespace fs = std::filesystem;
+
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (e.is_regular_file()) files.push_back(e.path().string());
+  }
+  if (ec) usage(("cannot read directory " + dir).c_str());
+  if (files.empty()) usage(("no loop files in " + dir).c_str());
+  std::sort(files.begin(), files.end());
+
+  std::vector<BatchJob> jobs;
+  jobs.reserve(files.size());
+  for (const std::string& f : files) {
+    const ParallelizeResult r =
+        parallelize_source(read_all(f), procs, k, n, fold);
+    BatchJob job;
+    job.program = r.program;
+    job.graph = r.normalized.graph;
+    job.iterations = r.normalized_iterations;
+    job.copts = copts;
+    job.ropts.transport = transport;
+    job.ropts.pin_threads = pin;
+    jobs.push_back(std::move(job));
+  }
+
+  PlanCache cache;
+  WorkerPool pool;
+  const BatchReport report = run_batch(jobs, cache, pool);
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ExecutionResult reference =
+        run_reference(jobs[i].graph, jobs[i].iterations);
+    const bool ok =
+        values_match(report.results[i], reference, jobs[i].iterations);
+    all_ok = all_ok && ok;
+    std::cout << "batch    : " << fs::path(files[i]).filename().string()
+              << "  " << jobs[i].iterations << " iterations, "
+              << report.results[i].wall_seconds << " s, "
+              << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
+  }
+  const PlanCache::Stats& cs = report.cache_stats;
+  std::cout << "batch    : " << jobs.size() << " loops through "
+            << cs.misses << " compiled plan(s) (" << cs.hits << " cache hit"
+            << (cs.hits == 1 ? "" : "s") << "), "
+            << transport_name(transport) << " transport, "
+            << pool.num_workers() << " pooled workers"
+            << (pin ? " (pinned)" : "") << ", " << report.wall_seconds
+            << " s total, "
+            << static_cast<double>(jobs.size()) / report.wall_seconds
+            << " loops/s\n";
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,10 +178,12 @@ int main(int argc, char** argv) {
   std::int64_t n = 64;
   bool fold = false, want_dot = false, want_sched = false, want_code = false,
        want_c = false, want_compare = false, want_run = false,
-       runtime_given = false, slots_given = false;
+       runtime_given = false, slots_given = false, pin = false,
+       no_check = false;
   Transport transport = Transport::Spsc;
   CompileOptions copts;
   std::string path;
+  std::string batch_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -102,6 +211,13 @@ int main(int argc, char** argv) {
       want_compare = true;
     } else if (a == "--run") {
       want_run = true;
+    } else if (a == "--batch") {
+      if (i + 1 >= argc) usage("--batch needs a directory");
+      batch_dir = argv[++i];
+    } else if (a == "--pin") {
+      pin = true;
+    } else if (a == "--no-check") {
+      no_check = true;
     } else if (a.rfind("--runtime=", 0) == 0) {
       const std::string which = a.substr(10);
       if (which == "mutex") {
@@ -132,11 +248,33 @@ int main(int argc, char** argv) {
       usage("multiple input files");
     }
   }
-  if (path.empty()) usage("no input");
   if (procs < 1 || k < 0 || n < 1) usage("bad -p/-k/-n value");
+  if (no_check && !want_c) usage("--no-check only applies to --c");
+  if (!batch_dir.empty()) {
+    // Batch mode is the whole program: a directory of loops through one
+    // plan cache and worker pool, each validated like --run.
+    if (!path.empty() || want_dot || want_sched || want_code || want_c ||
+        want_compare || want_run) {
+      usage("--batch is standalone (no input file or other modes)");
+    }
+    try {
+      return run_batch_mode(batch_dir, procs, k, n, fold, transport, pin,
+                            copts);
+    } catch (const ir::ParseError& e) {
+      std::cerr << "mimdc: " << e.what() << "\n";
+      return 1;
+    } catch (const ContractViolation& e) {
+      std::cerr << "mimdc: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (path.empty()) usage("no input");
   // A bare transport or slot-policy choice is asking for execution;
-  // alongside --c they configure the emitted program instead.
+  // alongside --c they configure the emitted program instead.  --pin
+  // configures only execution (emitted C has no pinning), so it demands
+  // a run even next to --c — never silently dropped.
   if ((runtime_given || slots_given) && !want_c) want_run = true;
+  if (pin) want_run = true;
   if (!want_dot && !want_sched && !want_code && !want_c && !want_compare &&
       !want_run) {
     want_code = true;
@@ -184,19 +322,20 @@ int main(int argc, char** argv) {
       if (want_c) {
         CEmitOptions eopts;
         eopts.transport = transport;
+        eopts.self_check = !no_check;
         std::cout << emit_c_program(cp, r.normalized.graph, eopts);
       }
       if (want_run) {
         RunOptions ropts;
         ropts.transport = transport;
+        ropts.pin_threads = pin;
         const ExecutionResult par =
             plan.run(r.normalized_iterations, ropts);
         const ExecutionResult reference =
             run_reference(r.normalized.graph, r.normalized_iterations);
         const bool ok =
             values_match(par, reference, r.normalized_iterations);
-        std::cout << "run      : "
-                  << (transport == Transport::Spsc ? "spsc" : "mutex")
+        std::cout << "run      : " << transport_name(transport)
                   << " transport, " << cp.threads.size() << " threads, "
                   << cp.channels.size() << " channels, " << par.wall_seconds
                   << " s, "
