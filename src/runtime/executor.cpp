@@ -184,6 +184,13 @@ bool values_match(const ExecutionResult& a, const ExecutionResult& b,
                   std::int64_t n) {
   if (a.values.size() != b.values.size()) return false;
   for (std::size_t v = 0; v < a.values.size(); ++v) {
+    // A row shorter than n is a shape mismatch, not UB — results can now
+    // arrive over the wire (mimdc --connect), so the oracle must not
+    // trust the peer to have sized them correctly.
+    if (a.values[v].size() < static_cast<std::size_t>(n) ||
+        b.values[v].size() < static_cast<std::size_t>(n)) {
+      return false;
+    }
     for (std::int64_t i = 0; i < n; ++i) {
       if (a.values[v][static_cast<std::size_t>(i)] !=
           b.values[v][static_cast<std::size_t>(i)]) {

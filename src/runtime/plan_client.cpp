@@ -1,0 +1,128 @@
+#include "runtime/plan_client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mimd {
+
+PlanClient PlanClient::connect(const std::string& socket_path,
+                               int timeout_ms) {
+  const sockaddr_un addr = wire::make_unix_addr(socket_path);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw wire::WireError(std::string("socket() failed: ") +
+                          std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw wire::WireError("connect(" + socket_path +
+                          ") failed: " + std::strerror(err));
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
+  PlanClient c;
+  c.fd_ = fd;
+  return c;
+}
+
+PlanClient::~PlanClient() { close(); }
+
+PlanClient::PlanClient(PlanClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+PlanClient& PlanClient::operator=(PlanClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void PlanClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+wire::Frame PlanClient::roundtrip(wire::FrameType request,
+                                  wire::FrameType expected_reply,
+                                  const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) throw wire::WireError("client not connected");
+  wire::write_frame(fd_, request, payload);
+  std::optional<wire::Frame> reply = wire::read_frame(fd_);
+  if (!reply) throw wire::WireError("server closed the connection");
+  if (reply->type == wire::FrameType::Error) {
+    throw RemoteError(wire::decode_error(reply->payload));
+  }
+  if (reply->type != expected_reply) {
+    throw wire::WireError("unexpected reply frame type " +
+                          std::to_string(static_cast<int>(reply->type)));
+  }
+  return std::move(*reply);
+}
+
+wire::SubmitProgramReply PlanClient::submit_program(
+    const PartitionedProgram& program, const Ddg& graph,
+    const CompileOptions& copts) {
+  wire::SubmitProgramRequest req;
+  req.program = program;
+  req.graph = graph;
+  req.copts = copts;
+  const wire::Frame reply =
+      roundtrip(wire::FrameType::SubmitProgram,
+                wire::FrameType::SubmitProgramReply,
+                wire::encode_submit_program(req));
+  return wire::decode_submit_program_reply(reply.payload);
+}
+
+ExecutionResult PlanClient::run(std::uint64_t program_id,
+                                std::int64_t iterations,
+                                const wire::RemoteRunOptions& opts) {
+  wire::RunRequest req;
+  req.program_id = program_id;
+  req.iterations = iterations;
+  req.opts = opts;
+  const wire::Frame reply = roundtrip(
+      wire::FrameType::Run, wire::FrameType::RunReply, wire::encode_run(req));
+  return wire::decode_run_reply(reply.payload);
+}
+
+wire::RunBatchReply PlanClient::run_batch(
+    const std::vector<wire::RunRequest>& items, std::uint32_t concurrency) {
+  wire::RunBatchRequest req;
+  req.items = items;
+  req.concurrency = concurrency;
+  const wire::Frame reply =
+      roundtrip(wire::FrameType::RunBatch, wire::FrameType::RunBatchReply,
+                wire::encode_run_batch(req));
+  return wire::decode_run_batch_reply(reply.payload);
+}
+
+wire::StatsReply PlanClient::stats() {
+  const wire::Frame reply =
+      roundtrip(wire::FrameType::Stats, wire::FrameType::StatsReply, {});
+  return wire::decode_stats_reply(reply.payload);
+}
+
+void PlanClient::shutdown_server() {
+  (void)roundtrip(wire::FrameType::Shutdown, wire::FrameType::ShutdownReply,
+                  {});
+}
+
+}  // namespace mimd

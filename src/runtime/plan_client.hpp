@@ -1,0 +1,91 @@
+// PlanClient — the client half of the mimdd wire protocol: a connected
+// Unix-domain socket plus typed request/reply calls mirroring the
+// in-process plan-service API.  mimdc --connect routes the one-shot driver
+// and --batch mode through this; tests/test_plan_server.cpp uses it to
+// hammer an in-process server from many threads.
+//
+// Usage:
+//     PlanClient c = PlanClient::connect("/run/mimdd.sock");
+//     const auto sub = c.submit_program(program, graph);
+//     const ExecutionResult r = c.run(sub.program_id, iterations);
+//
+// Threading: a PlanClient is one connection with strict request/reply
+// framing — use it from one thread at a time (open one client per thread
+// for concurrency; the server scales by connection).
+//
+// Errors: server-reported failures (ill-formed program, unknown id, bad
+// iteration count) throw RemoteError carrying the server's message;
+// transport-level failures (daemon gone, truncated frame, SO_RCVTIMEO
+// expiry) throw wire::WireError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/wire.hpp"
+
+namespace mimd {
+
+/// A failure the *server* reported via an Error frame (as opposed to a
+/// transport failure, which is wire::WireError).
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class PlanClient {
+ public:
+  /// Connect to a mimdd socket.  `timeout_ms` > 0 arms SO_RCVTIMEO /
+  /// SO_SNDTIMEO so a hung daemon surfaces as wire::WireError("receive
+  /// timed out") instead of blocking forever.  Throws wire::WireError if
+  /// the socket cannot be reached.
+  static PlanClient connect(const std::string& socket_path,
+                            int timeout_ms = 0);
+
+  PlanClient() = default;
+  ~PlanClient();
+  PlanClient(PlanClient&& other) noexcept;
+  PlanClient& operator=(PlanClient&& other) noexcept;
+  PlanClient(const PlanClient&) = delete;
+  PlanClient& operator=(const PlanClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Register a program; the reply's program_id names it in run() /
+  /// run_batch() on THIS connection.  Compilation is served from the
+  /// daemon's shared cache, so a structurally identical program submitted
+  /// on any connection compiles once.
+  wire::SubmitProgramReply submit_program(const PartitionedProgram& program,
+                                          const Ddg& graph,
+                                          const CompileOptions& copts = {});
+
+  /// Execute a registered program for `iterations` (0 = its compiled
+  /// count) on the daemon's shared worker pool.
+  ExecutionResult run(std::uint64_t program_id, std::int64_t iterations = 0,
+                      const wire::RemoteRunOptions& opts = {});
+
+  /// Execute many registered programs concurrently server-side (the
+  /// daemon's run_plans drivers).  Results are in item order.
+  wire::RunBatchReply run_batch(const std::vector<wire::RunRequest>& items,
+                                std::uint32_t concurrency = 0);
+
+  /// Daemon-wide counters: cache hits/misses/evictions, pool size,
+  /// connections, runs — the observability window onto cross-connection
+  /// amortization.
+  wire::StatsReply stats();
+
+  /// Graceful daemon shutdown: returns once the server has acked; the
+  /// daemon then drains in-flight runs on other connections and exits.
+  void shutdown_server();
+
+ private:
+  wire::Frame roundtrip(wire::FrameType request, wire::FrameType expected_reply,
+                        const std::vector<std::uint8_t>& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace mimd

@@ -1,0 +1,382 @@
+#include "runtime/plan_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/executor.hpp"
+#include "runtime/plan_service.hpp"
+#include "runtime/wire.hpp"
+
+namespace mimd {
+
+namespace {
+
+/// Size a run's result on the wire: the result matrix (nodes x
+/// iterations doubles) plus per-row/message overhead.  Overflow-proof —
+/// decode_run accepts any i64 iteration count, and a wrapped estimate
+/// would wave a 2^61-iteration request straight past the guard into
+/// plan->run(): saturate instead of multiplying once a single row
+/// already exceeds any frame.
+[[nodiscard]] std::uint64_t estimated_result_bytes(const ExecutorPlan& plan,
+                                                   std::int64_t n) {
+  const std::uint64_t nodes = plan.graph().num_nodes();
+  const std::uint64_t un = n > 0 ? static_cast<std::uint64_t>(n) : 0;
+  if (nodes > 0 && un > wire::kMaxFramePayload / sizeof(double)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return nodes * (un * sizeof(double) + 4) + 64;
+}
+
+/// reply_bytes += estimate, without wrapping when estimates saturate.
+void add_saturating(std::uint64_t& total, std::uint64_t add) {
+  total = add > std::numeric_limits<std::uint64_t>::max() - total
+              ? std::numeric_limits<std::uint64_t>::max()
+              : total + add;
+}
+
+/// Refuse a request whose reply could not be shipped back in one frame
+/// BEFORE executing it: a completed-then-undeliverable run would waste
+/// the compute and then drop the connection at the write.  For a batch,
+/// pass the sum over all items — the reply is one frame.
+void check_reply_fits_frame(std::uint64_t estimated_bytes) {
+  if (estimated_bytes > wire::kMaxFramePayload) {
+    throw wire::WireError(
+        "reply would exceed the " +
+        std::to_string(wire::kMaxFramePayload >> 20) +
+        " MiB frame limit (~" + std::to_string(estimated_bytes >> 20) +
+        " MiB of results); request fewer iterations or smaller batches");
+  }
+}
+
+RunOptions to_run_options(const wire::RemoteRunOptions& o, WorkerPool* pool) {
+  RunOptions r;
+  r.transport = o.transport;
+  r.pin_threads = o.pin_threads;
+  r.kernel.work_per_cycle = o.work_per_cycle;
+  r.pool = pool;
+  // channel_capacity deliberately stays 0 (exact ring sizing): a remote
+  // cap could stall a daemon worker for 30 s and then abort the process
+  // (see RunOptions::channel_capacity).
+  return r;
+}
+
+}  // namespace
+
+PlanServer::PlanServer(PlanServerOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_capacity),
+      pool_(opts_.initial_workers) {}
+
+PlanServer::~PlanServer() { stop(); }
+
+void PlanServer::start() {
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (started_) throw std::runtime_error("PlanServer already started");
+  }
+
+  const sockaddr_un addr = wire::make_unix_addr(opts_.socket_path);
+
+  if (opts_.remove_existing) ::unlink(opts_.socket_path.c_str());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("bind(" + opts_.socket_path +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, opts_.listen_backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(opts_.socket_path.c_str());
+    throw std::runtime_error(std::string("listen() failed: ") +
+                             std::strerror(err));
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    listen_fd_ = fd;
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+bool PlanServer::running() const {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return started_ && !stopped_;
+}
+
+void PlanServer::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void PlanServer::wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_ || stopped_; });
+}
+
+void PlanServer::stop() {
+  int fd = -1;
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+    fd = listen_fd_;
+  }
+  stop_cv_.notify_all();
+
+  // Kick the accept loop off accept(2) and join it; no new connections
+  // from here on.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (fd >= 0) ::close(fd);
+
+  // Drain: half-close every connection's read side.  Idle handlers see
+  // EOF immediately; a handler mid-run keeps its open write side, so its
+  // reply is still delivered before the handler exits.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& c : conns_) {
+      if (!c->done.load(std::memory_order_acquire)) {
+        ::shutdown(c->fd, SHUT_RD);
+      }
+    }
+  }
+  // Join handlers and close their fds (exactly once, after the join, so
+  // stop()'s shutdown above can never race a close+fd-reuse).
+  std::vector<std::unique_ptr<Conn>> drained;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    drained.swap(conns_);
+  }
+  for (const auto& c : drained) {
+    if (c->thread.joinable()) c->thread.join();
+    ::close(c->fd);
+  }
+
+  ::unlink(opts_.socket_path.c_str());
+}
+
+PlanServerStats PlanServer::stats() const {
+  PlanServerStats s;
+  s.cache = cache_.stats();
+  s.pool_workers = pool_.num_workers();
+  s.pool_gangs = pool_.gangs_run();
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.programs_registered =
+      programs_registered_.load(std::memory_order_relaxed);
+  s.runs_executed = runs_executed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PlanServer::reap_finished_locked() {
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (conns_[i]->done.load(std::memory_order_acquire)) {
+      if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
+      ::close(conns_[i]->fd);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void PlanServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown(listen_fd_) during stop(), or a fatal accept error
+      // (EMFILE etc. would need backoff in a hardened deployment; here
+      // the daemon stops accepting and waits to be torn down).
+      return;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    reap_finished_locked();
+    conns_.push_back(std::make_unique<Conn>());
+    Conn* conn = conns_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { serve_connection(conn); });
+  }
+}
+
+void PlanServer::serve_connection(Conn* conn) {
+  // Shared-nothing per connection: the program registry lives and dies
+  // with the handler thread.  Plans inside it are shared_ptrs into the
+  // cache, so eviction can never invalidate a registered program.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const ExecutorPlan>>
+      programs;
+  std::uint64_t next_id = 1;
+
+  const auto lookup =
+      [&](std::uint64_t id) -> std::shared_ptr<const ExecutorPlan> {
+    const auto it = programs.find(id);
+    if (it == programs.end()) {
+      throw wire::WireError("unknown program id " + std::to_string(id) +
+                            " (submit-program first; ids are "
+                            "per-connection)");
+    }
+    return it->second;
+  };
+
+  bool shutdown_requested = false;
+  for (;;) {
+    std::optional<wire::Frame> frame;
+    try {
+      frame = wire::read_frame(conn->fd);
+    } catch (const wire::WireError&) {
+      break;  // framing violation or mid-frame disconnect: drop the peer
+    }
+    if (!frame) break;  // clean EOF
+
+    wire::FrameType reply_type = wire::FrameType::Error;
+    std::vector<std::uint8_t> reply;
+    try {
+      switch (frame->type) {
+        case wire::FrameType::SubmitProgram: {
+          const wire::SubmitProgramRequest req =
+              wire::decode_submit_program(frame->payload);
+          const auto plan =
+              cache_.get_or_compile(req.program, req.graph, req.copts);
+          const std::uint64_t id = next_id++;
+          programs.emplace(id, plan);
+          programs_registered_.fetch_add(1, std::memory_order_relaxed);
+          wire::SubmitProgramReply rep;
+          rep.program_id = id;
+          rep.threads =
+              static_cast<std::uint32_t>(plan->program().threads.size());
+          rep.channels =
+              static_cast<std::uint32_t>(plan->program().channels.size());
+          rep.slots = static_cast<std::uint32_t>(plan->program().total_slots());
+          rep.iterations = plan->program().iterations;
+          reply_type = wire::FrameType::SubmitProgramReply;
+          reply = wire::encode_submit_program_reply(rep);
+          break;
+        }
+        case wire::FrameType::Run: {
+          const wire::RunRequest req = wire::decode_run(frame->payload);
+          const auto plan = lookup(req.program_id);
+          const std::int64_t n = req.iterations > 0
+                                     ? req.iterations
+                                     : plan->program().iterations;
+          check_reply_fits_frame(estimated_result_bytes(*plan, n));
+          const ExecutionResult result =
+              plan->run(n, to_run_options(req.opts, &pool_));
+          runs_executed_.fetch_add(1, std::memory_order_relaxed);
+          reply_type = wire::FrameType::RunReply;
+          reply = wire::encode_run_reply(result);
+          break;
+        }
+        case wire::FrameType::RunBatch: {
+          const wire::RunBatchRequest req =
+              wire::decode_run_batch(frame->payload);
+          std::vector<PlanJob> jobs;
+          jobs.reserve(req.items.size());
+          std::uint64_t reply_bytes = 0;
+          for (const wire::RunRequest& item : req.items) {
+            PlanJob job;
+            job.plan = lookup(item.program_id);
+            job.iterations = item.iterations;
+            add_saturating(
+                reply_bytes,
+                estimated_result_bytes(
+                    *job.plan, job.iterations > 0
+                                   ? job.iterations
+                                   : job.plan->program().iterations));
+            job.ropts = to_run_options(item.opts, &pool_);
+            jobs.push_back(std::move(job));
+          }
+          check_reply_fits_frame(reply_bytes);
+          const auto t0 = std::chrono::steady_clock::now();
+          wire::RunBatchReply rep;
+          rep.results = run_plans(jobs, pool_, req.concurrency);
+          rep.wall_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+          runs_executed_.fetch_add(req.items.size(),
+                                   std::memory_order_relaxed);
+          reply_type = wire::FrameType::RunBatchReply;
+          reply = wire::encode_run_batch_reply(rep);
+          break;
+        }
+        case wire::FrameType::Stats: {
+          const PlanServerStats s = stats();
+          wire::StatsReply rep;
+          rep.cache = s.cache;
+          rep.pool_workers = s.pool_workers;
+          rep.pool_gangs = s.pool_gangs;
+          rep.connections_accepted = s.connections_accepted;
+          rep.connections_active = s.connections_active;
+          rep.programs_registered = s.programs_registered;
+          rep.runs_executed = s.runs_executed;
+          reply_type = wire::FrameType::StatsReply;
+          reply = wire::encode_stats_reply(rep);
+          break;
+        }
+        case wire::FrameType::Shutdown: {
+          reply_type = wire::FrameType::ShutdownReply;
+          shutdown_requested = true;
+          break;
+        }
+        default:
+          throw wire::WireError("unexpected frame type " +
+                                std::to_string(static_cast<int>(frame->type)));
+      }
+    } catch (const std::exception& e) {
+      // Anything the request raised — decode errors, ContractViolation
+      // from compile(), unknown ids — becomes an Error frame; the
+      // connection survives.
+      reply_type = wire::FrameType::Error;
+      reply = wire::encode_error(e.what());
+    }
+
+    if (reply.size() > wire::kMaxFramePayload) {
+      // The pre-run estimate should make this unreachable; if a reply
+      // still outgrows a frame, degrade to an Error frame rather than
+      // letting write_frame throw and silently drop the connection.
+      reply_type = wire::FrameType::Error;
+      reply = wire::encode_error("reply exceeds the frame size limit");
+    }
+    try {
+      wire::write_frame(conn->fd, reply_type, reply);
+    } catch (const wire::WireError&) {
+      break;  // peer gone mid-reply
+    }
+    if (shutdown_requested) {
+      // Ack delivered; hand the actual teardown to whoever is parked in
+      // wait() — this thread cannot join itself.
+      request_stop();
+      break;
+    }
+  }
+
+  ::shutdown(conn->fd, SHUT_RDWR);  // fd itself is closed post-join
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace mimd

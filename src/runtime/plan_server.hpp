@@ -1,0 +1,144 @@
+// PlanServer — the long-lived plan-service daemon core: one Unix-domain
+// listening socket, one accept loop, one handler thread per connection,
+// and ONE shared PlanCache + WorkerPool behind all of them.
+//
+// This is the ROADMAP's "long-lived server front end for the plan
+// service": PR 4's cache/pool amortized compilation and thread startup
+// across requests *within* a process; the server extends that across
+// processes — any number of mimdc (or PlanClient) invocations hit the same
+// warm cache and warm pool, so the paper's assumption that partitioning
+// cost is paid once holds fleet-wide, not per-driver.  Cross-connection
+// amortization is observable: the Stats frame reports cache hits/misses/
+// evictions plus pool and connection counters.
+//
+// Connection design (the shared-nothing discipline McKenney's text argues
+// for): each connection's handler thread owns its fd and its program
+// registry (id -> shared plan) outright — no cross-connection state except
+// the cache, the pool, and a handful of stats atomics, each of which is
+// already thread-safe.  Handlers never touch each other, so the
+// concurrent-connection path has nothing to race on by construction
+// (tests/test_plan_server.cpp runs it under TSan to keep it that way).
+//
+// Graceful shutdown drains in-flight runs: stop() shuts the listening
+// socket, then half-closes (SHUT_RD) every connection.  A handler blocked
+// in read sees EOF and exits; a handler mid-run still owns an open write
+// side, so it finishes the run, delivers the reply, and exits on the next
+// read.  Only then are handler threads joined and the socket file
+// unlinked.  A Shutdown frame acks first, then requests the same stop
+// from whichever thread is parked in wait() — the handler cannot call
+// stop() itself (it would join itself).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/plan_cache.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace mimd {
+
+struct PlanServerOptions {
+  /// Filesystem path to bind (sun_path limits apply, ~107 bytes).
+  std::string socket_path;
+  std::size_t cache_capacity = PlanCache::kDefaultCapacity;
+  /// Pre-warmed pool workers (the pool still grows on demand).
+  std::size_t initial_workers = 0;
+  int listen_backlog = 64;
+  /// Unlink a pre-existing socket file before binding.  Off by default so
+  /// two daemons cannot silently fight over one path.
+  bool remove_existing = false;
+};
+
+/// Everything the Stats frame reports (runtime/wire.hpp mirrors this).
+struct PlanServerStats {
+  PlanCache::Stats cache;
+  std::size_t pool_workers = 0;
+  std::uint64_t pool_gangs = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t programs_registered = 0;
+  std::uint64_t runs_executed = 0;
+};
+
+class PlanServer {
+ public:
+  explicit PlanServer(PlanServerOptions opts);
+  /// stop()s if still running.
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Bind + listen + spawn the accept loop.  Throws std::runtime_error on
+  /// any socket failure (path too long, already bound, ...).  After
+  /// start() returns, connections are accepted (or queued in the backlog).
+  void start();
+
+  /// Ask the server to stop, from any thread — including a connection
+  /// handler (the Shutdown frame) or a signal-watching thread.  Returns
+  /// immediately; the actual teardown happens in stop().
+  void request_stop();
+
+  /// Block until request_stop() is called (by a Shutdown frame, a signal
+  /// watcher, or anyone else).
+  void wait();
+
+  /// Full graceful teardown: stop accepting, drain in-flight requests,
+  /// join every thread, unlink the socket file.  Idempotent.  Must not be
+  /// called from a handler thread (wait()-then-stop() from the owning
+  /// thread is the intended shape; the destructor also calls it).
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return opts_.socket_path;
+  }
+  [[nodiscard]] bool running() const;
+
+  [[nodiscard]] PlanServerStats stats() const;
+
+  /// The shared halves, exposed for in-process tests and benches.
+  [[nodiscard]] PlanCache& cache() { return cache_; }
+  [[nodiscard]] WorkerPool& pool() { return pool_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  /// Join and drop finished handlers (called opportunistically from the
+  /// accept loop so a long-lived daemon does not accumulate dead threads).
+  void reap_finished_locked();
+
+  PlanServerOptions opts_;
+  PlanCache cache_;
+  WorkerPool pool_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex lifecycle_mu_;
+  std::condition_variable stop_cv_;
+  bool started_ = false;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> programs_registered_{0};
+  std::atomic<std::uint64_t> runs_executed_{0};
+};
+
+}  // namespace mimd

@@ -8,45 +8,37 @@
 
 namespace mimd {
 
-BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
-                      WorkerPool& pool, std::size_t concurrency) {
-  BatchReport report;
-  report.results.resize(jobs.size());
-  if (jobs.empty()) {
-    report.cache_stats = cache.stats();
-    return report;
-  }
+namespace {
 
+/// The shared concurrent-driver skeleton: `concurrency` plain std::threads
+/// pull indexes [0, count) from one cursor and hand each to `body`.  On
+/// the first exception the cursor is poisoned (peers stop picking up new
+/// work, in-flight work finishes) and that exception is rethrown after
+/// every driver has drained.
+template <typename Body>
+void drive_indexed(std::size_t count, std::size_t concurrency,
+                   const Body& body) {
+  if (count == 0) return;
   if (concurrency == 0) {
     concurrency = std::thread::hardware_concurrency();
     if (concurrency == 0) concurrency = 1;
   }
-  if (concurrency > jobs.size()) concurrency = jobs.size();
+  if (concurrency > count) concurrency = count;
 
   std::atomic<std::size_t> cursor{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
 
-  const auto t0 = std::chrono::steady_clock::now();
   auto drive = [&] {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      const BatchJob& job = jobs[i];
+      if (i >= count) return;
       try {
-        const auto plan =
-            cache.get_or_compile(job.program, job.graph, job.copts);
-        RunOptions opts = job.ropts;
-        opts.pool = &pool;
-        const std::int64_t n =
-            job.iterations > 0 ? job.iterations : plan->program().iterations;
-        report.results[i] = plan->run(n, opts);
+        body(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
-        // Poison the cursor so peers stop picking up new jobs; jobs
-        // already in flight finish normally.
-        cursor.store(jobs.size(), std::memory_order_relaxed);
+        cursor.store(count, std::memory_order_relaxed);
         return;
       }
     }
@@ -58,12 +50,56 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
     drivers.emplace_back(drive);
   }
   for (std::thread& d : drivers) d.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
+                      WorkerPool& pool, std::size_t concurrency) {
+  BatchReport report;
+  report.results.resize(jobs.size());
+  if (jobs.empty()) {
+    report.cache_stats = cache.stats();
+    return report;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::exception_ptr error;
+  try {
+    drive_indexed(jobs.size(), concurrency, [&](std::size_t i) {
+      const BatchJob& job = jobs[i];
+      const auto plan = cache.get_or_compile(job.program, job.graph, job.copts);
+      RunOptions opts = job.ropts;
+      opts.pool = &pool;
+      const std::int64_t n =
+          job.iterations > 0 ? job.iterations : plan->program().iterations;
+      report.results[i] = plan->run(n, opts);
+    });
+  } catch (...) {
+    error = std::current_exception();
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   report.cache_stats = cache.stats();
-  if (first_error) std::rethrow_exception(first_error);
+  if (error) std::rethrow_exception(error);
   return report;
+}
+
+std::vector<ExecutionResult> run_plans(const std::vector<PlanJob>& jobs,
+                                       WorkerPool& pool,
+                                       std::size_t concurrency) {
+  std::vector<ExecutionResult> results(jobs.size());
+  drive_indexed(jobs.size(), concurrency, [&](std::size_t i) {
+    const PlanJob& job = jobs[i];
+    RunOptions opts = job.ropts;
+    opts.pool = &pool;
+    const std::int64_t n =
+        job.iterations > 0 ? job.iterations : job.plan->program().iterations;
+    results[i] = job.plan->run(n, opts);
+  });
+  return results;
 }
 
 }  // namespace mimd

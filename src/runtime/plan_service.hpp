@@ -59,4 +59,23 @@ struct BatchReport {
 BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
                       WorkerPool& pool, std::size_t concurrency = 0);
 
+/// One already-resolved plan to execute — the post-cache form of BatchJob,
+/// used where plans are held across requests (the mimdd daemon registers a
+/// program once per connection and runs it many times).
+struct PlanJob {
+  std::shared_ptr<const ExecutorPlan> plan;
+  /// Iterations to run; 0 means the plan's own compiled count.
+  std::int64_t iterations = 0;
+  /// `pool` is overridden — every job runs on the shared pool.
+  RunOptions ropts;
+};
+
+/// run_batch without the cache leg: execute pre-resolved plans on `pool`
+/// with the same concurrent-driver shape and error discipline (first error
+/// — e.g. iterations below the compiled count — rethrown after the drain).
+/// Results are in job order.
+std::vector<ExecutionResult> run_plans(const std::vector<PlanJob>& jobs,
+                                       WorkerPool& pool,
+                                       std::size_t concurrency = 0);
+
 }  // namespace mimd

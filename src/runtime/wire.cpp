@@ -1,0 +1,483 @@
+#include "runtime/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mimd::wire {
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+void Encoder::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Encoder::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Encoder::str(const std::string& s) {
+  if (s.size() > kMaxFramePayload) throw WireError("string too long to encode");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t Decoder::u8() {
+  if (pos_ + 1 > size_) throw WireError("truncated payload (u8)");
+  return data_[pos_++];
+}
+
+std::uint32_t Decoder::u32() {
+  if (pos_ + 4 > size_) throw WireError("truncated payload (u32)");
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | hi << 32;
+}
+
+double Decoder::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::str() {
+  const std::uint32_t n = u32();
+  if (pos_ + n > size_) throw WireError("truncated payload (string)");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::uint32_t Decoder::count(std::size_t min_bytes_per_element) {
+  const std::uint32_t n = u32();
+  if (min_bytes_per_element > 0 &&
+      static_cast<std::uint64_t>(n) * min_bytes_per_element > remaining()) {
+    throw WireError("element count exceeds payload size");
+  }
+  return n;
+}
+
+void Decoder::expect_done() const {
+  if (pos_ != size_) throw WireError("trailing bytes after payload");
+}
+
+// ---------------------------------------------------------------------------
+// Structures
+
+void encode_ddg(Encoder& e, const Ddg& g) {
+  e.u32(static_cast<std::uint32_t>(g.num_nodes()));
+  for (const Node& n : g.nodes()) {
+    e.str(n.name);
+    e.i32(n.latency);
+  }
+  e.u32(static_cast<std::uint32_t>(g.num_edges()));
+  for (const Edge& ed : g.edges()) {
+    e.u32(ed.src);
+    e.u32(ed.dst);
+    e.i32(ed.distance);
+    e.i32(ed.comm_cost);
+  }
+}
+
+Ddg decode_ddg(Decoder& d) {
+  Ddg g;
+  const std::uint32_t nodes = d.count(5);  // 4-byte name length + latency
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    std::string name = d.str();
+    const int latency = d.i32();
+    // add_node enforces the graph's own invariants (unique, non-empty
+    // names; latency >= 1) via MIMD_EXPECTS; surface those as wire errors
+    // so a hostile payload reads as "bad message", not "broken contract".
+    try {
+      g.add_node(std::move(name), latency);
+    } catch (const ContractViolation& e) {
+      throw WireError(std::string("invalid graph node: ") + e.what());
+    }
+  }
+  const std::uint32_t edges = d.count(16);
+  for (std::uint32_t i = 0; i < edges; ++i) {
+    const NodeId src = d.u32();
+    const NodeId dst = d.u32();
+    const int distance = d.i32();
+    const int comm_cost = d.i32();
+    if (src >= nodes || dst >= nodes) throw WireError("edge endpoint out of range");
+    try {
+      g.add_edge(src, dst, distance, comm_cost);
+    } catch (const ContractViolation& e) {
+      throw WireError(std::string("invalid graph edge: ") + e.what());
+    }
+  }
+  return g;
+}
+
+void encode_program(Encoder& e, const PartitionedProgram& p) {
+  e.i32(p.processors);
+  e.u32(static_cast<std::uint32_t>(p.programs.size()));
+  for (const ProcessorProgram& pp : p.programs) {
+    e.i32(pp.proc);
+    e.u32(static_cast<std::uint32_t>(pp.ops.size()));
+    for (const Op& op : pp.ops) {
+      e.u8(static_cast<std::uint8_t>(op.kind));
+      e.u32(op.inst.node);
+      e.i64(op.inst.iter);
+      e.u32(op.edge);
+      e.i32(op.peer);
+    }
+  }
+}
+
+PartitionedProgram decode_program(Decoder& d) {
+  PartitionedProgram p;
+  p.processors = d.i32();
+  const std::uint32_t nprogs = d.count(8);
+  p.programs.reserve(nprogs);
+  for (std::uint32_t i = 0; i < nprogs; ++i) {
+    ProcessorProgram pp;
+    pp.proc = d.i32();
+    const std::uint32_t nops = d.count(21);  // 1 + 4 + 8 + 4 + 4
+    pp.ops.reserve(nops);
+    for (std::uint32_t j = 0; j < nops; ++j) {
+      Op op;
+      const std::uint8_t kind = d.u8();
+      if (kind > static_cast<std::uint8_t>(Op::Kind::Receive)) {
+        throw WireError("invalid op kind");
+      }
+      op.kind = static_cast<Op::Kind>(kind);
+      op.inst.node = d.u32();
+      op.inst.iter = d.i64();
+      op.edge = d.u32();
+      op.peer = d.i32();
+      pp.ops.push_back(op);
+    }
+    p.programs.push_back(std::move(pp));
+  }
+  return p;
+}
+
+void encode_result(Encoder& e, const ExecutionResult& r) {
+  e.u32(static_cast<std::uint32_t>(r.values.size()));
+  for (const std::vector<double>& vs : r.values) {
+    e.u32(static_cast<std::uint32_t>(vs.size()));
+    for (const double v : vs) e.f64(v);
+  }
+  e.f64(r.wall_seconds);
+}
+
+ExecutionResult decode_result(Decoder& d) {
+  ExecutionResult r;
+  const std::uint32_t nodes = d.count(4);
+  r.values.resize(nodes);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    const std::uint32_t n = d.count(8);
+    r.values[v].reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) r.values[v].push_back(d.f64());
+  }
+  r.wall_seconds = d.f64();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+namespace {
+
+void encode_remote_opts(Encoder& e, const RemoteRunOptions& o) {
+  e.u8(static_cast<std::uint8_t>(o.transport));
+  e.u8(o.pin_threads ? 1 : 0);
+  e.i32(o.work_per_cycle);
+}
+
+RemoteRunOptions decode_remote_opts(Decoder& d) {
+  RemoteRunOptions o;
+  const std::uint8_t t = d.u8();
+  if (t > static_cast<std::uint8_t>(Transport::Spsc)) {
+    throw WireError("invalid transport");
+  }
+  o.transport = static_cast<Transport>(t);
+  o.pin_threads = d.u8() != 0;
+  o.work_per_cycle = d.i32();
+  return o;
+}
+
+void encode_run_request(Encoder& e, const RunRequest& m) {
+  e.u64(m.program_id);
+  e.i64(m.iterations);
+  encode_remote_opts(e, m.opts);
+}
+
+RunRequest decode_run_request(Decoder& d) {
+  RunRequest m;
+  m.program_id = d.u64();
+  m.iterations = d.i64();
+  m.opts = decode_remote_opts(d);
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_submit_program(const SubmitProgramRequest& m) {
+  Encoder e;
+  encode_program(e, m.program);
+  encode_ddg(e, m.graph);
+  e.u8(static_cast<std::uint8_t>(m.copts.slots));
+  return e.take();
+}
+
+SubmitProgramRequest decode_submit_program(
+    const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  SubmitProgramRequest m;
+  m.program = decode_program(d);
+  m.graph = decode_ddg(d);
+  const std::uint8_t slots = d.u8();
+  if (slots > static_cast<std::uint8_t>(SlotPolicy::Ssa)) {
+    throw WireError("invalid slot policy");
+  }
+  m.copts.slots = static_cast<SlotPolicy>(slots);
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_submit_program_reply(
+    const SubmitProgramReply& m) {
+  Encoder e;
+  e.u64(m.program_id);
+  e.u32(m.threads);
+  e.u32(m.channels);
+  e.u32(m.slots);
+  e.i64(m.iterations);
+  return e.take();
+}
+
+SubmitProgramReply decode_submit_program_reply(
+    const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  SubmitProgramReply m;
+  m.program_id = d.u64();
+  m.threads = d.u32();
+  m.channels = d.u32();
+  m.slots = d.u32();
+  m.iterations = d.i64();
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_run(const RunRequest& m) {
+  Encoder e;
+  encode_run_request(e, m);
+  return e.take();
+}
+
+RunRequest decode_run(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  RunRequest m = decode_run_request(d);
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_run_reply(const ExecutionResult& m) {
+  Encoder e;
+  encode_result(e, m);
+  return e.take();
+}
+
+ExecutionResult decode_run_reply(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  ExecutionResult r = decode_result(d);
+  d.expect_done();
+  return r;
+}
+
+std::vector<std::uint8_t> encode_run_batch(const RunBatchRequest& m) {
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(m.items.size()));
+  for (const RunRequest& it : m.items) encode_run_request(e, it);
+  e.u32(m.concurrency);
+  return e.take();
+}
+
+RunBatchRequest decode_run_batch(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  RunBatchRequest m;
+  const std::uint32_t n = d.count(22);  // 8 + 8 + 6 per item
+  m.items.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.items.push_back(decode_run_request(d));
+  m.concurrency = d.u32();
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_run_batch_reply(const RunBatchReply& m) {
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(m.results.size()));
+  for (const ExecutionResult& r : m.results) encode_result(e, r);
+  e.f64(m.wall_seconds);
+  return e.take();
+}
+
+RunBatchReply decode_run_batch_reply(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  RunBatchReply m;
+  const std::uint32_t n = d.count(12);
+  m.results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.results.push_back(decode_result(d));
+  m.wall_seconds = d.f64();
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& m) {
+  Encoder e;
+  e.u64(m.cache.hits);
+  e.u64(m.cache.misses);
+  e.u64(m.cache.evictions);
+  e.u64(m.cache.entries);
+  e.u64(m.cache.capacity);
+  e.u64(m.pool_workers);
+  e.u64(m.pool_gangs);
+  e.u64(m.connections_accepted);
+  e.u64(m.connections_active);
+  e.u64(m.programs_registered);
+  e.u64(m.runs_executed);
+  return e.take();
+}
+
+StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  StatsReply m;
+  m.cache.hits = d.u64();
+  m.cache.misses = d.u64();
+  m.cache.evictions = d.u64();
+  m.cache.entries = static_cast<std::size_t>(d.u64());
+  m.cache.capacity = static_cast<std::size_t>(d.u64());
+  m.pool_workers = d.u64();
+  m.pool_gangs = d.u64();
+  m.connections_accepted = d.u64();
+  m.connections_active = d.u64();
+  m.programs_registered = d.u64();
+  m.runs_executed = d.u64();
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  Encoder e;
+  e.str(message);
+  return e.take();
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  std::string s = d.str();
+  d.expect_done();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Framed I/O
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw WireError("socket path empty or too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+namespace {
+
+void send_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("send failed: ") + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Read exactly n bytes.  Returns false on EOF before the first byte;
+/// throws on EOF mid-buffer or any error (EAGAIN/EWOULDBLOCK = SO_RCVTIMEO
+/// expiry reads as a timeout).
+bool recv_all(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw WireError("receive timed out");
+      }
+      throw WireError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw WireError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, FrameType type,
+                 const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) throw WireError("frame too large");
+  std::uint8_t header[5];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  header[4] = static_cast<std::uint8_t>(type);
+  send_all(fd, header, sizeof(header));
+  if (!payload.empty()) send_all(fd, payload.data(), payload.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint8_t header[5];
+  if (!recv_all(fd, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            static_cast<std::uint32_t>(header[1]) << 8 |
+                            static_cast<std::uint32_t>(header[2]) << 16 |
+                            static_cast<std::uint32_t>(header[3]) << 24;
+  if (len > kMaxFramePayload) throw WireError("frame length exceeds limit");
+  Frame f;
+  f.type = static_cast<FrameType>(header[4]);
+  f.payload.resize(len);
+  if (len > 0 && !recv_all(fd, f.payload.data(), len)) {
+    throw WireError("connection closed mid-frame");
+  }
+  return f;
+}
+
+}  // namespace mimd::wire

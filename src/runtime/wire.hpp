@@ -1,0 +1,260 @@
+// Wire protocol for the plan-service daemon (mimdd) — length-prefixed
+// binary frames over a Unix domain socket, carrying the exact structures
+// the in-process plan service already consumes (PartitionedProgram, Ddg,
+// CompileOptions) and produces (ExecutionResult, PlanCache::Stats).
+//
+// Framing: every frame is
+//
+//     u32  payload length (little-endian, excludes the 5-byte header)
+//     u8   FrameType
+//     ...  payload (message-specific, see the encode_/decode_ pairs)
+//
+// so a reader always knows how many bytes to consume before it interprets
+// anything — a malformed payload can fail to *decode* but can never
+// desynchronize the stream.  Integers are fixed-width little-endian,
+// assembled bytewise (no aliasing, no host-endianness leaks); doubles
+// travel as their IEEE-754 bit pattern in a u64, so a value survives the
+// round trip *bit-identically* — the differential suites compare daemon
+// results against in-process and sequential execution with ==, not with a
+// tolerance.
+//
+// Division of labor: this header is pure serialization + framed I/O over
+// an fd.  Connection lifecycle lives in plan_client.hpp / plan_server.hpp.
+//
+// Request/reply types:
+//     SubmitProgram -> SubmitProgramReply   register a program, get an id
+//     Run           -> RunReply             execute one registered program
+//     RunBatch      -> RunBatchReply        execute many, concurrently
+//     Stats         -> StatsReply           cache/pool/server counters
+//     Shutdown      -> ShutdownReply        ack, then the server drains
+// Any request can instead yield Error (a human-readable message); the
+// connection stays usable afterwards.
+#pragma once
+
+#include <sys/un.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/ddg.hpp"
+#include "partition/compiled_program.hpp"
+#include "partition/partitioned_loop.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/plan_cache.hpp"
+
+namespace mimd::wire {
+
+/// Thrown on framing/decoding violations: truncated buffers, oversize
+/// frames, out-of-range ids, or I/O errors while reading/writing a frame.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FrameType : std::uint8_t {
+  // Requests (client -> server).
+  SubmitProgram = 1,
+  Run = 2,
+  RunBatch = 3,
+  Stats = 4,
+  Shutdown = 5,
+  // Replies (server -> client): request type + 64.
+  SubmitProgramReply = 65,
+  RunReply = 66,
+  RunBatchReply = 67,
+  StatsReply = 68,
+  ShutdownReply = 69,
+  Error = 127,
+};
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Refuse frames larger than this (64 MiB): a corrupt length prefix must
+/// not become a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+
+/// Append-only little-endian byte sink.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern — bit-exact, NaN payloads and -0.0 included.
+  void f64(double v);
+  void str(const std::string& s);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked cursor over a received payload.  Every read throws
+/// WireError instead of walking past the end, so a truncated or hostile
+/// payload is an exception, never undefined behavior.
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& payload)
+      : Decoder(payload.data(), payload.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  /// Guard for count-prefixed arrays: a claimed element count whose
+  /// minimal encoding cannot fit in the remaining bytes is rejected
+  /// before anything is allocated.
+  std::uint32_t count(std::size_t min_bytes_per_element);
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  void expect_done() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Structure encoding (shared by requests and replies)
+
+void encode_ddg(Encoder& e, const Ddg& g);
+[[nodiscard]] Ddg decode_ddg(Decoder& d);
+
+void encode_program(Encoder& e, const PartitionedProgram& p);
+[[nodiscard]] PartitionedProgram decode_program(Decoder& d);
+
+void encode_result(Encoder& e, const ExecutionResult& r);
+[[nodiscard]] ExecutionResult decode_result(Decoder& d);
+
+// ---------------------------------------------------------------------------
+// Messages
+
+struct SubmitProgramRequest {
+  PartitionedProgram program;
+  Ddg graph;
+  CompileOptions copts;
+};
+
+struct SubmitProgramReply {
+  /// Connection-scoped handle for Run / RunBatch.
+  std::uint64_t program_id = 0;
+  std::uint32_t threads = 0;
+  std::uint32_t channels = 0;
+  std::uint32_t slots = 0;
+  std::int64_t iterations = 0;
+};
+
+/// The remotely settable subset of RunOptions.  The pool is always the
+/// server's shared pool, and channel_capacity stays server-side at 0
+/// (exact ring sizing): a remote client must not be able to pick a cap
+/// that stalls a daemon worker (see RunOptions::channel_capacity).
+struct RemoteRunOptions {
+  Transport transport = Transport::Spsc;
+  bool pin_threads = false;
+  int work_per_cycle = 0;
+};
+
+struct RunRequest {
+  std::uint64_t program_id = 0;
+  /// 0 = the program's own compiled iteration count.
+  std::int64_t iterations = 0;
+  RemoteRunOptions opts;
+};
+
+struct RunBatchRequest {
+  std::vector<RunRequest> items;
+  /// Driver threads on the server; 0 = hardware_concurrency.
+  std::uint32_t concurrency = 0;
+};
+
+struct RunBatchReply {
+  std::vector<ExecutionResult> results;  ///< in item order
+  double wall_seconds = 0.0;
+};
+
+struct StatsReply {
+  PlanCache::Stats cache;
+  std::uint64_t pool_workers = 0;
+  std::uint64_t pool_gangs = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t programs_registered = 0;
+  std::uint64_t runs_executed = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_submit_program(
+    const SubmitProgramRequest& m);
+[[nodiscard]] SubmitProgramRequest decode_submit_program(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_submit_program_reply(
+    const SubmitProgramReply& m);
+[[nodiscard]] SubmitProgramReply decode_submit_program_reply(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_run(const RunRequest& m);
+[[nodiscard]] RunRequest decode_run(const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_run_reply(
+    const ExecutionResult& m);
+[[nodiscard]] ExecutionResult decode_run_reply(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_run_batch(
+    const RunBatchRequest& m);
+[[nodiscard]] RunBatchRequest decode_run_batch(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_run_batch_reply(
+    const RunBatchReply& m);
+[[nodiscard]] RunBatchReply decode_run_batch_reply(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    const StatsReply& m);
+[[nodiscard]] StatsReply decode_stats_reply(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_error(
+    const std::string& message);
+[[nodiscard]] std::string decode_error(
+    const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Framed I/O over a connected socket fd
+
+/// Fill an AF_UNIX address for `path`, throwing WireError when the path
+/// is empty or exceeds sun_path.  The one place the limit is enforced —
+/// PlanServer::start (bind) and PlanClient::connect share it.
+[[nodiscard]] sockaddr_un make_unix_addr(const std::string& path);
+
+/// Write one frame, handling partial writes and EINTR; MSG_NOSIGNAL keeps
+/// a dead peer an exception (WireError), not a SIGPIPE.
+void write_frame(int fd, FrameType type,
+                 const std::vector<std::uint8_t>& payload);
+
+/// Read one frame.  Returns nullopt on clean EOF *between* frames; throws
+/// WireError on EOF mid-frame, an oversize length prefix, a receive
+/// timeout (SO_RCVTIMEO), or any other I/O error.
+[[nodiscard]] std::optional<Frame> read_frame(int fd);
+
+}  // namespace mimd::wire

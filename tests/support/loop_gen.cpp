@@ -1,0 +1,68 @@
+#include "support/loop_gen.hpp"
+
+#include <random>
+
+#include "partition/compiled_program.hpp"
+#include "partition/lowering.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "schedule/full_sched.hpp"
+#include "schedule/pattern.hpp"
+#include "workloads/random_loops.hpp"
+
+namespace mimd::testsupport {
+
+GeneratedLoop generate_loop(std::uint64_t seed, const LoopGenOptions& opts) {
+  // One RNG drives every choice, seeded independently of the graph
+  // generator's internal stream so adding a knob here never perturbs the
+  // graphs themselves.
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  const auto pick_int = [&rng](std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+
+  GeneratedLoop out;
+  out.machine.processors =
+      static_cast<int>(pick_int(opts.min_procs, opts.max_procs));
+  out.machine.comm_estimate = static_cast<int>(pick_int(opts.min_k, opts.max_k));
+  const std::int64_t n = pick_int(opts.min_iterations, opts.max_iterations);
+  out.graph = workloads::random_connected_cyclic_loop(seed);
+
+  // Prefer the paper's main pipeline (cyclic pattern -> materialize);
+  // fall back to — and sometimes deliberately choose — the full-schedule
+  // path so both lowerings stay under differential test.
+  const bool force_full = opts.mix_schedule_paths && rng() % 4 == 0;
+  const CyclicSchedResult cyc = cyclic_sched(out.graph, out.machine);
+  bool used_full = true;
+  if (cyc.pattern.has_value() && !force_full) {
+    out.program =
+        lower(materialize(*cyc.pattern, out.machine.processors, n), out.graph);
+    used_full = false;
+  } else {
+    const FullSchedResult full = full_sched(out.graph, out.machine, n);
+    out.program = lower(full.schedule, out.graph);
+  }
+
+  // Validate now (compile_program runs find_program_violation) and record
+  // the compiled iteration count — the exact n every executor must cover.
+  out.iterations = compile_program(out.program, out.graph).iterations;
+
+  out.tag = "rand" + std::to_string(seed) + "_p" +
+            std::to_string(out.machine.processors) + "k" +
+            std::to_string(out.machine.comm_estimate) +
+            (used_full ? "f" : "");
+  return out;
+}
+
+Ddg renamed_copy(const Ddg& g, const std::string& prefix) {
+  Ddg copy;
+  for (const Node& n : g.nodes()) {
+    copy.add_node(prefix + n.name, n.latency);
+  }
+  for (const Edge& e : g.edges()) {
+    copy.add_edge(e.src, e.dst, e.distance, e.comm_cost);
+  }
+  return copy;
+}
+
+}  // namespace mimd::testsupport

@@ -1,0 +1,63 @@
+// Shared random-loop-*program* generator for the differential suites.
+//
+// workloads/random_loops.hpp generates random *graphs* (the paper's
+// Table 1 population); every differential suite then needs the same
+// follow-on steps — pick a machine, schedule (cyclic pattern when one is
+// found, full schedule otherwise), lower to a PartitionedProgram — and
+// until PR 5 each suite carried its own copy of that pipeline.  This is
+// the one shared implementation: a seeded generator whose every choice
+// (machine size, k, iteration count, schedule path) comes from one
+// mt19937_64, so a seed names a complete reproducible test program across
+// the C-codegen differential tests, the plan-server fuzz suite, and the
+// daemon integration tests.
+//
+// The generator validates its own output: the program is compiled once
+// (compile_program runs find_program_violation) before it is returned, so
+// a generator bug surfaces as a loud ContractViolation at generation
+// time, never as a mysterious downstream mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/ddg.hpp"
+#include "partition/partitioned_loop.hpp"
+#include "schedule/machine.hpp"
+
+namespace mimd::testsupport {
+
+struct LoopGenOptions {
+  int min_procs = 2;
+  int max_procs = 4;
+  int min_k = 1;
+  int max_k = 3;
+  std::int64_t min_iterations = 6;
+  std::int64_t max_iterations = 16;
+  /// Occasionally lower through full_sched even when a cyclic pattern
+  /// exists, so both lowering paths stay covered.
+  bool mix_schedule_paths = true;
+};
+
+struct GeneratedLoop {
+  /// Stable human-readable id, e.g. "rand7_p4k2" — used as file/test tags.
+  std::string tag;
+  Ddg graph;
+  PartitionedProgram program;
+  Machine machine;
+  /// The compiled iteration count (1 + largest compute iteration): the
+  /// exact `n` to pass to ExecutorPlan::run and run_sequential.
+  std::int64_t iterations = 0;
+};
+
+/// Deterministic per seed: equal seeds (and options) produce structurally
+/// identical programs, byte for byte.
+GeneratedLoop generate_loop(std::uint64_t seed, const LoopGenOptions& opts = {});
+
+/// A structurally identical copy of `g` with every node renamed by
+/// `prefix` — same latencies, same edges.  structural_hash ignores names,
+/// so submitting a renamed copy must be a plan-cache *hit*; the
+/// concurrent-client stress tests use exactly this to prove
+/// cross-connection sharing.
+Ddg renamed_copy(const Ddg& g, const std::string& prefix);
+
+}  // namespace mimd::testsupport

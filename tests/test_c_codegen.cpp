@@ -18,6 +18,7 @@
 #include "partition/lowering.hpp"
 #include "schedule/cyclic_sched.hpp"
 #include "schedule/full_sched.hpp"
+#include "support/loop_gen.hpp"
 #include "workloads/livermore.hpp"
 #include "workloads/paper_examples.hpp"
 #include "workloads/random_loops.hpp"
@@ -154,21 +155,22 @@ TEST(CCodegen, DoacrossProgramSelfValidates) {
   EXPECT_EQ(compile_and_run(src, "doacross"), 0);
 }
 
-// The differential test: a handful of random-loop workloads, each emitted
+// The differential test: random loop *programs* from the shared generator
+// (tests/support/loop_gen.hpp — the same seeded pipeline the plan-server
+// fuzz suite and the mimdd integration tests draw from), each emitted
 // under both transports, each binary's internal recompute asserting the
 // bitwise match.  Exercises channels, slot reuse, and steady-state rolling
 // on irregular programs no hand-written case would cover.
 TEST(CCodegen, RandomLoopsSelfValidateUnderBothTransports) {
   if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   for (const std::uint64_t seed : {3u, 7u, 19u}) {
-    const Ddg g = workloads::random_connected_cyclic_loop(seed);
-    const CompiledProgram cp = pattern_compiled(g, Machine{4, 3}, 10);
+    const testsupport::GeneratedLoop gl = testsupport::generate_loop(seed);
+    const CompiledProgram cp = compile_program(gl.program, gl.graph);
     for (const Transport t : {Transport::Spsc, Transport::Mutex}) {
       const std::string src =
-          emit_c_program(cp, g, with_transport(t));
+          emit_c_program(cp, gl.graph, with_transport(t));
       const std::string tag =
-          "rand" + std::to_string(seed) +
-          (t == Transport::Spsc ? "_spsc" : "_mutex");
+          gl.tag + (t == Transport::Spsc ? "_spsc" : "_mutex");
       EXPECT_EQ(compile_and_run(src, tag), 0) << tag;
     }
   }

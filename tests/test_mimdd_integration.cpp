@@ -1,0 +1,168 @@
+// Integration tests against a REAL mimdd process.
+//
+// CTest spawns the daemon before any of these run and tears it down
+// afterwards even when they fail, via fixture tests declared in
+// tests/CMakeLists.txt:
+//
+//   mimdd_daemon_start  (FIXTURES_SETUP)    mimdd --socket <tmp> --daemonize
+//   test_mimdd_integration.*  (FIXTURES_REQUIRED, this file)
+//   mimdc_connect_*     (FIXTURES_REQUIRED) mimdc --connect smoke tests
+//   mimdd_daemon_stop   (FIXTURES_CLEANUP)  mimdd --stop <tmp>
+//
+// The socket path arrives via the MIMDD_SOCKET environment variable (set
+// by CTest); run standalone, the suite skips.  All tests here share one
+// long-lived daemon — exactly the deployment shape — so assertions about
+// Stats counters use DELTAS, never absolute values, and every test uses
+// its own seeds so structures (and thus cache entries) never collide
+// across tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/plan_client.hpp"
+#include "support/loop_gen.hpp"
+
+namespace mimd {
+namespace {
+
+using testsupport::GeneratedLoop;
+using testsupport::generate_loop;
+using testsupport::renamed_copy;
+
+constexpr int kTimeoutMs = 60000;  // a hung daemon fails, not hangs, a test
+
+std::string daemon_socket() {
+  const char* path = std::getenv("MIMDD_SOCKET");
+  return path != nullptr ? path : "";
+}
+
+#define REQUIRE_DAEMON()                                              \
+  do {                                                                \
+    if (daemon_socket().empty()) {                                    \
+      GTEST_SKIP() << "MIMDD_SOCKET not set (run under ctest, which " \
+                      "spawns the daemon fixture)";                   \
+    }                                                                 \
+  } while (false)
+
+TEST(MimddIntegration, SubmitRunAndValidateAgainstSequential) {
+  REQUIRE_DAEMON();
+  const GeneratedLoop gl = generate_loop(1001);
+  PlanClient client = PlanClient::connect(daemon_socket(), kTimeoutMs);
+  const wire::SubmitProgramReply sub =
+      client.submit_program(gl.program, gl.graph);
+  EXPECT_EQ(sub.iterations, gl.iterations);
+  const ExecutionResult r = client.run(sub.program_id);
+  EXPECT_TRUE(values_match(r, run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+}
+
+TEST(MimddIntegration, DifferentialDaemonVsInProcessOverRealSocket) {
+  REQUIRE_DAEMON();
+  PlanClient client = PlanClient::connect(daemon_socket(), kTimeoutMs);
+  for (const std::uint64_t seed : {1010u, 1011u, 1012u, 1013u, 1014u, 1015u}) {
+    const GeneratedLoop gl = generate_loop(seed);
+    const std::uint64_t id =
+        client.submit_program(gl.program, gl.graph).program_id;
+    const ExecutionResult via_daemon = client.run(id);
+    const ExecutionResult local = compile(gl.program, gl.graph).run(gl.iterations);
+    const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+    EXPECT_TRUE(values_match(via_daemon, seq, gl.iterations)) << gl.tag;
+    EXPECT_TRUE(values_match(via_daemon, local, gl.iterations)) << gl.tag;
+  }
+}
+
+TEST(MimddIntegration, BatchRunsConcurrentlyAndMatchesSequential) {
+  REQUIRE_DAEMON();
+  PlanClient client = PlanClient::connect(daemon_socket(), kTimeoutMs);
+  std::vector<GeneratedLoop> loops;
+  std::vector<wire::RunRequest> items;
+  for (const std::uint64_t seed : {1020u, 1021u, 1022u, 1023u}) {
+    loops.push_back(generate_loop(seed));
+    wire::RunRequest item;
+    item.program_id =
+        client.submit_program(loops.back().program, loops.back().graph)
+            .program_id;
+    item.iterations = 0;
+    items.push_back(item);
+  }
+  const wire::RunBatchReply reply = client.run_batch(items);
+  ASSERT_EQ(reply.results.size(), loops.size());
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    EXPECT_TRUE(values_match(
+        reply.results[i],
+        run_reference(loops[i].graph, loops[i].iterations),
+        loops[i].iterations))
+        << loops[i].tag;
+  }
+}
+
+// The concurrent-client stress of the ISSUE's acceptance criteria, against
+// the real daemon: M separate connections submit renamed copies of one
+// structure; the Stats frame must show exactly ONE additional cache miss.
+TEST(MimddIntegration, ConcurrentClientsRenamedCopiesCostExactlyOneMiss) {
+  REQUIRE_DAEMON();
+  constexpr int kClients = 8;
+  const GeneratedLoop base = generate_loop(1030);
+  const ExecutionResult seq = run_reference(base.graph, base.iterations);
+
+  PlanClient observer = PlanClient::connect(daemon_socket(), kTimeoutMs);
+  const wire::StatsReply before = observer.stats();
+
+  std::atomic<int> failures{0};
+  std::mutex log_mu;
+  std::string log;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        PlanClient client = PlanClient::connect(daemon_socket(), kTimeoutMs);
+        const Ddg renamed =
+            renamed_copy(base.graph, "it" + std::to_string(c) + "_");
+        const std::uint64_t id =
+            client.submit_program(base.program, renamed).program_id;
+        const ExecutionResult r = client.run(id);
+        if (!values_match(r, seq, base.iterations)) {
+          ++failures;
+          const std::lock_guard<std::mutex> lock(log_mu);
+          log += "client " + std::to_string(c) + ": mismatch\n";
+        }
+      } catch (const std::exception& e) {
+        ++failures;
+        const std::lock_guard<std::mutex> lock(log_mu);
+        log += "client " + std::to_string(c) + ": " + e.what() + "\n";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0) << log;
+
+  const wire::StatsReply after = observer.stats();
+  EXPECT_EQ(after.cache.misses - before.cache.misses, 1u);
+  EXPECT_EQ(after.cache.hits - before.cache.hits,
+            static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(after.runs_executed - before.runs_executed,
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_GE(after.connections_accepted - before.connections_accepted,
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(MimddIntegration, ErrorFrameOverRealSocketKeepsConnectionUsable) {
+  REQUIRE_DAEMON();
+  PlanClient client = PlanClient::connect(daemon_socket(), kTimeoutMs);
+  EXPECT_THROW((void)client.run(999999), RemoteError);
+  const GeneratedLoop gl = generate_loop(1040);
+  const std::uint64_t id =
+      client.submit_program(gl.program, gl.graph).program_id;
+  const ExecutionResult r = client.run(id);
+  EXPECT_TRUE(values_match(r, run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+}
+
+}  // namespace
+}  // namespace mimd

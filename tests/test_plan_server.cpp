@@ -1,0 +1,497 @@
+// PlanServer/PlanClient differential and stress suite — the daemon's
+// correctness oracle, run in-process so the TSan CI job sees every thread
+// the server spawns.
+//
+// The centerpiece is the three-way fuzz/differential test: >= 50 randomly
+// generated loop programs (tests/support/loop_gen.hpp) executed (1) via
+// the daemon over its Unix socket, (2) via the in-process plan service
+// (run_batch on a local cache+pool), and (3) sequentially — all three
+// must agree bit-for-bit.  Around it: concurrent clients proving
+// cross-connection plan-cache sharing through the Stats frame (M clients,
+// renamed copies, exactly one miss), graceful-shutdown draining, and
+// hostile-input handling (error frames, garbage bytes).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/plan_client.hpp"
+#include "runtime/plan_server.hpp"
+#include "runtime/plan_service.hpp"
+#include "support/loop_gen.hpp"
+
+namespace mimd {
+namespace {
+
+using testsupport::GeneratedLoop;
+using testsupport::generate_loop;
+using testsupport::renamed_copy;
+
+std::string temp_socket(const std::string& name) {
+  std::string dir = ::testing::TempDir();
+  if (dir.empty() || dir.back() != '/') dir += '/';
+  return dir + name + ".sock";
+}
+
+/// An in-process server bound to a per-test temp socket, torn down (and
+/// the path unlinked) even when the test body fails.
+struct TestServer {
+  PlanServer server;
+
+  explicit TestServer(const std::string& name,
+                      std::size_t cache_capacity = PlanCache::kDefaultCapacity)
+      : server([&] {
+          PlanServerOptions opts;
+          opts.socket_path = temp_socket(name);
+          opts.cache_capacity = cache_capacity;
+          opts.remove_existing = true;  // stale file from a crashed run
+          return opts;
+        }()) {
+    server.start();
+  }
+  ~TestServer() { server.stop(); }
+};
+
+TEST(LoopGen, DeterministicPerSeed) {
+  const GeneratedLoop a = generate_loop(5);
+  const GeneratedLoop b = generate_loop(5);
+  EXPECT_EQ(a.tag, b.tag);
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_TRUE(structurally_equivalent(a.graph, b.graph));
+}
+
+TEST(LoopGen, DifferentSeedsGiveDifferentPrograms) {
+  const GeneratedLoop a = generate_loop(1);
+  const GeneratedLoop b = generate_loop(2);
+  EXPECT_TRUE(!(a.program == b.program) ||
+              !structurally_equivalent(a.graph, b.graph));
+}
+
+TEST(LoopGen, RenamedCopyIsStructurallyIdenticalButNamedDifferently) {
+  const GeneratedLoop gl = generate_loop(9);
+  const Ddg copy = renamed_copy(gl.graph, "x_");
+  EXPECT_TRUE(structurally_equivalent(gl.graph, copy));
+  EXPECT_EQ(structural_hash(gl.graph), structural_hash(copy));
+  EXPECT_NE(gl.graph.node(0).name, copy.node(0).name);
+}
+
+TEST(PlanService, RunPlansMatchesDirectPlanRuns) {
+  std::vector<PlanJob> jobs;
+  std::vector<ExecutionResult> direct;
+  WorkerPool pool;
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const GeneratedLoop gl = generate_loop(seed);
+    PlanJob job;
+    job.plan = std::make_shared<const ExecutorPlan>(
+        compile(gl.program, gl.graph));
+    job.iterations = 0;  // plan's own count
+    jobs.push_back(job);
+    direct.push_back(job.plan->run(gl.iterations));
+  }
+  const std::vector<ExecutionResult> pooled = run_plans(jobs, pool);
+  ASSERT_EQ(pooled.size(), direct.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_EQ(pooled[i].values, direct[i].values) << i;
+  }
+}
+
+TEST(PlanService, RunPlansRethrowsAfterDraining) {
+  WorkerPool pool;
+  const GeneratedLoop gl = generate_loop(24);
+  PlanJob bad;
+  bad.plan = std::make_shared<const ExecutorPlan>(compile(gl.program, gl.graph));
+  bad.iterations = 1;  // below the compiled count: plan.run throws
+  ASSERT_GT(gl.iterations, 1);
+  EXPECT_THROW((void)run_plans({bad}, pool), ContractViolation);
+}
+
+// The acceptance-criteria fuzz/differential test: >= 50 random programs,
+// three transports-of-execution, bit-identical results.
+TEST(PlanServer, FuzzDifferentialDaemonVsInProcessVsSequential) {
+  constexpr std::uint64_t kPrograms = 50;
+
+  std::vector<GeneratedLoop> loops;
+  loops.reserve(kPrograms);
+  for (std::uint64_t seed = 1; seed <= kPrograms; ++seed) {
+    loops.push_back(generate_loop(seed));
+  }
+
+  // Leg 1: the daemon, over the Unix socket (one connection, one batched
+  // run — the mimdc --batch --connect shape).  Channel transport
+  // alternates so both stay covered.
+  TestServer ts("ps_fuzz");
+  std::vector<ExecutionResult> via_daemon;
+  {
+    PlanClient client = PlanClient::connect(ts.server.socket_path());
+    std::vector<wire::RunRequest> items;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      const wire::SubmitProgramReply sub =
+          client.submit_program(loops[i].program, loops[i].graph);
+      EXPECT_EQ(sub.iterations, loops[i].iterations) << loops[i].tag;
+      wire::RunRequest item;
+      item.program_id = sub.program_id;
+      item.iterations = 0;  // compiled count
+      item.opts.transport = i % 2 == 0 ? Transport::Spsc : Transport::Mutex;
+      items.push_back(item);
+    }
+    via_daemon = client.run_batch(items).results;
+  }
+  ASSERT_EQ(via_daemon.size(), loops.size());
+
+  // Leg 2: the in-process plan service (local cache + pool), same
+  // transport per index.
+  std::vector<BatchJob> jobs;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    BatchJob job;
+    job.program = loops[i].program;
+    job.graph = loops[i].graph;
+    job.iterations = 0;
+    job.ropts.transport = i % 2 == 0 ? Transport::Spsc : Transport::Mutex;
+    jobs.push_back(std::move(job));
+  }
+  PlanCache cache(kPrograms + 8);
+  WorkerPool pool;
+  const BatchReport in_process = run_batch(jobs, cache, pool);
+  ASSERT_EQ(in_process.results.size(), loops.size());
+
+  // Leg 3: sequential reference — and the three-way bitwise comparison.
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const GeneratedLoop& gl = loops[i];
+    const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+    EXPECT_TRUE(values_match(via_daemon[i], seq, gl.iterations))
+        << gl.tag << ": daemon vs sequential";
+    EXPECT_TRUE(values_match(in_process.results[i], seq, gl.iterations))
+        << gl.tag << ": in-process vs sequential";
+    EXPECT_TRUE(
+        values_match(via_daemon[i], in_process.results[i], gl.iterations))
+        << gl.tag << ": daemon vs in-process";
+  }
+}
+
+// M concurrent clients submitting renamed copies of one loop: the daemon
+// must compile exactly once, and the Stats frame must show it.
+TEST(PlanServer, ConcurrentClientsShareOnePlanAcrossConnections) {
+  constexpr int kClients = 8;
+  TestServer ts("ps_share");
+  const GeneratedLoop base = generate_loop(777);
+  const ExecutionResult seq = run_reference(base.graph, base.iterations);
+
+  std::atomic<int> failures{0};
+  std::mutex log_mu;
+  std::string log;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        PlanClient client = PlanClient::connect(ts.server.socket_path());
+        const Ddg renamed =
+            renamed_copy(base.graph, "c" + std::to_string(c) + "_");
+        const wire::SubmitProgramReply sub =
+            client.submit_program(base.program, renamed);
+        const ExecutionResult r = client.run(sub.program_id);
+        if (!values_match(r, seq, base.iterations)) {
+          ++failures;
+          const std::lock_guard<std::mutex> lock(log_mu);
+          log += "client " + std::to_string(c) + ": result mismatch\n";
+        }
+      } catch (const std::exception& e) {
+        ++failures;
+        const std::lock_guard<std::mutex> lock(log_mu);
+        log += "client " + std::to_string(c) + ": " + e.what() + "\n";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0) << log;
+
+  PlanClient observer = PlanClient::connect(ts.server.socket_path());
+  const wire::StatsReply stats = observer.stats();
+  // Renamed copies hash identically (names are excluded), so M submits
+  // are ONE compile: exactly one miss, the rest hits — the
+  // cross-connection amortization the daemon exists for.  Concurrent
+  // first requests dedup inside PlanCache (waiters count as hits).
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_EQ(stats.programs_registered, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.runs_executed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.connections_accepted,
+            static_cast<std::uint64_t>(kClients) + 1);  // + this observer
+}
+
+// Sustained mixed traffic: M clients x R requests over a handful of
+// program structures, every reply validated.  This is the TSan target for
+// the concurrent-connection path.
+TEST(PlanServer, ConcurrentMixedTrafficStress) {
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 8;
+  constexpr std::uint64_t kStructures = 4;
+
+  std::vector<GeneratedLoop> loops;
+  std::vector<ExecutionResult> refs;
+  for (std::uint64_t s = 0; s < kStructures; ++s) {
+    loops.push_back(generate_loop(31 + s));
+    refs.push_back(run_reference(loops.back().graph, loops.back().iterations));
+  }
+
+  TestServer ts("ps_stress");
+  std::atomic<int> failures{0};
+  std::mutex log_mu;
+  std::string log;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        PlanClient client = PlanClient::connect(ts.server.socket_path());
+        std::vector<std::uint64_t> ids(loops.size());
+        for (std::size_t i = 0; i < loops.size(); ++i) {
+          ids[i] =
+              client.submit_program(loops[i].program, loops[i].graph)
+                  .program_id;
+        }
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const std::size_t i =
+              static_cast<std::size_t>(c + r) % loops.size();
+          wire::RemoteRunOptions opts;
+          opts.transport = r % 2 == 0 ? Transport::Spsc : Transport::Mutex;
+          const ExecutionResult result = client.run(ids[i], 0, opts);
+          if (!values_match(result, refs[i], loops[i].iterations)) {
+            ++failures;
+            const std::lock_guard<std::mutex> lock(log_mu);
+            log += "client " + std::to_string(c) + " req " +
+                   std::to_string(r) + ": mismatch on " + loops[i].tag + "\n";
+          }
+        }
+      } catch (const std::exception& e) {
+        ++failures;
+        const std::lock_guard<std::mutex> lock(log_mu);
+        log += "client " + std::to_string(c) + ": " + e.what() + "\n";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0) << log;
+
+  PlanClient observer = PlanClient::connect(ts.server.socket_path());
+  const wire::StatsReply stats = observer.stats();
+  // One compile per distinct structure, no matter how many clients.
+  EXPECT_EQ(stats.cache.misses, kStructures);
+  EXPECT_EQ(stats.runs_executed,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+}
+
+TEST(PlanServer, GracefulShutdownDrainsInFlightRuns) {
+  TestServer ts("ps_drain");
+  const GeneratedLoop gl = generate_loop(55);
+  const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+
+  // Raw wire-level client, so the test can separate "request delivered"
+  // from "reply received": on an AF_UNIX stream socket, send() copies
+  // straight into the peer's receive queue, so once write_frame returns
+  // the run IS in flight server-side — no sleeps, no race.  A receiver
+  // half-closed by stop() still drains its queued data before EOF, which
+  // is exactly the property this test pins.
+  const sockaddr_un addr = wire::make_unix_addr(ts.server.socket_path());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  wire::SubmitProgramRequest sub;
+  sub.program = gl.program;
+  sub.graph = gl.graph;
+  wire::write_frame(fd, wire::FrameType::SubmitProgram,
+                    wire::encode_submit_program(sub));
+  const auto sub_reply = wire::read_frame(fd);
+  ASSERT_TRUE(sub_reply.has_value());
+  ASSERT_EQ(sub_reply->type, wire::FrameType::SubmitProgramReply);
+  const std::uint64_t id =
+      wire::decode_submit_program_reply(sub_reply->payload).program_id;
+
+  wire::RunRequest run;
+  run.program_id = id;
+  run.opts.work_per_cycle = 5000;
+  wire::write_frame(fd, wire::FrameType::Run, wire::encode_run(run));
+  // The run request is now queued (or executing) server-side.  Shut the
+  // daemon down via the wire from a second connection...
+  {
+    PlanClient closer = PlanClient::connect(ts.server.socket_path());
+    closer.shutdown_server();
+  }
+  ts.server.wait();
+  ts.server.stop();  // must drain: the in-flight reply still arrives
+
+  // ...and the reply to the in-flight run must still be delivered,
+  // bit-identical, after the server has fully stopped.
+  const auto run_reply = wire::read_frame(fd);
+  ASSERT_TRUE(run_reply.has_value());
+  ASSERT_EQ(run_reply->type, wire::FrameType::RunReply);
+  const ExecutionResult r = wire::decode_run_reply(run_reply->payload);
+  EXPECT_TRUE(values_match(r, seq, gl.iterations));
+  ::close(fd);
+  // The socket file is gone once stop() returns.
+  EXPECT_NE(::access(ts.server.socket_path().c_str(), F_OK), 0);
+}
+
+TEST(PlanServer, ErrorFramesKeepTheConnectionUsable) {
+  TestServer ts("ps_errors");
+  PlanClient client = PlanClient::connect(ts.server.socket_path());
+
+  // Unknown program id.
+  EXPECT_THROW((void)client.run(12345), RemoteError);
+
+  // Ill-formed program: a Send with no matching Receive fails validation
+  // inside compile(); the ContractViolation must come back as an Error
+  // frame, not kill the connection.
+  const GeneratedLoop gl = generate_loop(66);
+  PartitionedProgram broken;
+  broken.processors = 2;
+  broken.programs.resize(2);
+  broken.programs[0].proc = 0;
+  broken.programs[0].ops.push_back(Op{Op::Kind::Compute, Inst{0u, 0}, 0u, -1});
+  broken.programs[0].ops.push_back(Op{Op::Kind::Send, Inst{0u, 0}, 0u, 1});
+  broken.programs[1].proc = 1;
+  EXPECT_THROW((void)client.submit_program(broken, gl.graph), RemoteError);
+
+  // Iterations below the compiled count.
+  const std::uint64_t id =
+      client.submit_program(gl.program, gl.graph).program_id;
+  ASSERT_GT(gl.iterations, 1);
+  EXPECT_THROW((void)client.run(id, 1), RemoteError);
+
+  // After all of that, the same connection still serves a real run.
+  const ExecutionResult r = client.run(id);
+  const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+  EXPECT_TRUE(values_match(r, seq, gl.iterations));
+}
+
+TEST(PlanServer, GarbageBytesDropTheConnectionNotTheServer) {
+  TestServer ts("ps_garbage");
+
+  // Raw socket, no protocol: an oversize length prefix must make the
+  // server drop this connection...
+  const sockaddr_un addr = wire::make_unix_addr(ts.server.socket_path());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t junk[16] = {0xFF, 0xFF, 0xFF, 0xFF, 0x42, 1, 2, 3,
+                                 4,    5,    6,    7,    8,    9, 10, 11};
+  ASSERT_EQ(::send(fd, junk, sizeof(junk), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(junk)));
+  // The server answers a framing violation by closing; observe EOF.
+  std::uint8_t buf[8];
+  const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(got, 0);
+  ::close(fd);
+
+  // ...while a well-behaved client connecting afterwards is unaffected.
+  const GeneratedLoop gl = generate_loop(88);
+  PlanClient client = PlanClient::connect(ts.server.socket_path());
+  const std::uint64_t id =
+      client.submit_program(gl.program, gl.graph).program_id;
+  const ExecutionResult r = client.run(id);
+  EXPECT_TRUE(values_match(r, run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+}
+
+TEST(PlanServer, PlansSurviveCacheEvictionWhileRegistered) {
+  // Capacity-1 cache: the second submit evicts the first plan from the
+  // cache, but connection registries hold shared_ptrs, so the first
+  // program must still run correctly.
+  TestServer ts("ps_evict", /*cache_capacity=*/1);
+  const GeneratedLoop a = generate_loop(91);
+  const GeneratedLoop b = generate_loop(92);
+  PlanClient client = PlanClient::connect(ts.server.socket_path());
+  const std::uint64_t id_a =
+      client.submit_program(a.program, a.graph).program_id;
+  const std::uint64_t id_b =
+      client.submit_program(b.program, b.graph).program_id;
+  const wire::StatsReply stats = client.stats();
+  EXPECT_EQ(stats.cache.entries, 1u);
+  EXPECT_EQ(stats.cache.evictions, 1u);
+  const ExecutionResult ra = client.run(id_a);
+  const ExecutionResult rb = client.run(id_b);
+  EXPECT_TRUE(
+      values_match(ra, run_reference(a.graph, a.iterations), a.iterations));
+  EXPECT_TRUE(
+      values_match(rb, run_reference(b.graph, b.iterations), b.iterations));
+}
+
+TEST(PlanServer, OversizeResultIsRefusedBeforeRunningNotAfter) {
+  // A result too large for one frame must come back as an Error frame
+  // (connection intact), and must be refused BEFORE the run burns CPU —
+  // not executed, encoded, and then dropped at the write.
+  TestServer ts("ps_oversize");
+  const GeneratedLoop gl = generate_loop(94);
+  PlanClient client = PlanClient::connect(ts.server.socket_path());
+  const std::uint64_t id =
+      client.submit_program(gl.program, gl.graph).program_id;
+  // nodes * n * 8 bytes >> 64 MiB.
+  const std::int64_t huge_n = 500'000'000;
+  try {
+    (void)client.run(id, huge_n);
+    FAIL() << "oversize run was not refused";
+  } catch (const RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("frame limit"), std::string::npos)
+        << e.what();
+  }
+  // An astronomically large count must not wrap the size estimate past
+  // the guard (u64 overflow would otherwise wave 2^61 iterations through
+  // into plan->run()).
+  EXPECT_THROW((void)client.run(id, std::int64_t{1} << 61), RemoteError);
+
+  // Refusal happened up front: nothing ran, and the connection survives.
+  EXPECT_EQ(client.stats().runs_executed, 0u);
+  const ExecutionResult r = client.run(id);
+  EXPECT_TRUE(values_match(r, run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+}
+
+TEST(PlanServer, ProgramIdsArePerConnection) {
+  TestServer ts("ps_ids");
+  const GeneratedLoop gl = generate_loop(93);
+  PlanClient first = PlanClient::connect(ts.server.socket_path());
+  const std::uint64_t id =
+      first.submit_program(gl.program, gl.graph).program_id;
+  PlanClient second = PlanClient::connect(ts.server.socket_path());
+  // Shared-nothing registries: the first connection's id means nothing on
+  // the second (the plan *cache* is shared; handles are not).
+  EXPECT_THROW((void)second.run(id), RemoteError);
+}
+
+TEST(PlanServer, RestartsOnTheSamePathAfterStop) {
+  const std::string name = "ps_restart";
+  {
+    TestServer ts(name);
+    PlanClient c = PlanClient::connect(ts.server.socket_path());
+    (void)c.stats();
+  }  // ~TestServer: stop() + unlink
+  TestServer again(name);
+  PlanClient c = PlanClient::connect(again.server.socket_path());
+  EXPECT_EQ(c.stats().connections_accepted, 1u);
+}
+
+TEST(PlanServer, StartRefusesALivePath) {
+  TestServer ts("ps_duplicate");
+  PlanServerOptions opts;
+  opts.socket_path = ts.server.socket_path();
+  opts.remove_existing = false;  // must NOT steal the live daemon's socket
+  PlanServer second(opts);
+  EXPECT_THROW(second.start(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mimd

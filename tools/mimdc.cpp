@@ -16,11 +16,22 @@
 //     --run       execute the partitioned program on real threads and
 //                 validate bit-for-bit against sequential execution
 //     --batch <dir>
-//                 parse every file in <dir>, push all loops through ONE
-//                 shared plan cache and persistent worker pool (the plan
-//                 service), validate each bit-for-bit against sequential,
-//                 and report cache hits/misses + throughput.  Standalone
-//                 mode: replaces the per-loop output modes.
+//                 parse every *.loop file in <dir>, push all loops through
+//                 ONE shared plan cache and persistent worker pool (the
+//                 plan service), validate each bit-for-bit against
+//                 sequential, and report cache hits/misses + throughput.
+//                 Standalone mode: replaces the per-loop output modes.
+//                 Exits with an error if the directory holds no .loop
+//                 files.
+//     --connect <socket>
+//                 route execution through a running mimdd daemon instead
+//                 of compiling in-process: programs are submitted over the
+//                 Unix-domain socket and run on the daemon's shared plan
+//                 cache + worker pool, so repeated invocations amortize
+//                 compilation across processes.  Applies to --run (implied
+//                 when no other mode is requested) and to --batch; results
+//                 are still validated bit-for-bit against local sequential
+//                 execution.
 //     --pin       pin compiled thread i to CPU (slice + i mod cores)
 //                 during --run/--batch execution (Linux; no-op
 //                 elsewhere).  Pinning is a run-time knob with no
@@ -51,6 +62,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mimd.hpp"
@@ -59,6 +71,7 @@
 #include "ir/parser.hpp"
 #include "partition/c_codegen.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/plan_client.hpp"
 #include "runtime/plan_service.hpp"
 
 namespace {
@@ -67,11 +80,11 @@ namespace {
   if (msg != nullptr) std::cerr << "mimdc: " << msg << "\n";
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
                "[--schedule] [--code] [--c] [--no-check] [--compare] "
-               "[--run] [--pin] [--runtime=<mutex|spsc>] "
-               "[--slots=<reuse|ssa>] <file|->\n"
+               "[--run] [--pin] [--connect <socket>] "
+               "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] <file|->\n"
                "       mimdc [-p N] [-k N] [-n N] [--fold] [--pin] "
-               "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] "
-               "--batch <dir>\n";
+               "[--connect <socket>] [--runtime=<mutex|spsc>] "
+               "[--slots=<reuse|ssa>] --batch <dir>\n";
   std::exit(2);
 }
 
@@ -107,23 +120,32 @@ mimd::ParallelizeResult parallelize_source(const std::string& source,
   return parallelize(dep.graph, opts);
 }
 
-/// --batch <dir>: every file in the directory is one loop; all of them go
-/// through one PlanCache + WorkerPool concurrently (the plan service),
-/// each validated bit-for-bit against sequential execution — the same
-/// oracle --run applies per loop.
+/// --batch <dir>: every *.loop file in the directory is one loop; all of
+/// them go through one PlanCache + WorkerPool concurrently (the plan
+/// service), each validated bit-for-bit against sequential execution —
+/// the same oracle --run applies per loop.  With --connect, the cache and
+/// pool are a running mimdd daemon's instead of in-process ones.
 int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
                    bool fold, mimd::Transport transport, bool pin,
-                   const mimd::CompileOptions& copts) {
+                   const mimd::CompileOptions& copts,
+                   const std::string& connect) {
   using namespace mimd;
   namespace fs = std::filesystem;
 
   std::vector<std::string> files;
   std::error_code ec;
   for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
-    if (e.is_regular_file()) files.push_back(e.path().string());
+    if (e.is_regular_file() && e.path().extension() == ".loop") {
+      files.push_back(e.path().string());
+    }
   }
   if (ec) usage(("cannot read directory " + dir).c_str());
-  if (files.empty()) usage(("no loop files in " + dir).c_str());
+  if (files.empty()) {
+    // A batch over nothing is almost always a mistyped directory; fail
+    // loudly instead of printing an empty report that looks like success.
+    std::cerr << "mimdc: no .loop files in " << dir << "\n";
+    return 1;
+  }
   std::sort(files.begin(), files.end());
 
   std::vector<BatchJob> jobs;
@@ -141,31 +163,68 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     jobs.push_back(std::move(job));
   }
 
-  PlanCache cache;
-  WorkerPool pool;
-  const BatchReport report = run_batch(jobs, cache, pool);
+  std::vector<ExecutionResult> results;
+  PlanCache::Stats cache_stats;
+  double wall_seconds = 0.0;
+  std::string workers_note;
+  if (connect.empty()) {
+    PlanCache cache;
+    WorkerPool pool;
+    BatchReport report = run_batch(jobs, cache, pool);
+    results = std::move(report.results);
+    cache_stats = report.cache_stats;
+    wall_seconds = report.wall_seconds;
+    workers_note = std::to_string(pool.num_workers()) + " pooled workers";
+  } else {
+    PlanClient client = PlanClient::connect(connect);
+    std::vector<wire::RunRequest> items;
+    items.reserve(jobs.size());
+    for (const BatchJob& job : jobs) {
+      const wire::SubmitProgramReply sub =
+          client.submit_program(job.program, job.graph, job.copts);
+      wire::RunRequest item;
+      item.program_id = sub.program_id;
+      item.iterations = job.iterations;
+      item.opts.transport = transport;
+      item.opts.pin_threads = pin;
+      items.push_back(item);
+    }
+    wire::RunBatchReply reply = client.run_batch(items);
+    if (reply.results.size() != jobs.size()) {
+      // Never index a daemon reply on faith: a version-mismatched or
+      // buggy server must fail loudly, not out-of-bounds.
+      std::cerr << "mimdc: daemon returned " << reply.results.size()
+                << " results for " << jobs.size() << " jobs\n";
+      return 1;
+    }
+    const wire::StatsReply stats = client.stats();
+    results = std::move(reply.results);
+    cache_stats = stats.cache;  // daemon-wide, cumulative across clients
+    wall_seconds = reply.wall_seconds;
+    workers_note = std::to_string(stats.pool_workers) +
+                   " daemon workers via " + connect;
+  }
 
   bool all_ok = true;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const ExecutionResult reference =
         run_reference(jobs[i].graph, jobs[i].iterations);
-    const bool ok =
-        values_match(report.results[i], reference, jobs[i].iterations);
+    const bool ok = values_match(results[i], reference, jobs[i].iterations);
     all_ok = all_ok && ok;
     std::cout << "batch    : " << fs::path(files[i]).filename().string()
               << "  " << jobs[i].iterations << " iterations, "
-              << report.results[i].wall_seconds << " s, "
+              << results[i].wall_seconds << " s, "
               << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
   }
-  const PlanCache::Stats& cs = report.cache_stats;
   std::cout << "batch    : " << jobs.size() << " loops through "
-            << cs.misses << " compiled plan(s) (" << cs.hits << " cache hit"
-            << (cs.hits == 1 ? "" : "s") << "), "
-            << transport_name(transport) << " transport, "
-            << pool.num_workers() << " pooled workers"
-            << (pin ? " (pinned)" : "") << ", " << report.wall_seconds
+            << cache_stats.misses << " compiled plan(s) ("
+            << cache_stats.hits << " cache hit"
+            << (cache_stats.hits == 1 ? "" : "s")
+            << (connect.empty() ? "" : ", daemon-wide") << "), "
+            << transport_name(transport) << " transport, " << workers_note
+            << (pin ? " (pinned)" : "") << ", " << wall_seconds
             << " s total, "
-            << static_cast<double>(jobs.size()) / report.wall_seconds
+            << static_cast<double>(jobs.size()) / wall_seconds
             << " loops/s\n";
   return all_ok ? 0 : 1;
 }
@@ -184,6 +243,7 @@ int main(int argc, char** argv) {
   CompileOptions copts;
   std::string path;
   std::string batch_dir;
+  std::string connect_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -214,6 +274,9 @@ int main(int argc, char** argv) {
     } else if (a == "--batch") {
       if (i + 1 >= argc) usage("--batch needs a directory");
       batch_dir = argv[++i];
+    } else if (a == "--connect") {
+      if (i + 1 >= argc) usage("--connect needs a socket path");
+      connect_path = argv[++i];
     } else if (a == "--pin") {
       pin = true;
     } else if (a == "--no-check") {
@@ -250,6 +313,9 @@ int main(int argc, char** argv) {
   }
   if (procs < 1 || k < 0 || n < 1) usage("bad -p/-k/-n value");
   if (no_check && !want_c) usage("--no-check only applies to --c");
+  if (!connect_path.empty() && want_c) {
+    usage("--connect routes execution through a daemon; --c emits locally");
+  }
   if (!batch_dir.empty()) {
     // Batch mode is the whole program: a directory of loops through one
     // plan cache and worker pool, each validated like --run.
@@ -259,11 +325,15 @@ int main(int argc, char** argv) {
     }
     try {
       return run_batch_mode(batch_dir, procs, k, n, fold, transport, pin,
-                            copts);
+                            copts, connect_path);
     } catch (const ir::ParseError& e) {
       std::cerr << "mimdc: " << e.what() << "\n";
       return 1;
     } catch (const ContractViolation& e) {
+      std::cerr << "mimdc: " << e.what() << "\n";
+      return 1;
+    } catch (const std::runtime_error& e) {
+      // wire::WireError / RemoteError from the daemon path.
       std::cerr << "mimdc: " << e.what() << "\n";
       return 1;
     }
@@ -272,9 +342,10 @@ int main(int argc, char** argv) {
   // A bare transport or slot-policy choice is asking for execution;
   // alongside --c they configure the emitted program instead.  --pin
   // configures only execution (emitted C has no pinning), so it demands
-  // a run even next to --c — never silently dropped.
+  // a run even next to --c — never silently dropped.  --connect exists
+  // only to execute remotely, so it implies --run too.
   if ((runtime_given || slots_given) && !want_c) want_run = true;
-  if (pin) want_run = true;
+  if (pin || !connect_path.empty()) want_run = true;
   if (!want_dot && !want_sched && !want_code && !want_c && !want_compare &&
       !want_run) {
     want_code = true;
@@ -310,7 +381,32 @@ int main(int argc, char** argv) {
                           std::min<std::int64_t>(40, r.sched.schedule.makespan()));
     }
     if (want_code) std::cout << r.parbegin_code;
-    if (want_c || want_run) {
+    if (want_run && !connect_path.empty()) {
+      // Remote execution: the daemon compiles (or serves from its shared
+      // cache) and runs on its persistent pool; validation against the
+      // local sequential reference stays client-side, so a daemon bug can
+      // never vouch for itself.
+      PlanClient client = PlanClient::connect(connect_path);
+      const wire::SubmitProgramReply sub =
+          client.submit_program(r.program, r.normalized.graph, copts);
+      std::cerr << "mimdc: daemon compiled " << sub.threads << " threads, "
+                << sub.channels << " channels, " << sub.slots
+                << " slots (program id " << sub.program_id << ")\n";
+      wire::RemoteRunOptions ropts;
+      ropts.transport = transport;
+      ropts.pin_threads = pin;
+      const ExecutionResult par =
+          client.run(sub.program_id, r.normalized_iterations, ropts);
+      const ExecutionResult reference =
+          run_reference(r.normalized.graph, r.normalized_iterations);
+      const bool ok = values_match(par, reference, r.normalized_iterations);
+      std::cout << "run      : " << transport_name(transport)
+                << " transport via daemon " << connect_path << ", "
+                << sub.threads << " threads, " << sub.channels
+                << " channels, " << par.wall_seconds << " s, "
+                << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
+      if (!ok) return 1;
+    } else if (want_c || want_run) {
       // One lowering pipeline: the emitted C and the threaded run both
       // consume this plan.
       const ExecutorPlan plan = compile(r.program, r.normalized.graph, copts);
@@ -359,6 +455,10 @@ int main(int argc, char** argv) {
     std::cerr << "mimdc: " << e.what() << "\n";
     return 1;
   } catch (const ContractViolation& e) {
+    std::cerr << "mimdc: " << e.what() << "\n";
+    return 1;
+  } catch (const std::runtime_error& e) {
+    // wire::WireError / RemoteError from the --connect path.
     std::cerr << "mimdc: " << e.what() << "\n";
     return 1;
   }

@@ -1,0 +1,299 @@
+// mimdd — the plan-service daemon: a long-lived server that accepts
+// loop-parallelization requests over a Unix domain socket and serves them
+// all from ONE shared PlanCache and ONE persistent WorkerPool, so
+// compilation and thread startup amortize across every client process
+// (runtime/plan_server.hpp holds the server core; runtime/wire.hpp the
+// protocol).
+//
+//   mimdd --socket <path> [options]      serve until SIGINT/SIGTERM or a
+//                                        client Shutdown frame
+//     --daemonize        fork into the background; the parent exits 0
+//                        only after the child is bound and listening, so
+//                        `mimdd --daemonize && mimdc --connect` cannot
+//                        race the bind
+//     --pidfile <path>   write the serving process's pid (with
+//                        --daemonize: the child's)
+//     --force            replace a pre-existing socket file (e.g. after a
+//                        crash left a stale one)
+//     --cache-capacity N LRU plan-cache capacity       (default 64)
+//     --workers N        pre-warm N pool workers       (default 0: grown
+//                        on demand to the widest gang)
+//
+//   mimdd --stop <socket>                graceful remote shutdown: sends
+//                                        the Shutdown frame, waits for the
+//                                        ack, then for the socket file to
+//                                        disappear (i.e. the drain to
+//                                        finish)
+//   mimdd --stats <socket>               print daemon-wide cache / pool /
+//                                        connection counters
+//
+// Typical pairing:
+//   mimdd --socket /tmp/mimdd.sock &
+//   mimdc --connect /tmp/mimdd.sock --run examples/loops/recurrence.loop
+//   mimdc --connect /tmp/mimdd.sock -p 2 --batch examples/loops
+//   mimdd --stop /tmp/mimdd.sock
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "runtime/plan_client.hpp"
+#include "runtime/plan_server.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::cerr << "mimdd: " << msg << "\n";
+  std::cerr << "usage: mimdd --socket <path> [--daemonize] [--pidfile <path>]"
+               " [--force]\n"
+               "             [--cache-capacity N] [--workers N]\n"
+               "       mimdd --stop <socket>\n"
+               "       mimdd --stats <socket>\n";
+  std::exit(2);
+}
+
+void write_pidfile(const std::string& path, pid_t pid) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::cerr << "mimdd: cannot write pidfile " << path << "\n";
+    return;
+  }
+  f << pid << "\n";
+}
+
+/// The serving body shared by the foreground and daemonized paths: block
+/// SIGINT/SIGTERM, construct the server, start it, report readiness, then
+/// wait for a Shutdown frame or a signal and drain.  Signals are handled
+/// the thread-safe way: blocked in every thread, then sigwait()ed on a
+/// dedicated watcher thread that simply calls request_stop() — no
+/// async-signal-safety gymnastics.
+///
+/// The PlanServer (and with it the WorkerPool, which may pre-spawn
+/// threads for --workers) is constructed HERE, in the process that will
+/// serve — never before a fork().  Threads do not survive fork(): a pool
+/// built in the parent would report num_workers() == N in the child while
+/// owning zero live workers, and every run would block forever.
+int run_server(const mimd::PlanServerOptions& opts, const std::string& pidfile,
+               const std::function<void(bool ok)>& on_ready, bool verbose) {
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  mimd::PlanServer server(opts);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "mimdd: " << e.what() << "\n";
+    on_ready(false);
+    return 1;
+  }
+  if (!pidfile.empty()) write_pidfile(pidfile, ::getpid());
+  if (verbose) {
+    std::cerr << "mimdd: listening on " << server.socket_path() << " (pid "
+              << ::getpid() << ")\n";
+  }
+  on_ready(true);
+
+  // `waking` marks the deliberate self-signal below, so a wire-initiated
+  // shutdown does not log a phantom "caught SIGTERM".
+  std::atomic<bool> waking{false};
+  std::thread watcher([sigs, verbose, &server, &waking]() mutable {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) == 0 && !waking.load()) {
+      if (verbose) {
+        std::cerr << "mimdd: caught "
+                  << (sig == SIGINT ? "SIGINT" : "SIGTERM") << ", draining\n";
+      }
+      server.request_stop();
+    }
+  });
+
+  server.wait();
+  // Unblock the watcher if the shutdown arrived over the wire instead of
+  // as a signal, and JOIN it before the server leaves scope — a detached
+  // watcher could otherwise call request_stop() on a destroyed server if
+  // a late signal landed during teardown.  (A joinable thread's id stays
+  // valid for pthread_kill until joined; if a real signal already woke
+  // the watcher, the extra directed signal stays blocked and dies with
+  // the process.)
+  waking.store(true);
+  pthread_kill(watcher.native_handle(), SIGTERM);
+  watcher.join();
+  server.stop();
+  if (verbose) {
+    const mimd::PlanServerStats s = server.stats();
+    std::cerr << "mimdd: stopped after " << s.connections_accepted
+              << " connection(s), " << s.runs_executed << " run(s), "
+              << s.cache.hits << " cache hit(s) / " << s.cache.misses
+              << " miss(es)\n";
+  }
+  return 0;
+}
+
+/// --daemonize: fork; the child serves, the parent exits only once the
+/// child reports (over a pipe) that the socket is bound and listening.
+int serve_daemonized(const mimd::PlanServerOptions& opts,
+                     const std::string& pidfile) {
+  int ready[2];
+  if (pipe(ready) != 0) {
+    std::cerr << "mimdd: pipe failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const pid_t child = fork();
+  if (child < 0) {
+    std::cerr << "mimdd: fork failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  if (child == 0) {
+    ::close(ready[0]);
+    ::setsid();
+    // Detach the standard fds: a daemon holding the parent's inherited
+    // stdout/stderr pipes keeps e.g. ctest waiting for EOF forever after
+    // the parent exits.
+    const int devnull = ::open("/dev/null", O_RDWR);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+      if (devnull > STDERR_FILENO) ::close(devnull);
+    }
+    const int rc = run_server(opts, pidfile,
+                              [&ready](bool ok) {
+                                const char status = ok ? 'R' : 'E';
+                                (void)!::write(ready[1], &status, 1);
+                                ::close(ready[1]);
+                              },
+                              /*verbose=*/false);
+    std::_Exit(rc);
+  }
+
+  ::close(ready[1]);
+  char status = 'E';
+  const ssize_t n = ::read(ready[0], &status, 1);
+  ::close(ready[0]);
+  if (n == 1 && status == 'R') {
+    std::cerr << "mimdd: daemon pid " << child << " listening on "
+              << opts.socket_path << "\n";
+    return 0;
+  }
+  std::cerr << "mimdd: daemon failed to start\n";
+  return 1;
+}
+
+int stop_daemon(const std::string& socket_path) {
+  try {
+    mimd::PlanClient client =
+        mimd::PlanClient::connect(socket_path, /*timeout_ms=*/30000);
+    client.shutdown_server();
+  } catch (const std::exception& e) {
+    std::cerr << "mimdd: stop failed: " << e.what() << "\n";
+    return 1;
+  }
+  // The ack precedes the drain; wait for the unlink that ends stop() so
+  // callers (ctest fixtures) can immediately reuse the path.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  struct stat st{};
+  while (::stat(socket_path.c_str(), &st) == 0) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::cerr << "mimdd: daemon acked shutdown but " << socket_path
+                << " still exists\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::cout << "mimdd: stopped daemon on " << socket_path << "\n";
+  return 0;
+}
+
+int print_stats(const std::string& socket_path) {
+  try {
+    mimd::PlanClient client =
+        mimd::PlanClient::connect(socket_path, /*timeout_ms=*/30000);
+    const mimd::wire::StatsReply s = client.stats();
+    std::cout << "cache    : " << s.cache.hits << " hits, " << s.cache.misses
+              << " misses, " << s.cache.evictions << " evictions, "
+              << s.cache.entries << "/" << s.cache.capacity << " entries\n"
+              << "pool     : " << s.pool_workers << " workers, "
+              << s.pool_gangs << " gangs run\n"
+              << "server   : " << s.connections_accepted
+              << " connections accepted (" << s.connections_active
+              << " active), " << s.programs_registered << " programs, "
+              << s.runs_executed << " runs\n";
+  } catch (const std::exception& e) {
+    std::cerr << "mimdd: stats failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, stop_path, stats_path, pidfile;
+  bool daemonize = false, force = false;
+  std::size_t cache_capacity = mimd::PlanCache::kDefaultCapacity;
+  std::size_t workers = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) usage(what);
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next("--socket needs a path");
+    } else if (a == "--stop") {
+      stop_path = next("--stop needs a socket path");
+    } else if (a == "--stats") {
+      stats_path = next("--stats needs a socket path");
+    } else if (a == "--pidfile") {
+      pidfile = next("--pidfile needs a path");
+    } else if (a == "--daemonize") {
+      daemonize = true;
+    } else if (a == "--force") {
+      force = true;
+    } else if (a == "--cache-capacity") {
+      const long v = std::atol(next("--cache-capacity needs a value").c_str());
+      if (v < 1) usage("--cache-capacity must be >= 1");
+      cache_capacity = static_cast<std::size_t>(v);
+    } else if (a == "--workers") {
+      const long v = std::atol(next("--workers needs a value").c_str());
+      if (v < 0) usage("--workers must be >= 0");
+      workers = static_cast<std::size_t>(v);
+    } else if (a == "--help" || a == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown option " + a).c_str());
+    }
+  }
+
+  const int modes = (!socket_path.empty() ? 1 : 0) +
+                    (!stop_path.empty() ? 1 : 0) +
+                    (!stats_path.empty() ? 1 : 0);
+  if (modes != 1) usage("exactly one of --socket, --stop, --stats required");
+  if (!stop_path.empty()) return stop_daemon(stop_path);
+  if (!stats_path.empty()) return print_stats(stats_path);
+
+  mimd::PlanServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.cache_capacity = cache_capacity;
+  opts.initial_workers = workers;
+  opts.remove_existing = force;
+
+  if (daemonize) return serve_daemonized(opts, pidfile);
+  return run_server(opts, pidfile, [](bool) {}, /*verbose=*/true);
+}
