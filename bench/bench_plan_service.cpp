@@ -21,17 +21,31 @@
 //                               placement benefit);
 //  * Batch_Throughput         — run_batch() end to end: 24 requests over
 //                               3 distinct structures, 4 concurrent
-//                               drivers, one cache + one pool.
+//                               drivers, one cache + one pool;
+//  * Fleet_Shards/1 vs /3     — the same batch routed by ShardRouter over
+//                               1 vs 3 in-process PlanServers (Unix
+//                               sockets).  Consistent hashing keeps the
+//                               fleet-wide miss count at 1 per unique
+//                               structure regardless of shard count — the
+//                               fleet_misses counter pins that invariant
+//                               while the timing shows what the extra
+//                               shards cost/buy at this request size.
 //
 // tools/bench_runner.py records BENCH_bench_plan_service.json; the
 // cold-vs-cached and pool-vs-spawn ratios live in EXPERIMENTS.md
 // ("Plan service A/B").
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <string>
+
 #include "partition/lowering.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/plan_server.hpp"
 #include "runtime/plan_service.hpp"
+#include "runtime/shard_router.hpp"
 #include "runtime/worker_pool.hpp"
 #include "schedule/cyclic_sched.hpp"
 #include "workloads/livermore.hpp"
@@ -182,5 +196,108 @@ void BM_Batch_Throughput(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(jobs.size()));
 }
 BENCHMARK(BM_Batch_Throughput)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// ---- Fleet A/B: the same batch over 1 vs 3 shards. ----
+
+/// The Batch_Throughput job mix as ShardJobs: 24 requests, 3 unique
+/// structures (fig7@16, fig7@24, ll20@18 — the iteration count is lowered
+/// into the program, so it is part of the structure).
+const std::vector<ShardJob>& fleet_jobs() {
+  static const std::vector<ShardJob> jobs = [] {
+    std::vector<ShardJob> js;
+    const Ddg fig7 = workloads::fig7_loop();
+    const Ddg ll20 = workloads::ll20_discrete_ordinates();
+    for (int copy = 0; copy < 8; ++copy) {
+      for (const std::int64_t n : {16, 24}) {
+        ShardJob j;
+        const Machine m{2, 2};
+        const CyclicSchedResult r = cyclic_sched(fig7, m);
+        j.program = lower(materialize(*r.pattern, m.processors, n), fig7);
+        j.graph = fig7;
+        j.iterations = n;
+        js.push_back(std::move(j));
+      }
+      ShardJob j;
+      const Machine m{3, 2};
+      const CyclicSchedResult r = cyclic_sched(ll20, m);
+      j.program = lower(materialize(*r.pattern, m.processors, 18), ll20);
+      j.graph = ll20;
+      j.iterations = 18;
+      js.push_back(std::move(j));
+    }
+    return js;
+  }();
+  return jobs;
+}
+
+/// N in-process PlanServers on Unix sockets plus the router over them.
+/// Members declared servers-then-router so teardown disconnects the
+/// router's clients before the listeners go away.
+struct BenchFleet {
+  std::vector<std::unique_ptr<PlanServer>> servers;
+  std::unique_ptr<ShardRouter> router;
+
+  explicit BenchFleet(int shards) {
+    ShardRouterOptions ropts;
+    for (int i = 0; i < shards; ++i) {
+      PlanServerOptions sopts;
+      sopts.socket_path = "/tmp/mimd-bench-fleet-" + std::to_string(shards) +
+                          "-" + std::to_string(i) + ".sock";
+      sopts.remove_existing = true;
+      // A warm-cache bench loop legitimately sustains far more than the
+      // hostile-tenant defaults (10k frames/s, 4096 registered ids —
+      // run_jobs re-submits every job, so the registry grows per
+      // iteration); this measures routing cost, not quota behavior, so
+      // both quotas are off.
+      sopts.max_frames_per_second = 0;
+      sopts.max_programs_per_connection = 0;
+      servers.push_back(std::make_unique<PlanServer>(sopts));
+      servers.back()->start();
+      ropts.endpoints.push_back(servers.back()->socket_path());
+    }
+    router = std::make_unique<ShardRouter>(std::move(ropts));
+  }
+  ~BenchFleet() {
+    router.reset();
+    for (auto& s : servers) s->stop();
+  }
+};
+
+void BM_Fleet_Shards(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  // One fleet per shard count, reused across google-benchmark's repeated
+  // calls so the warm-cache regime dominates (first iteration compiles,
+  // the rest hit — same as BM_Request_CachedPooled).
+  static std::map<int, std::unique_ptr<BenchFleet>> fleets;
+  std::unique_ptr<BenchFleet>& fleet = fleets[shards];
+  if (!fleet) fleet = std::make_unique<BenchFleet>(shards);
+
+  const std::vector<ShardJob>& jobs = fleet_jobs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet->router->run_jobs(jobs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+
+  std::uint64_t hits = 0, misses = 0, alive = 0;
+  for (const ShardStatsRow& row : fleet->router->fleet_stats()) {
+    if (!row.alive) continue;
+    ++alive;
+    hits += row.stats.cache.hits;
+    misses += row.stats.cache.misses;
+  }
+  // The invariant under test: misses stays at the unique-structure count
+  // (3) for BOTH shard counts — sharding never re-compiles a structure.
+  state.counters["fleet_misses"] =
+      benchmark::Counter(static_cast<double>(misses));
+  state.counters["fleet_hits"] = benchmark::Counter(static_cast<double>(hits));
+  state.counters["shards_alive"] =
+      benchmark::Counter(static_cast<double>(alive));
+}
+BENCHMARK(BM_Fleet_Shards)
+    ->Arg(1)
+    ->Arg(3)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

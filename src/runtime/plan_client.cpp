@@ -2,31 +2,14 @@
 
 #include <sys/socket.h>
 #include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
 namespace mimd {
 
-PlanClient PlanClient::connect(const std::string& socket_path,
-                               int timeout_ms) {
-  const sockaddr_un addr = wire::make_unix_addr(socket_path);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw wire::WireError(std::string("socket() failed: ") +
-                          std::strerror(errno));
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    throw wire::WireError("connect(" + socket_path +
-                          ") failed: " + std::strerror(err));
-  }
+PlanClient PlanClient::connect(const std::string& endpoint, int timeout_ms) {
+  const int fd = wire::connect_endpoint(wire::parse_endpoint(endpoint));
   if (timeout_ms > 0) {
     timeval tv{};
     tv.tv_sec = timeout_ms / 1000;

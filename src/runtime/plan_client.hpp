@@ -1,11 +1,14 @@
 // PlanClient — the client half of the mimdd wire protocol: a connected
-// Unix-domain socket plus typed request/reply calls mirroring the
-// in-process plan-service API.  mimdc --connect routes the one-shot driver
-// and --batch mode through this; tests/test_plan_server.cpp uses it to
-// hammer an in-process server from many threads.
+// stream socket (Unix-domain or TCP, named by a wire::Endpoint string)
+// plus typed request/reply calls mirroring the in-process plan-service
+// API.  mimdc --connect routes the one-shot driver and --batch mode
+// through this; ShardRouter owns one per fleet shard;
+// tests/test_plan_server.cpp uses it to hammer an in-process server from
+// many threads.
 //
 // Usage:
 //     PlanClient c = PlanClient::connect("/run/mimdd.sock");
+//     PlanClient t = PlanClient::connect("127.0.0.1:7070");   // TCP shard
 //     const auto sub = c.submit_program(program, graph);
 //     const ExecutionResult r = c.run(sub.program_id, iterations);
 //
@@ -37,12 +40,12 @@ class RemoteError : public std::runtime_error {
 
 class PlanClient {
  public:
-  /// Connect to a mimdd socket.  `timeout_ms` > 0 arms SO_RCVTIMEO /
-  /// SO_SNDTIMEO so a hung daemon surfaces as wire::WireError("receive
-  /// timed out") instead of blocking forever.  Throws wire::WireError if
-  /// the socket cannot be reached.
-  static PlanClient connect(const std::string& socket_path,
-                            int timeout_ms = 0);
+  /// Connect to a mimdd endpoint — any form wire::parse_endpoint accepts
+  /// ("path", "unix:path", "host:port", "tcp:host:port").  `timeout_ms` >
+  /// 0 arms SO_RCVTIMEO / SO_SNDTIMEO so a hung daemon surfaces as
+  /// wire::WireError("receive timed out") instead of blocking forever.
+  /// Throws wire::WireError if the endpoint cannot be reached.
+  static PlanClient connect(const std::string& endpoint, int timeout_ms = 0);
 
   PlanClient() = default;
   ~PlanClient();

@@ -1,9 +1,12 @@
 #include "runtime/plan_server.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -57,6 +60,15 @@ void check_reply_fits_frame(std::uint64_t estimated_bytes) {
   }
 }
 
+/// A request refused by a per-connection quota — distinguished from other
+/// request failures so the handler can count a strike and, past the
+/// strike limit, disconnect the offender.
+class QuotaViolation : public std::runtime_error {
+ public:
+  explicit QuotaViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 RunOptions to_run_options(const wire::RemoteRunOptions& o, WorkerPool* pool) {
   RunOptions r;
   r.transport = o.transport;
@@ -83,36 +95,85 @@ void PlanServer::start() {
     const std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (started_) throw std::runtime_error("PlanServer already started");
   }
-
-  const sockaddr_un addr = wire::make_unix_addr(opts_.socket_path);
-
-  if (opts_.remove_existing) ::unlink(opts_.socket_path.c_str());
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error(std::string("socket() failed: ") +
-                             std::strerror(errno));
+  if (opts_.socket_path.empty() && opts_.tcp_address.empty()) {
+    throw std::runtime_error(
+        "PlanServer needs a Unix socket path, a TCP address, or both");
   }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error("bind(" + opts_.socket_path +
-                             ") failed: " + std::strerror(err));
+
+  std::vector<std::unique_ptr<Listener>> listeners;
+  const auto close_all = [&listeners] {
+    for (const auto& l : listeners) ::close(l->fd);
+  };
+
+  if (!opts_.socket_path.empty()) {
+    const sockaddr_un addr = wire::make_unix_addr(opts_.socket_path);
+
+    if (opts_.remove_existing) ::unlink(opts_.socket_path.c_str());
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("socket() failed: ") +
+                               std::strerror(errno));
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("bind(" + opts_.socket_path +
+                               ") failed: " + std::strerror(err));
+    }
+    if (::listen(fd, opts_.listen_backlog) != 0) {
+      const int err = errno;
+      ::close(fd);
+      ::unlink(opts_.socket_path.c_str());
+      throw std::runtime_error(std::string("listen() failed: ") +
+                               std::strerror(err));
+    }
+    auto l = std::make_unique<Listener>();
+    l->fd = fd;
+    l->is_tcp = false;
+    listeners.push_back(std::move(l));
   }
-  if (::listen(fd, opts_.listen_backlog) != 0) {
-    const int err = errno;
-    ::close(fd);
-    ::unlink(opts_.socket_path.c_str());
-    throw std::runtime_error(std::string("listen() failed: ") +
-                             std::strerror(err));
+
+  std::uint16_t tcp_port = 0;
+  if (!opts_.tcp_address.empty()) {
+    try {
+      const wire::Endpoint ep = wire::parse_endpoint(opts_.tcp_address);
+      if (ep.kind != wire::Endpoint::Kind::Tcp) {
+        throw wire::WireError("tcp_address must be host:port, got '" +
+                              opts_.tcp_address + "'");
+      }
+      const auto [fd, port] =
+          wire::listen_tcp(ep.host, ep.port, opts_.listen_backlog);
+      tcp_port = port;
+      auto l = std::make_unique<Listener>();
+      l->fd = fd;
+      l->is_tcp = true;
+      listeners.push_back(std::move(l));
+    } catch (const wire::WireError& e) {
+      // Unwind the Unix listener (if any) so a failed start leaves nothing
+      // bound behind.
+      close_all();
+      if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+      throw std::runtime_error(e.what());
+    }
   }
 
   {
     const std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    listen_fd_ = fd;
+    listeners_ = std::move(listeners);
+    tcp_port_ = tcp_port;
     started_ = true;
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (const auto& l : listeners_) {
+    Listener* raw = l.get();
+    raw->thread = std::thread([this, raw] { accept_loop(raw); });
+  }
+}
+
+std::uint16_t PlanServer::tcp_port() const {
+  const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return tcp_port_;
 }
 
 bool PlanServer::running() const {
@@ -134,21 +195,25 @@ void PlanServer::wait() {
 }
 
 void PlanServer::stop() {
-  int fd = -1;
   {
     const std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (!started_ || stopped_) return;
     stopped_ = true;
     stop_requested_ = true;
-    fd = listen_fd_;
   }
   stop_cv_.notify_all();
 
-  // Kick the accept loop off accept(2) and join it; no new connections
-  // from here on.
-  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (fd >= 0) ::close(fd);
+  // Kick every accept loop off accept(2) (or out of its backoff sleep —
+  // the sleep waits on stop_cv_) and join it; no new connections from
+  // here on.  listeners_ is only mutated before the accept threads exist
+  // and after they are joined, so no lock is needed to walk it here.
+  for (const auto& l : listeners_) {
+    if (l->fd >= 0) ::shutdown(l->fd, SHUT_RDWR);
+  }
+  for (const auto& l : listeners_) {
+    if (l->thread.joinable()) l->thread.join();
+    if (l->fd >= 0) ::close(l->fd);
+  }
 
   // Drain: half-close every connection's read side.  Idle handlers see
   // EOF immediately; a handler mid-run keeps its open write side, so its
@@ -173,7 +238,7 @@ void PlanServer::stop() {
     ::close(c->fd);
   }
 
-  ::unlink(opts_.socket_path.c_str());
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
 }
 
 PlanServerStats PlanServer::stats() const {
@@ -187,6 +252,11 @@ PlanServerStats PlanServer::stats() const {
   s.programs_registered =
       programs_registered_.load(std::memory_order_relaxed);
   s.runs_executed = runs_executed_.load(std::memory_order_relaxed);
+  s.frame_quota_trips = frame_quota_trips_.load(std::memory_order_relaxed);
+  s.registry_quota_trips =
+      registry_quota_trips_.load(std::memory_order_relaxed);
+  s.quota_disconnects = quota_disconnects_.load(std::memory_order_relaxed);
+  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -202,15 +272,41 @@ void PlanServer::reap_finished_locked() {
   }
 }
 
-void PlanServer::accept_loop() {
+void PlanServer::accept_loop(Listener* listener) {
+  auto backoff = std::chrono::milliseconds(opts_.accept_backoff_initial_ms);
+  const auto backoff_max =
+      std::chrono::milliseconds(opts_.accept_backoff_max_ms);
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listener->fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // shutdown(listen_fd_) during stop(), or a fatal accept error
-      // (EMFILE etc. would need backoff in a hardened deployment; here
-      // the daemon stops accepting and waits to be torn down).
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion — most likely fd exhaustion from
+        // a connection flood or a leaky tenant.  The pending connection
+        // stays in the backlog; sleep (interruptibly: stop() signals
+        // stop_cv_) and retry instead of abandoning the listener, which
+        // would silently turn a full daemon into a dead one.
+        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::unique_lock<std::mutex> lock(lifecycle_mu_);
+          stop_cv_.wait_for(lock, backoff,
+                            [this] { return stop_requested_; });
+          if (stop_requested_) return;
+        }
+        backoff = std::min(backoff * 2, backoff_max);
+        continue;
+      }
+      // shutdown(listener->fd) during stop(), or a genuinely fatal accept
+      // error: this listener is done.
       return;
+    }
+    backoff = std::chrono::milliseconds(opts_.accept_backoff_initial_ms);
+    if (listener->is_tcp) {
+      // Strict request/reply framing: Nagle + delayed ACK would add a
+      // round-trip's latency to every small frame.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
@@ -243,6 +339,15 @@ void PlanServer::serve_connection(Conn* conn) {
     return it->second;
   };
 
+  // Frame-rate quota: a token bucket refilled in real time.  A burst up
+  // to `frame_burst` is free; sustained traffic above
+  // `max_frames_per_second` drains the bucket and every further frame is
+  // answered with an Error frame (a strike) until tokens accrue again.
+  const double burst = std::max(opts_.frame_burst, 1.0);
+  double tokens = burst;
+  auto last_refill = std::chrono::steady_clock::now();
+  int strikes = 0;
+
   bool shutdown_requested = false;
   for (;;) {
     std::optional<wire::Frame> frame;
@@ -255,9 +360,38 @@ void PlanServer::serve_connection(Conn* conn) {
 
     wire::FrameType reply_type = wire::FrameType::Error;
     std::vector<std::uint8_t> reply;
+    bool struck = false;
     try {
+      if (opts_.max_frames_per_second > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        tokens = std::min(
+            burst, tokens + std::chrono::duration<double>(now - last_refill)
+                                    .count() *
+                                opts_.max_frames_per_second);
+        last_refill = now;
+        if (tokens < 1.0) {
+          frame_quota_trips_.fetch_add(1, std::memory_order_relaxed);
+          throw QuotaViolation(
+              "frame-rate quota exceeded (sustained limit " +
+              std::to_string(static_cast<std::uint64_t>(
+                  opts_.max_frames_per_second)) +
+              " frames/s); back off or be disconnected");
+        }
+        tokens -= 1.0;
+      }
       switch (frame->type) {
         case wire::FrameType::SubmitProgram: {
+          if (opts_.max_programs_per_connection > 0 &&
+              programs.size() >= opts_.max_programs_per_connection) {
+            // Checked BEFORE decoding/compiling: a tenant over its
+            // registry quota must not be able to keep burning the shared
+            // cache and compile path.
+            registry_quota_trips_.fetch_add(1, std::memory_order_relaxed);
+            throw QuotaViolation(
+                "program registry quota exceeded (" +
+                std::to_string(opts_.max_programs_per_connection) +
+                " programs per connection); run or drop existing ids");
+          }
           const wire::SubmitProgramRequest req =
               wire::decode_submit_program(frame->payload);
           const auto plan =
@@ -333,6 +467,10 @@ void PlanServer::serve_connection(Conn* conn) {
           rep.connections_active = s.connections_active;
           rep.programs_registered = s.programs_registered;
           rep.runs_executed = s.runs_executed;
+          rep.frame_quota_trips = s.frame_quota_trips;
+          rep.registry_quota_trips = s.registry_quota_trips;
+          rep.quota_disconnects = s.quota_disconnects;
+          rep.accept_backoffs = s.accept_backoffs;
           reply_type = wire::FrameType::StatsReply;
           reply = wire::encode_stats_reply(rep);
           break;
@@ -346,6 +484,12 @@ void PlanServer::serve_connection(Conn* conn) {
           throw wire::WireError("unexpected frame type " +
                                 std::to_string(static_cast<int>(frame->type)));
       }
+    } catch (const QuotaViolation& e) {
+      // Over-quota: an Error frame AND a strike — the connection survives
+      // until the strike limit, so a client that backs off recovers.
+      struck = true;
+      reply_type = wire::FrameType::Error;
+      reply = wire::encode_error(e.what());
     } catch (const std::exception& e) {
       // Anything the request raised — decode errors, ContractViolation
       // from compile(), unknown ids — becomes an Error frame; the
@@ -353,6 +497,7 @@ void PlanServer::serve_connection(Conn* conn) {
       reply_type = wire::FrameType::Error;
       reply = wire::encode_error(e.what());
     }
+    if (struck) ++strikes;
 
     if (reply.size() > wire::kMaxFramePayload) {
       // The pre-run estimate should make this unreachable; if a reply
@@ -370,6 +515,14 @@ void PlanServer::serve_connection(Conn* conn) {
       // Ack delivered; hand the actual teardown to whoever is parked in
       // wait() — this thread cannot join itself.
       request_stop();
+      break;
+    }
+    if (struck && opts_.max_quota_strikes > 0 &&
+        strikes >= opts_.max_quota_strikes) {
+      // Repeat offender: the Error frame above was the last word.  The
+      // half-open window until the peer reads it is fine — SHUT_RDWR
+      // below flushes the send queue on AF_UNIX and TCP alike.
+      quota_disconnects_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
   }

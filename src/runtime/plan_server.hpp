@@ -1,6 +1,11 @@
-// PlanServer — the long-lived plan-service daemon core: one Unix-domain
-// listening socket, one accept loop, one handler thread per connection,
-// and ONE shared PlanCache + WorkerPool behind all of them.
+// PlanServer — the long-lived plan-service daemon core: listening
+// sockets (Unix-domain, TCP, or both — the wire framing is identical
+// over either family), one accept loop per listener, one handler thread
+// per connection, and ONE shared PlanCache + WorkerPool behind all of
+// them.  TCP is the scale-out face: N of these daemons form a fleet that
+// a client-side ShardRouter (runtime/shard_router.hpp) consistent-hashes
+// programs across, so identical loop structures always land on the same
+// shard's warm cache.
 //
 // This is the ROADMAP's "long-lived server front end for the plan
 // service": PR 4's cache/pool amortized compilation and thread startup
@@ -44,8 +49,12 @@
 namespace mimd {
 
 struct PlanServerOptions {
-  /// Filesystem path to bind (sun_path limits apply, ~107 bytes).
+  /// Filesystem path to bind (sun_path limits apply, ~107 bytes).  Empty
+  /// = no Unix listener (then tcp_address must be set).
   std::string socket_path;
+  /// TCP listen address, "host:port" (port 0 = kernel-assigned, reported
+  /// back via tcp_port()).  Empty = no TCP listener.
+  std::string tcp_address;
   std::size_t cache_capacity = PlanCache::kDefaultCapacity;
   /// Pre-warmed pool workers (the pool still grows on demand).
   std::size_t initial_workers = 0;
@@ -53,6 +62,35 @@ struct PlanServerOptions {
   /// Unlink a pre-existing socket file before binding.  Off by default so
   /// two daemons cannot silently fight over one path.
   bool remove_existing = false;
+
+  // -- Hostile-tenant quotas (per connection; 0 disables a quota) --------
+  //
+  // A TCP listener means tenants the operator does not control; these
+  // bound what any ONE connection can cost the shared halves.  Over-quota
+  // requests get an Error frame (the connection survives, so a client
+  // that backs off recovers); a connection that keeps violating past
+  // `max_quota_strikes` is disconnected.  Defaults are far above anything
+  // a well-behaved client does (mimdc --batch submits ~1 frame per loop
+  // file) while still bounding a hostile flood.
+
+  /// Programs one connection may hold registered at once.  Each entry
+  /// pins a shared_ptr'd plan in memory even after cache eviction, so an
+  /// unbounded registry lets one tenant hold the whole cache's worth of
+  /// dead plans alive.
+  std::size_t max_programs_per_connection = 4096;
+  /// Sustained frame-rate cap, token-bucket enforced: a connection may
+  /// burst `frame_burst` frames, then refills at this rate.
+  double max_frames_per_second = 10000.0;
+  double frame_burst = 1000.0;
+  /// Over-quota Error frames tolerated before the connection is dropped.
+  int max_quota_strikes = 8;
+
+  // -- Accept-loop resource-exhaustion backoff ---------------------------
+  /// On EMFILE/ENFILE (fd exhaustion — someone leaked or flooded), the
+  /// accept loop sleeps and retries instead of abandoning the listener;
+  /// the sleep doubles from initial to max while exhaustion persists.
+  int accept_backoff_initial_ms = 10;
+  int accept_backoff_max_ms = 1000;
 };
 
 /// Everything the Stats frame reports (runtime/wire.hpp mirrors this).
@@ -64,6 +102,10 @@ struct PlanServerStats {
   std::uint64_t connections_active = 0;
   std::uint64_t programs_registered = 0;
   std::uint64_t runs_executed = 0;
+  std::uint64_t frame_quota_trips = 0;
+  std::uint64_t registry_quota_trips = 0;
+  std::uint64_t quota_disconnects = 0;
+  std::uint64_t accept_backoffs = 0;
 };
 
 class PlanServer {
@@ -98,6 +140,9 @@ class PlanServer {
   [[nodiscard]] const std::string& socket_path() const {
     return opts_.socket_path;
   }
+  /// The TCP port actually bound (resolves ":0" requests to the kernel's
+  /// pick).  0 when no TCP listener was configured or before start().
+  [[nodiscard]] std::uint16_t tcp_port() const;
   [[nodiscard]] bool running() const;
 
   [[nodiscard]] PlanServerStats stats() const;
@@ -113,7 +158,13 @@ class PlanServer {
     std::atomic<bool> done{false};
   };
 
-  void accept_loop();
+  struct Listener {
+    int fd = -1;
+    bool is_tcp = false;
+    std::thread thread;
+  };
+
+  void accept_loop(Listener* listener);
   void serve_connection(Conn* conn);
   /// Join and drop finished handlers (called opportunistically from the
   /// accept loop so a long-lived daemon does not accumulate dead threads).
@@ -123,8 +174,8 @@ class PlanServer {
   PlanCache cache_;
   WorkerPool pool_;
 
-  int listen_fd_ = -1;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  std::uint16_t tcp_port_ = 0;
 
   mutable std::mutex conns_mu_;
   std::vector<std::unique_ptr<Conn>> conns_;
@@ -139,6 +190,10 @@ class PlanServer {
   std::atomic<std::uint64_t> connections_active_{0};
   std::atomic<std::uint64_t> programs_registered_{0};
   std::atomic<std::uint64_t> runs_executed_{0};
+  std::atomic<std::uint64_t> frame_quota_trips_{0};
+  std::atomic<std::uint64_t> registry_quota_trips_{0};
+  std::atomic<std::uint64_t> quota_disconnects_{0};
+  std::atomic<std::uint64_t> accept_backoffs_{0};
 };
 
 }  // namespace mimd

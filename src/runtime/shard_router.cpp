@@ -1,0 +1,289 @@
+#include "runtime/shard_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "partition/compiled_program.hpp"
+
+namespace mimd {
+
+namespace {
+
+/// SplitMix64 finalizer (the same mixer structural_hash builds on) —
+/// ring points must be uniform even though endpoint strings and vnode
+/// indices are anything but.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the endpoint string: the shard's ring identity.  Hashing
+/// the *string* (not the index) is what makes the ring stable under
+/// shard-list reordering and growth.
+std::uint64_t hash_endpoint(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Per-shard client + health.  `mu` guards the health fields only; the
+/// client itself is single-threaded by construction (one thread per shard
+/// per round — see the class comment).
+struct ShardRouter::Shard {
+  PlanClient client;
+  bool connected = false;
+  mutable std::mutex mu;
+  bool dead = false;
+  std::chrono::steady_clock::time_point dead_until{};
+};
+
+ShardRouter::ShardRouter(ShardRouterOptions opts) : opts_(std::move(opts)) {
+  endpoints_ = opts_.endpoints;
+  if (endpoints_.empty()) {
+    throw std::invalid_argument("ShardRouter: no endpoints configured");
+  }
+  const std::size_t vnodes = std::max<std::size_t>(opts_.vnodes_per_shard, 1);
+  ring_.reserve(endpoints_.size() * vnodes);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::uint64_t id = hash_endpoint(endpoints_[i]);
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      ring_.emplace_back(mix64(id ^ mix64(v)), i);
+    }
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+ShardRouter::~ShardRouter() = default;
+
+std::uint64_t ShardRouter::route_key(const PartitionedProgram& p, const Ddg& g,
+                                     const CompileOptions& copts) {
+  return structural_hash(p, g, copts);
+}
+
+std::size_t ShardRouter::shard_for(std::uint64_t key) const {
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), key,
+      [](std::uint64_t k, const auto& pt) { return k < pt.first; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::size_t> ShardRouter::preference_order(
+    std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  order.reserve(endpoints_.size());
+  std::vector<bool> seen(endpoints_.size(), false);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), key,
+      [](std::uint64_t k, const auto& pt) { return k < pt.first; });
+  for (std::size_t step = 0; step < ring_.size() && order.size() < endpoints_.size();
+       ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      order.push_back(it->second);
+    }
+  }
+  // Ring walk visits every point, so every shard; but keep the invariant
+  // explicit for the degenerate single-vnode case.
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (!seen[i]) order.push_back(i);
+  }
+  return order;
+}
+
+void ShardRouter::mark_dead(std::size_t shard) {
+  Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.dead = true;
+  s.dead_until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(opts_.dead_cooldown_ms);
+  if (s.connected) {
+    s.client.close();
+    s.connected = false;
+  }
+}
+
+bool ShardRouter::is_dead(std::size_t shard) const {
+  Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!s.dead) return false;
+  if (std::chrono::steady_clock::now() >= s.dead_until) {
+    s.dead = false;  // cooldown over: eligible for a reconnect probe
+    return false;
+  }
+  return true;
+}
+
+void ShardRouter::note_failure(std::size_t shard) { mark_dead(shard); }
+
+PlanClient& ShardRouter::ensure_connected(std::size_t shard) {
+  Shard& s = *shards_.at(shard);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.connected) return s.client;
+  }
+  const int attempts = std::max(opts_.connect_attempts, 1);
+  int backoff_ms = std::max(opts_.connect_backoff_initial_ms, 1);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      PlanClient c = PlanClient::connect(endpoints_[shard], opts_.timeout_ms);
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.client = std::move(c);
+      s.connected = true;
+      s.dead = false;
+      return s.client;
+    } catch (const wire::WireError&) {
+      if (attempt + 1 >= attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, opts_.connect_backoff_max_ms);
+    }
+  }
+}
+
+std::vector<ExecutionResult> ShardRouter::run_jobs(
+    const std::vector<ShardJob>& jobs) {
+  std::vector<ExecutionResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Precompute each job's failover preference order once.
+  std::vector<std::vector<std::size_t>> prefs(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    prefs[i] = preference_order(
+        route_key(jobs[i].program, jobs[i].graph, jobs[i].copts));
+  }
+
+  std::vector<std::size_t> pending(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) pending[i] = i;
+
+  // Each round assigns every pending job to its first live shard and
+  // drives the per-shard groups concurrently.  A group whose shard dies
+  // mid-round stays pending and reroutes next round; at most one round
+  // per shard can fail, so shard_count()+1 rounds always suffice.
+  for (std::size_t round = 0; round <= shard_count() && !pending.empty();
+       ++round) {
+    std::vector<std::vector<std::size_t>> groups(shard_count());
+    for (const std::size_t j : pending) {
+      std::size_t target = prefs[j].size();  // sentinel: none live
+      for (const std::size_t cand : prefs[j]) {
+        if (!is_dead(cand)) {
+          target = cand;
+          break;
+        }
+      }
+      if (target == prefs[j].size()) {
+        throw wire::WireError(
+            "ShardRouter: all " + std::to_string(shard_count()) +
+            " shards are dead; cannot route jobs");
+      }
+      groups[target].push_back(j);
+    }
+    pending.clear();
+
+    std::mutex retry_mu;
+    std::exception_ptr remote_error;  // first RemoteError wins, rethrown
+    std::vector<std::thread> threads;
+    for (std::size_t shard = 0; shard < groups.size(); ++shard) {
+      if (groups[shard].empty()) continue;
+      threads.emplace_back([&, shard] {
+        const std::vector<std::size_t>& group = groups[shard];
+        try {
+          PlanClient& client = ensure_connected(shard);
+          std::vector<wire::RunRequest> items;
+          items.reserve(group.size());
+          for (const std::size_t j : group) {
+            const wire::SubmitProgramReply sub = client.submit_program(
+                jobs[j].program, jobs[j].graph, jobs[j].copts);
+            wire::RunRequest rr;
+            rr.program_id = sub.program_id;
+            rr.iterations = jobs[j].iterations;
+            rr.opts = jobs[j].run_opts;
+            items.push_back(rr);
+          }
+          wire::RunBatchReply reply = client.run_batch(items);
+          if (reply.results.size() != group.size()) {
+            throw wire::WireError("ShardRouter: shard returned " +
+                                  std::to_string(reply.results.size()) +
+                                  " results for " +
+                                  std::to_string(group.size()) + " jobs");
+          }
+          for (std::size_t k = 0; k < group.size(); ++k) {
+            results[group[k]] = std::move(reply.results[k]);
+          }
+        } catch (const RemoteError&) {
+          // The shard is healthy and said no: the caller's problem.
+          std::lock_guard<std::mutex> lk(retry_mu);
+          if (!remote_error) remote_error = std::current_exception();
+        } catch (const wire::WireError&) {
+          // Transport death: bury the shard, reroute the whole group
+          // (idempotent — rerunning on the successor is bit-identical).
+          note_failure(shard);
+          std::lock_guard<std::mutex> lk(retry_mu);
+          pending.insert(pending.end(), group.begin(), group.end());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (remote_error) std::rethrow_exception(remote_error);
+  }
+
+  if (!pending.empty()) {
+    throw wire::WireError("ShardRouter: jobs still unrouted after " +
+                          std::to_string(shard_count() + 1) +
+                          " rounds (fleet unhealthy)");
+  }
+  return results;
+}
+
+ExecutionResult ShardRouter::run_one(const ShardJob& job) {
+  std::vector<ExecutionResult> r = run_jobs({job});
+  return std::move(r.front());
+}
+
+std::vector<ShardStatsRow> ShardRouter::fleet_stats() {
+  std::vector<ShardStatsRow> rows;
+  rows.reserve(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    ShardStatsRow row;
+    row.endpoint = endpoints_[i];
+    try {
+      row.stats = ensure_connected(i).stats();
+      row.alive = true;
+    } catch (const std::exception&) {
+      note_failure(i);
+      row.alive = false;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void ShardRouter::shutdown_fleet() {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    try {
+      ensure_connected(i).shutdown_server();
+    } catch (const std::exception&) {
+      // Already down (or dying): that is the goal state.
+    }
+    Shard& s = *shards_[i];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.connected) {
+      s.client.close();
+      s.connected = false;
+    }
+  }
+}
+
+}  // namespace mimd

@@ -1,8 +1,14 @@
 #include "runtime/wire.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -363,6 +369,10 @@ std::vector<std::uint8_t> encode_stats_reply(const StatsReply& m) {
   e.u64(m.connections_active);
   e.u64(m.programs_registered);
   e.u64(m.runs_executed);
+  e.u64(m.frame_quota_trips);
+  e.u64(m.registry_quota_trips);
+  e.u64(m.quota_disconnects);
+  e.u64(m.accept_backoffs);
   return e.take();
 }
 
@@ -380,6 +390,10 @@ StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload) {
   m.connections_active = d.u64();
   m.programs_registered = d.u64();
   m.runs_executed = d.u64();
+  m.frame_quota_trips = d.u64();
+  m.registry_quota_trips = d.u64();
+  m.quota_disconnects = d.u64();
+  m.accept_backoffs = d.u64();
   d.expect_done();
   return m;
 }
@@ -395,6 +409,174 @@ std::string decode_error(const std::vector<std::uint8_t>& payload) {
   std::string s = d.str();
   d.expect_done();
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+namespace {
+
+/// "host:port" -> Endpoint, validating the numeric port.  `allow_zero`
+/// distinguishes the listen side (0 = ephemeral) from the connect side.
+Endpoint parse_tcp_spec(const std::string& hp) {
+  const std::size_t colon = hp.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == hp.size()) {
+    throw WireError("TCP endpoint must be host:port: '" + hp + "'");
+  }
+  const std::string port_str = hp.substr(colon + 1);
+  if (!std::all_of(port_str.begin(), port_str.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    throw WireError("TCP port must be numeric: '" + hp + "'");
+  }
+  const unsigned long port = std::stoul(port_str);
+  if (port > 65535) throw WireError("TCP port out of range: '" + hp + "'");
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::Tcp;
+  ep.host = hp.substr(0, colon);
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+/// True when a bare spec reads as host:port — numeric suffix after the
+/// last ':' and no '/' anywhere (a filesystem path wins on ambiguity).
+bool looks_like_tcp(const std::string& spec) {
+  if (spec.find('/') != std::string::npos) return false;
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return false;
+  }
+  const std::string port = spec.substr(colon + 1);
+  return std::all_of(port.begin(), port.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  if (spec.empty()) throw WireError("empty endpoint");
+  if (spec.rfind("tcp:", 0) == 0) return parse_tcp_spec(spec.substr(4));
+  if (spec.rfind("unix:", 0) == 0) {
+    Endpoint ep;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw WireError("empty unix endpoint path");
+    return ep;
+  }
+  if (looks_like_tcp(spec)) return parse_tcp_spec(spec);
+  Endpoint ep;
+  ep.path = spec;
+  return ep;
+}
+
+std::string endpoint_to_string(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::Tcp) {
+    return ep.host + ":" + std::to_string(ep.port);
+  }
+  return ep.path;
+}
+
+int connect_endpoint(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::Unix) {
+    const sockaddr_un addr = make_unix_addr(ep.path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw WireError(std::string("socket() failed: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw WireError("connect(" + ep.path + ") failed: " + std::strerror(err));
+    }
+    return fd;
+  }
+
+  if (ep.port == 0) {
+    throw WireError("cannot connect to port 0: '" + endpoint_to_string(ep) +
+                    "'");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(ep.host.c_str(),
+                               std::to_string(ep.port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw WireError("cannot resolve " + endpoint_to_string(ep) + ": " +
+                    ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_err = ECONNREFUSED;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_err = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw WireError("connect(" + endpoint_to_string(ep) +
+                    ") failed: " + std::strerror(last_err));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+std::pair<int, std::uint16_t> listen_tcp(const std::string& host,
+                                         std::uint16_t port, int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw WireError("cannot resolve " + host + ":" + std::to_string(port) +
+                    ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int last_err = EADDRNOTAVAIL;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      break;
+    }
+    last_err = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw WireError("listen(" + host + ":" + std::to_string(port) +
+                    ") failed: " + std::strerror(last_err));
+  }
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  std::uint16_t actual = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    if (bound.ss_family == AF_INET) {
+      actual = ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      actual = ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return {fd, actual};
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 // Wire protocol for the plan-service daemon (mimdd) — length-prefixed
-// binary frames over a Unix domain socket, carrying the exact structures
+// binary frames over a connected stream socket (Unix domain or TCP; the
+// framing is byte-identical over both families), carrying the exact structures
 // the in-process plan service already consumes (PartitionedProgram, Ddg,
 // CompileOptions) and produces (ExecutionResult, PlanCache::Stats).
 //
@@ -37,6 +38,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/ddg.hpp"
@@ -199,6 +201,14 @@ struct StatsReply {
   std::uint64_t connections_active = 0;
   std::uint64_t programs_registered = 0;
   std::uint64_t runs_executed = 0;
+  // Hostile-tenant counters (PlanServer quotas): how often connections hit
+  // the per-connection frame-rate / registry-size quotas, how many repeat
+  // offenders were disconnected, and how often the accept loop had to back
+  // off on fd exhaustion.  mimdc --fleet aggregates these across shards.
+  std::uint64_t frame_quota_trips = 0;
+  std::uint64_t registry_quota_trips = 0;
+  std::uint64_t quota_disconnects = 0;
+  std::uint64_t accept_backoffs = 0;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_submit_program(
@@ -238,6 +248,46 @@ struct StatsReply {
     const std::string& message);
 [[nodiscard]] std::string decode_error(
     const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Endpoints: one string names a server over either socket family
+//
+// The daemon listens on a Unix path, a TCP host:port, or both; clients,
+// the shard router, and the CLI tools all take endpoint *strings* so a
+// shards file can mix families freely.  Grammar:
+//
+//     unix:<path>        explicit Unix-domain path
+//     tcp:<host>:<port>  explicit TCP
+//     <host>:<port>      bare TCP shorthand (numeric port, no '/')
+//     <path>             anything else is a Unix-domain path
+//
+// Port 0 is valid for *listening* (the kernel picks an ephemeral port,
+// reported back via PlanServer::tcp_port) and rejected for connecting.
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;         ///< Unix only
+  std::string host;         ///< TCP only
+  std::uint16_t port = 0;   ///< TCP only; 0 = ephemeral (listen side)
+};
+
+/// Parse the grammar above.  Throws WireError on an empty spec, a
+/// malformed tcp: form, or an out-of-range port.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Render back to the bare form parse_endpoint accepts round-trip.
+[[nodiscard]] std::string endpoint_to_string(const Endpoint& ep);
+
+/// Connect a stream socket to `ep` (TCP gets TCP_NODELAY — the protocol
+/// is strict request/reply, so Nagle would serialize every round trip
+/// behind a delayed ACK).  Returns the connected fd; throws WireError.
+[[nodiscard]] int connect_endpoint(const Endpoint& ep);
+
+/// Bind + listen on host:port (port 0 = kernel-assigned) with
+/// SO_REUSEADDR.  Returns {listening fd, actual port}.  Throws WireError.
+[[nodiscard]] std::pair<int, std::uint16_t> listen_tcp(
+    const std::string& host, std::uint16_t port, int backlog);
 
 // ---------------------------------------------------------------------------
 // Framed I/O over a connected socket fd

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Start a 2-shard mimdd TCP fleet on ephemeral ports (ctest fixture
+# mimdd_fleet).  Each daemon binds 127.0.0.1:0 and reports its kernel-
+# assigned port through --port-file; the shards file mimdc --fleet
+# consumes is assembled from those.  --daemonize returns only once the
+# child is bound AND the port file is written, so no polling is needed.
+#
+# usage: start_fleet.sh <mimdd-binary> <workdir>
+set -euo pipefail
+
+mimdd="$1"
+workdir="$2"
+shards=2
+
+mkdir -p "$workdir"
+rm -f "$workdir"/shards.txt "$workdir"/port-* "$workdir"/pid-*
+
+for i in $(seq 1 "$shards"); do
+  "$mimdd" --listen 127.0.0.1:0 \
+           --port-file "$workdir/port-$i" \
+           --pidfile "$workdir/pid-$i" \
+           --daemonize
+  port="$(cat "$workdir/port-$i")"
+  if [ -z "$port" ] || [ "$port" = "0" ]; then
+    echo "start_fleet: shard $i reported no port" >&2
+    exit 1
+  fi
+  echo "127.0.0.1:$port" >> "$workdir/shards.txt"
+done
+
+echo "start_fleet: $shards shards up:"
+cat "$workdir/shards.txt"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Stop the fleet started by start_fleet.sh (ctest FIXTURES_CLEANUP —
+# runs even when the tests in between failed).  Graceful first (the
+# Shutdown frame drains in-flight runs); SIGKILL by pidfile only as a
+# last resort so a wedged daemon cannot leak past the test run.
+#
+# usage: stop_fleet.sh <mimdd-binary> <workdir>
+set -uo pipefail
+
+mimdd="$1"
+workdir="$2"
+status=0
+
+if [ -f "$workdir/shards.txt" ]; then
+  while IFS= read -r endpoint; do
+    [ -n "$endpoint" ] || continue
+    if ! "$mimdd" --stop "$endpoint"; then
+      echo "stop_fleet: graceful stop of $endpoint failed" >&2
+      status=1
+    fi
+  done < "$workdir/shards.txt"
+fi
+
+for pidfile in "$workdir"/pid-*; do
+  [ -f "$pidfile" ] || continue
+  pid="$(cat "$pidfile")"
+  if [ -n "$pid" ]; then
+    # --stop returns once the listener is down, which can precede process
+    # exit by a few ms (thread joins); give the drain a moment before
+    # declaring the daemon wedged.
+    for _ in $(seq 1 250); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.02
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+      echo "stop_fleet: daemon $pid survived --stop; killing" >&2
+      kill -9 "$pid" 2>/dev/null
+      status=1
+    fi
+  fi
+  rm -f "$pidfile"
+done
+
+exit "$status"

@@ -1,0 +1,99 @@
+// FaultProxy — a TCP proxy that injects transport faults between a
+// PlanClient (or ShardRouter) and a real PlanServer, so the fault paths
+// the wire layer promises (typed WireError on truncation, timeout instead
+// of hang, failover on a dead shard) can be exercised deterministically
+// instead of waiting for a flaky network.
+//
+// The proxy listens on 127.0.0.1:<ephemeral> and forwards byte streams to
+// a fixed upstream endpoint.  Each accepted connection is governed by the
+// FaultPlan in force at accept time:
+//
+//     refuse                       close the client without dialing
+//                                  upstream (connection refused-ish)
+//     close_after_client_bytes=N   forward N bytes client->server, then
+//                                  hard-cut both directions — truncates a
+//                                  request mid-frame
+//     close_after_server_bytes=N   forward N bytes server->client, then
+//                                  cut — truncates a REPLY mid-frame (the
+//                                  nastier case: the server already did
+//                                  the work)
+//     delay_ms                     sleep before forwarding each chunk —
+//                                  with a small client SO_RCVTIMEO this
+//                                  turns into a receive timeout
+//
+// scripted_plan(seed, i) derives a deterministic pseudo-random plan for
+// the i-th connection of a seeded scenario, so a fuzz run's fault
+// schedule is reproducible from its seed alone.
+//
+// Threading: one accept thread plus two pump threads per connection, all
+// joined in stop()/destructor.  Plans are swapped under a mutex; a plan
+// change applies to connections accepted AFTER the change.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mimd::test {
+
+struct FaultPlan {
+  bool refuse = false;
+  std::size_t close_after_client_bytes = std::numeric_limits<std::size_t>::max();
+  std::size_t close_after_server_bytes = std::numeric_limits<std::size_t>::max();
+  int delay_ms = 0;
+};
+
+/// Deterministic plan for connection `conn` of a scenario seeded `seed`:
+/// a mix of clean passes, truncations at pseudo-random byte offsets, and
+/// refusals — the fault schedule of a reproducible chaos run.
+[[nodiscard]] FaultPlan scripted_plan(std::uint64_t seed, std::uint64_t conn);
+
+class FaultProxy {
+ public:
+  /// Start proxying to `upstream` (any wire::parse_endpoint form).
+  explicit FaultProxy(std::string upstream);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The proxy's own endpoint, for PlanClient::connect / shard lists.
+  [[nodiscard]] std::string endpoint() const;
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Plan applied to connections accepted from now on.
+  void set_plan(const FaultPlan& plan);
+
+  /// Connections accepted so far.
+  [[nodiscard]] std::uint64_t connections() const {
+    return connections_.load();
+  }
+
+  /// Stop accepting, cut every live connection, join all threads.
+  void stop();
+
+ private:
+  struct Conn;
+  void accept_loop();
+  static void pump(int from, int to, std::size_t budget, int delay_ms,
+                   Conn* conn);
+
+  std::string upstream_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace mimd::test

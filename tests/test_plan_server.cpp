@@ -12,6 +12,8 @@
 // hostile-input handling (error frames, garbage bytes).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -22,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "runtime/executor.hpp"
@@ -44,21 +47,29 @@ std::string temp_socket(const std::string& name) {
 }
 
 /// An in-process server bound to a per-test temp socket, torn down (and
-/// the path unlinked) even when the test body fails.
+/// the path unlinked) even when the test body fails.  The `tweak`
+/// overload lets quota/backoff tests tighten limits before start().
 struct TestServer {
   PlanServer server;
 
-  explicit TestServer(const std::string& name,
-                      std::size_t cache_capacity = PlanCache::kDefaultCapacity)
+  template <typename Tweak,
+            typename = std::enable_if_t<
+                std::is_invocable_v<Tweak&, PlanServerOptions&>>>
+  TestServer(const std::string& name, Tweak&& tweak)
       : server([&] {
           PlanServerOptions opts;
           opts.socket_path = temp_socket(name);
-          opts.cache_capacity = cache_capacity;
           opts.remove_existing = true;  // stale file from a crashed run
+          tweak(opts);
           return opts;
         }()) {
     server.start();
   }
+  explicit TestServer(const std::string& name,
+                      std::size_t cache_capacity = PlanCache::kDefaultCapacity)
+      : TestServer(name, [&](PlanServerOptions& opts) {
+          opts.cache_capacity = cache_capacity;
+        }) {}
   ~TestServer() { server.stop(); }
 };
 
@@ -491,6 +502,234 @@ TEST(PlanServer, StartRefusesALivePath) {
   opts.remove_existing = false;  // must NOT steal the live daemon's socket
   PlanServer second(opts);
   EXPECT_THROW(second.start(), std::runtime_error);
+}
+
+TEST(PlanServer, StartRequiresAtLeastOneListener) {
+  PlanServer server{PlanServerOptions{}};  // no socket_path, no tcp_address
+  EXPECT_THROW(server.start(), std::runtime_error);
+}
+
+// The wire protocol over TCP: same frames, same bit-exact results, plus
+// both families served by ONE server sharing ONE cache.
+TEST(PlanServer, TcpListenerServesTheSameProtocol) {
+  TestServer ts("ps_tcp", [](PlanServerOptions& opts) {
+    opts.tcp_address = "127.0.0.1:0";  // kernel-assigned, read back below
+  });
+  ASSERT_NE(ts.server.tcp_port(), 0);
+  const std::string tcp_ep =
+      "127.0.0.1:" + std::to_string(ts.server.tcp_port());
+
+  const GeneratedLoop gl = generate_loop(101);
+  const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+
+  PlanClient over_tcp = PlanClient::connect(tcp_ep);
+  const std::uint64_t id =
+      over_tcp.submit_program(gl.program, gl.graph).program_id;
+  EXPECT_TRUE(values_match(over_tcp.run(id), seq, gl.iterations));
+
+  // A Unix-family client submitting a renamed copy hits the SAME cache:
+  // one miss total across both socket families.
+  PlanClient over_unix = PlanClient::connect(ts.server.socket_path());
+  const Ddg renamed = renamed_copy(gl.graph, "tcp_");
+  const std::uint64_t id2 =
+      over_unix.submit_program(gl.program, renamed).program_id;
+  EXPECT_TRUE(values_match(over_unix.run(id2), seq, gl.iterations));
+  const wire::StatsReply stats = over_unix.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+}
+
+// A greedy connection hammering past the registry quota gets Error frames
+// while a concurrent well-behaved connection stays bit-exact and
+// unthrottled — the hostile-tenant isolation property.
+TEST(PlanServer, RegistryQuotaThrottlesGreedyTenantOnly) {
+  constexpr std::size_t kQuota = 4;
+  TestServer ts("ps_quota_reg", [](PlanServerOptions& opts) {
+    opts.max_programs_per_connection = kQuota;
+    opts.max_quota_strikes = 0;  // quota errors only, never disconnect
+  });
+
+  std::atomic<int> failures{0};
+  std::mutex log_mu;
+  std::string log;
+
+  std::thread good([&] {
+    try {
+      PlanClient client = PlanClient::connect(ts.server.socket_path());
+      const GeneratedLoop gl = generate_loop(201);
+      const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+      for (int r = 0; r < 6; ++r) {
+        // Well within quota: ONE registered program, repeatedly run.
+        PlanClient fresh = PlanClient::connect(ts.server.socket_path());
+        const std::uint64_t id =
+            fresh.submit_program(gl.program, gl.graph).program_id;
+        if (!values_match(fresh.run(id), seq, gl.iterations)) {
+          ++failures;
+          const std::lock_guard<std::mutex> lock(log_mu);
+          log += "well-behaved run " + std::to_string(r) + ": mismatch\n";
+        }
+      }
+    } catch (const std::exception& e) {
+      ++failures;
+      const std::lock_guard<std::mutex> lock(log_mu);
+      log += std::string("well-behaved client: ") + e.what() + "\n";
+    }
+  });
+
+  // The greedy tenant: submits far past the quota on one connection.
+  PlanClient greedy = PlanClient::connect(ts.server.socket_path());
+  std::uint64_t last_ok_id = 0;
+  int refused = 0;
+  for (std::uint64_t s = 0; s < kQuota + 6; ++s) {
+    const GeneratedLoop gl = generate_loop(300 + s);
+    try {
+      last_ok_id = greedy.submit_program(gl.program, gl.graph).program_id;
+    } catch (const RemoteError& e) {
+      ++refused;
+      EXPECT_NE(std::string(e.what()).find("registry quota"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_EQ(refused, 6);
+  // The connection survives the refusals and still serves its registered
+  // programs (strikes disabled).
+  const GeneratedLoop last = generate_loop(300 + kQuota - 1);
+  EXPECT_TRUE(values_match(greedy.run(last_ok_id),
+                           run_reference(last.graph, last.iterations),
+                           last.iterations));
+
+  good.join();
+  EXPECT_EQ(failures.load(), 0) << log;
+  EXPECT_EQ(greedy.stats().registry_quota_trips, 6u);
+}
+
+// Frame-rate token bucket: burst 1 with a negligible refill rate (so the
+// test stays deterministic under TSan's slowdown) — the second frame
+// trips the quota, and `max_quota_strikes` over-quota replies later the
+// connection is dropped (observable as EOF, counted in stats).
+TEST(PlanServer, FrameRateQuotaStrikesOutRepeatOffenders) {
+  TestServer ts("ps_quota_rate", [](PlanServerOptions& opts) {
+    opts.max_frames_per_second = 0.001;  // ~one frame per 1000 s
+    opts.frame_burst = 1.0;
+    opts.max_quota_strikes = 2;
+  });
+  const GeneratedLoop gl = generate_loop(211);
+
+  PlanClient flooder = PlanClient::connect(ts.server.socket_path());
+  // Frame 1 spends the whole burst...
+  const std::uint64_t id =
+      flooder.submit_program(gl.program, gl.graph).program_id;
+  // ...frames 2 and 3 trip the bucket (strike 1, strike 2)...
+  for (int strike = 0; strike < 2; ++strike) {
+    try {
+      (void)flooder.run(id);
+      FAIL() << "over-rate frame was not refused";
+    } catch (const RemoteError& e) {
+      EXPECT_NE(std::string(e.what()).find("frame-rate quota"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // ...and the second strike disconnected the offender.
+  EXPECT_THROW((void)flooder.run(id), wire::WireError);
+
+  // In-process stats (no connection, no token spent): both counters.
+  const PlanServerStats stats = ts.server.stats();
+  EXPECT_EQ(stats.frame_quota_trips, 2u);
+  EXPECT_EQ(stats.quota_disconnects, 1u);
+
+  // A fresh connection gets a fresh bucket: one frame passes.
+  PlanClient fresh = PlanClient::connect(ts.server.socket_path());
+  (void)fresh.stats();
+}
+
+/// Temporarily clamps RLIMIT_NOFILE and exhausts the remaining fd table
+/// (dup of /dev/null), restoring everything on destruction even if the
+/// test body fails mid-way.
+struct FdExhaustion {
+  rlimit old{};
+  std::vector<int> hoard;
+
+  FdExhaustion() {
+    EXPECT_EQ(::getrlimit(RLIMIT_NOFILE, &old), 0);
+    rlimit tight = old;
+    tight.rlim_cur = 256;
+    EXPECT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    EXPECT_GE(devnull, 0);
+    if (devnull < 0) return;
+    hoard.push_back(devnull);
+    for (;;) {
+      const int fd = ::dup(devnull);
+      if (fd < 0) break;  // EMFILE: the table is full
+      hoard.push_back(fd);
+    }
+  }
+  void release() {
+    for (const int fd : hoard) ::close(fd);
+    hoard.clear();
+    (void)::setrlimit(RLIMIT_NOFILE, &old);
+  }
+  ~FdExhaustion() { release(); }
+};
+
+// The accept loop must survive transient fd exhaustion: EMFILE on
+// accept() means back off and retry, NOT silently abandon the listener
+// (the pre-fix behavior this test regresses against).
+TEST(PlanServer, AcceptLoopSurvivesFdExhaustion) {
+  TestServer ts("ps_emfile", [](PlanServerOptions& opts) {
+    opts.accept_backoff_initial_ms = 5;
+    opts.accept_backoff_max_ms = 40;
+  });
+
+  // The victim connection is CREATED before exhaustion (it needs an fd),
+  // then connect()ed during it — the handshake lands in the listen
+  // backlog, so the server's accept() is what hits EMFILE.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const sockaddr_un addr = wire::make_unix_addr(ts.server.socket_path());
+  {
+    FdExhaustion exhaust;
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    // In-process stats need no fd: watch the accept loop hit EMFILE and
+    // back off instead of exiting.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (ts.server.stats().accept_backoffs == 0) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "accept loop never reported a backoff";
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    exhaust.release();
+  }
+
+  // With fds released, the retry must accept the queued connection and
+  // serve it normally — the listener survived.
+  const GeneratedLoop gl = generate_loop(222);
+  wire::SubmitProgramRequest sub;
+  sub.program = gl.program;
+  sub.graph = gl.graph;
+  wire::write_frame(fd, wire::FrameType::SubmitProgram,
+                    wire::encode_submit_program(sub));
+  const auto reply = wire::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, wire::FrameType::SubmitProgramReply);
+  const std::uint64_t id =
+      wire::decode_submit_program_reply(reply->payload).program_id;
+  wire::RunRequest run;
+  run.program_id = id;
+  wire::write_frame(fd, wire::FrameType::Run, wire::encode_run(run));
+  const auto run_reply = wire::read_frame(fd);
+  ASSERT_TRUE(run_reply.has_value());
+  ASSERT_EQ(run_reply->type, wire::FrameType::RunReply);
+  EXPECT_TRUE(values_match(wire::decode_run_reply(run_reply->payload),
+                           run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+  ::close(fd);
+  EXPECT_GE(ts.server.stats().accept_backoffs, 1u);
 }
 
 }  // namespace

@@ -178,6 +178,10 @@ TEST(Wire, ResultAndStatsRoundTrip) {
   s.connections_active = 2;
   s.programs_registered = 12;
   s.runs_executed = 40;
+  s.frame_quota_trips = 5;
+  s.registry_quota_trips = 4;
+  s.quota_disconnects = 3;
+  s.accept_backoffs = 2;
   const wire::StatsReply s_back =
       wire::decode_stats_reply(wire::encode_stats_reply(s));
   EXPECT_EQ(s_back.cache.hits, 10u);
@@ -185,6 +189,10 @@ TEST(Wire, ResultAndStatsRoundTrip) {
   EXPECT_EQ(s_back.cache.capacity, 64u);
   EXPECT_EQ(s_back.pool_gangs, 55u);
   EXPECT_EQ(s_back.runs_executed, 40u);
+  EXPECT_EQ(s_back.frame_quota_trips, 5u);
+  EXPECT_EQ(s_back.registry_quota_trips, 4u);
+  EXPECT_EQ(s_back.quota_disconnects, 3u);
+  EXPECT_EQ(s_back.accept_backoffs, 2u);
 }
 
 TEST(Wire, ErrorRoundTrip) {
@@ -335,6 +343,73 @@ TEST(Wire, EofMidFrameAndOversizeLengthThrow) {
     ::close(fds[0]);
     ::close(fds[1]);
   }
+}
+
+TEST(Wire, EndpointGrammar) {
+  // Explicit prefixes.
+  wire::Endpoint ep = wire::parse_endpoint("unix:/run/mimdd.sock");
+  EXPECT_EQ(ep.kind, wire::Endpoint::Kind::Unix);
+  EXPECT_EQ(ep.path, "/run/mimdd.sock");
+  ep = wire::parse_endpoint("tcp:localhost:7070");
+  EXPECT_EQ(ep.kind, wire::Endpoint::Kind::Tcp);
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 7070);
+
+  // Bare TCP shorthand: numeric port, no '/'.
+  ep = wire::parse_endpoint("127.0.0.1:0");
+  EXPECT_EQ(ep.kind, wire::Endpoint::Kind::Tcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 0);
+
+  // Anything with a '/' — or without a numeric suffix — is a Unix path,
+  // so every pre-TCP caller keeps meaning what it meant.
+  ep = wire::parse_endpoint("/tmp/with:colon.sock");
+  EXPECT_EQ(ep.kind, wire::Endpoint::Kind::Unix);
+  EXPECT_EQ(ep.path, "/tmp/with:colon.sock");
+  ep = wire::parse_endpoint("relative.sock");
+  EXPECT_EQ(ep.kind, wire::Endpoint::Kind::Unix);
+
+  // Round trip through endpoint_to_string.
+  for (const char* spec :
+       {"/tmp/a.sock", "127.0.0.1:7070", "localhost:0"}) {
+    const wire::Endpoint e1 = wire::parse_endpoint(spec);
+    const wire::Endpoint e2 = wire::parse_endpoint(wire::endpoint_to_string(e1));
+    EXPECT_EQ(e1.kind, e2.kind);
+    EXPECT_EQ(e1.path, e2.path);
+    EXPECT_EQ(e1.host, e2.host);
+    EXPECT_EQ(e1.port, e2.port);
+  }
+
+  EXPECT_THROW((void)wire::parse_endpoint(""), WireError);
+  EXPECT_THROW((void)wire::parse_endpoint("tcp:nohost"), WireError);
+  EXPECT_THROW((void)wire::parse_endpoint("tcp:h:99999"), WireError);
+  EXPECT_THROW((void)wire::parse_endpoint("tcp:h:not_a_port"), WireError);
+}
+
+TEST(Wire, TcpListenConnectRoundTrip) {
+  // Ephemeral listen, connect, one frame each way — the same framing
+  // code, now over AF_INET.
+  const auto [lfd, port] = wire::listen_tcp("127.0.0.1", 0, 4);
+  ASSERT_GE(lfd, 0);
+  ASSERT_NE(port, 0);
+  wire::Endpoint ep;
+  ep.kind = wire::Endpoint::Kind::Tcp;
+  ep.host = "127.0.0.1";
+  ep.port = port;
+  const int cfd = wire::connect_endpoint(ep);
+  ASSERT_GE(cfd, 0);
+  const int sfd = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(sfd, 0);
+  wire::write_frame(cfd, FrameType::Error, wire::encode_error("over tcp"));
+  const auto f = wire::read_frame(sfd);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(wire::decode_error(f->payload), "over tcp");
+  // Connecting to port 0 is rejected client-side.
+  ep.port = 0;
+  EXPECT_THROW((void)wire::connect_endpoint(ep), WireError);
+  ::close(cfd);
+  ::close(sfd);
+  ::close(lfd);
 }
 
 TEST(Wire, LargeFrameSurvivesPartialSocketWrites) {

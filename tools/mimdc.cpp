@@ -23,15 +23,26 @@
 //                 Standalone mode: replaces the per-loop output modes.
 //                 Exits with an error if the directory holds no .loop
 //                 files.
-//     --connect <socket>
+//     --connect <endpoint>
 //                 route execution through a running mimdd daemon instead
 //                 of compiling in-process: programs are submitted over the
-//                 Unix-domain socket and run on the daemon's shared plan
-//                 cache + worker pool, so repeated invocations amortize
-//                 compilation across processes.  Applies to --run (implied
-//                 when no other mode is requested) and to --batch; results
-//                 are still validated bit-for-bit against local sequential
+//                 daemon's socket (a Unix path, unix:<path>, host:port, or
+//                 tcp:host:port) and run on its shared plan cache + worker
+//                 pool, so repeated invocations amortize compilation
+//                 across processes.  Applies to --run (implied when no
+//                 other mode is requested) and to --batch; results are
+//                 still validated bit-for-bit against local sequential
 //                 execution.
+//     --fleet <shards.txt>
+//                 like --connect, but across a FLEET of daemons: the file
+//                 lists one endpoint per line ('#' comments allowed) and
+//                 each loop is consistent-hashed to a shard by structural
+//                 hash (runtime/shard_router.hpp), so identical structures
+//                 always hit the same shard's warm cache and the fleet
+//                 compiles each unique structure exactly once.  Batch mode
+//                 only.  After the run, prints per-shard occupancy, hit
+//                 rates, and hostile-tenant quota counters plus fleet
+//                 totals.
 //     --pin       pin compiled thread i to CPU (slice + i mod cores)
 //                 during --run/--batch execution (Linux; no-op
 //                 elsewhere).  Pinning is a run-time knob with no
@@ -65,6 +76,8 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "core/mimd.hpp"
 #include "ir/dependence.hpp"
 #include "ir/ifconvert.hpp"
@@ -73,6 +86,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/plan_client.hpp"
 #include "runtime/plan_service.hpp"
+#include "runtime/shard_router.hpp"
 
 namespace {
 
@@ -80,10 +94,11 @@ namespace {
   if (msg != nullptr) std::cerr << "mimdc: " << msg << "\n";
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
                "[--schedule] [--code] [--c] [--no-check] [--compare] "
-               "[--run] [--pin] [--connect <socket>] "
+               "[--run] [--pin] [--connect <endpoint>] "
                "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] <file|->\n"
                "       mimdc [-p N] [-k N] [-n N] [--fold] [--pin] "
-               "[--connect <socket>] [--runtime=<mutex|spsc>] "
+               "[--connect <endpoint> | --fleet <shards.txt>] "
+               "[--runtime=<mutex|spsc>] "
                "[--slots=<reuse|ssa>] --batch <dir>\n";
   std::exit(2);
 }
@@ -120,15 +135,35 @@ mimd::ParallelizeResult parallelize_source(const std::string& source,
   return parallelize(dep.graph, opts);
 }
 
+/// --fleet's endpoint list: one wire endpoint per line, '#' comments and
+/// blank lines skipped.
+std::vector<std::string> read_shards_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) usage(("cannot open shards file " + path).c_str());
+  std::vector<std::string> endpoints;
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    endpoints.push_back(line.substr(b, e - b + 1));
+  }
+  if (endpoints.empty()) {
+    usage(("no endpoints in shards file " + path).c_str());
+  }
+  return endpoints;
+}
+
 /// --batch <dir>: every *.loop file in the directory is one loop; all of
 /// them go through one PlanCache + WorkerPool concurrently (the plan
 /// service), each validated bit-for-bit against sequential execution —
 /// the same oracle --run applies per loop.  With --connect, the cache and
-/// pool are a running mimdd daemon's instead of in-process ones.
+/// pool are a running mimdd daemon's instead of in-process ones; with
+/// --fleet, N daemons' — each loop consistent-hashed to its shard.
 int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
                    bool fold, mimd::Transport transport, bool pin,
                    const mimd::CompileOptions& copts,
-                   const std::string& connect) {
+                   const std::string& connect, const std::string& fleet_file) {
   using namespace mimd;
   namespace fs = std::filesystem;
 
@@ -167,7 +202,74 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
   PlanCache::Stats cache_stats;
   double wall_seconds = 0.0;
   std::string workers_note;
-  if (connect.empty()) {
+  std::string fleet_report;
+  if (!fleet_file.empty()) {
+    ShardRouterOptions shard_opts;
+    shard_opts.endpoints = read_shards_file(fleet_file);
+    shard_opts.timeout_ms = 30000;
+    ShardRouter router(shard_opts);
+    std::vector<ShardJob> shard_jobs;
+    shard_jobs.reserve(jobs.size());
+    for (const BatchJob& job : jobs) {
+      ShardJob sj;
+      sj.program = job.program;
+      sj.graph = job.graph;
+      sj.copts = job.copts;
+      sj.iterations = job.iterations;
+      sj.run_opts.transport = transport;
+      sj.run_opts.pin_threads = pin;
+      shard_jobs.push_back(std::move(sj));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    results = router.run_jobs(shard_jobs);
+    wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Fleet observability: per-shard occupancy / hit rates / quota trips,
+    // then fleet totals folded into the standard summary line.
+    std::size_t pool_workers_total = 0, shards_alive = 0;
+    std::uint64_t quota_trips = 0, quota_disconnects = 0, backoffs = 0;
+    std::ostringstream fleet;
+    const std::vector<ShardStatsRow> rows = router.fleet_stats();
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      const ShardStatsRow& row = rows[s];
+      fleet << "shard " << s << "  : " << row.endpoint;
+      if (!row.alive) {
+        fleet << "  DEAD\n";
+        continue;
+      }
+      ++shards_alive;
+      const auto& st = row.stats;
+      const std::uint64_t lookups = st.cache.hits + st.cache.misses;
+      fleet << "  " << st.cache.entries << "/" << st.cache.capacity
+            << " plans, " << st.cache.hits << "/" << lookups << " hits";
+      if (lookups > 0) {
+        fleet << " (" << (100.0 * static_cast<double>(st.cache.hits) /
+                          static_cast<double>(lookups))
+              << "%)";
+      }
+      fleet << ", " << st.runs_executed << " runs, "
+            << (st.frame_quota_trips + st.registry_quota_trips)
+            << " quota trips, " << st.quota_disconnects << " disconnects\n";
+      cache_stats.hits += st.cache.hits;
+      cache_stats.misses += st.cache.misses;
+      cache_stats.evictions += st.cache.evictions;
+      cache_stats.entries += st.cache.entries;
+      cache_stats.capacity += st.cache.capacity;
+      pool_workers_total += st.pool_workers;
+      quota_trips += st.frame_quota_trips + st.registry_quota_trips;
+      quota_disconnects += st.quota_disconnects;
+      backoffs += st.accept_backoffs;
+    }
+    fleet << "fleet    : " << shards_alive << "/" << rows.size()
+          << " shards alive, " << cache_stats.entries << " plans resident, "
+          << quota_trips << " quota trips, " << quota_disconnects
+          << " quota disconnects, " << backoffs << " accept backoffs\n";
+    fleet_report = fleet.str();
+    workers_note = std::to_string(pool_workers_total) + " fleet workers on " +
+                   std::to_string(shards_alive) + " shard(s)";
+  } else if (connect.empty()) {
     PlanCache cache;
     WorkerPool pool;
     BatchReport report = run_batch(jobs, cache, pool);
@@ -220,12 +322,15 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
             << cache_stats.misses << " compiled plan(s) ("
             << cache_stats.hits << " cache hit"
             << (cache_stats.hits == 1 ? "" : "s")
-            << (connect.empty() ? "" : ", daemon-wide") << "), "
-            << transport_name(transport) << " transport, " << workers_note
-            << (pin ? " (pinned)" : "") << ", " << wall_seconds
-            << " s total, "
+            << (!fleet_file.empty()
+                    ? ", fleet-wide"
+                    : (connect.empty() ? "" : ", daemon-wide"))
+            << "), " << transport_name(transport) << " transport, "
+            << workers_note << (pin ? " (pinned)" : "") << ", "
+            << wall_seconds << " s total, "
             << static_cast<double>(jobs.size()) / wall_seconds
             << " loops/s\n";
+  std::cout << fleet_report;
   return all_ok ? 0 : 1;
 }
 
@@ -244,6 +349,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string batch_dir;
   std::string connect_path;
+  std::string fleet_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -275,8 +381,11 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage("--batch needs a directory");
       batch_dir = argv[++i];
     } else if (a == "--connect") {
-      if (i + 1 >= argc) usage("--connect needs a socket path");
+      if (i + 1 >= argc) usage("--connect needs an endpoint");
       connect_path = argv[++i];
+    } else if (a == "--fleet") {
+      if (i + 1 >= argc) usage("--fleet needs a shards file");
+      fleet_file = argv[++i];
     } else if (a == "--pin") {
       pin = true;
     } else if (a == "--no-check") {
@@ -316,6 +425,12 @@ int main(int argc, char** argv) {
   if (!connect_path.empty() && want_c) {
     usage("--connect routes execution through a daemon; --c emits locally");
   }
+  if (!fleet_file.empty() && !connect_path.empty()) {
+    usage("--fleet and --connect are mutually exclusive");
+  }
+  if (!fleet_file.empty() && batch_dir.empty()) {
+    usage("--fleet applies to --batch only");
+  }
   if (!batch_dir.empty()) {
     // Batch mode is the whole program: a directory of loops through one
     // plan cache and worker pool, each validated like --run.
@@ -325,7 +440,7 @@ int main(int argc, char** argv) {
     }
     try {
       return run_batch_mode(batch_dir, procs, k, n, fold, transport, pin,
-                            copts, connect_path);
+                            copts, connect_path, fleet_file);
     } catch (const ir::ParseError& e) {
       std::cerr << "mimdc: " << e.what() << "\n";
       return 1;

@@ -1,12 +1,19 @@
 // mimdd — the plan-service daemon: a long-lived server that accepts
-// loop-parallelization requests over a Unix domain socket and serves them
-// all from ONE shared PlanCache and ONE persistent WorkerPool, so
-// compilation and thread startup amortize across every client process
-// (runtime/plan_server.hpp holds the server core; runtime/wire.hpp the
-// protocol).
+// loop-parallelization requests over a Unix domain socket and/or TCP and
+// serves them all from ONE shared PlanCache and ONE persistent
+// WorkerPool, so compilation and thread startup amortize across every
+// client process (runtime/plan_server.hpp holds the server core;
+// runtime/wire.hpp the protocol).  N TCP daemons form a fleet that
+// `mimdc --fleet` consistent-hashes programs across
+// (runtime/shard_router.hpp).
 //
-//   mimdd --socket <path> [options]      serve until SIGINT/SIGTERM or a
-//                                        client Shutdown frame
+//   mimdd [--socket <path>] [--listen <host:port>] [options]
+//                                        serve until SIGINT/SIGTERM or a
+//                                        client Shutdown frame; at least
+//                                        one listener is required
+//     --listen host:port TCP listener; port 0 lets the kernel pick (pair
+//                        with --port-file so clients can find it)
+//     --port-file <path> write the bound TCP port once listening
 //     --daemonize        fork into the background; the parent exits 0
 //                        only after the child is bound and listening, so
 //                        `mimdd --daemonize && mimdc --connect` cannot
@@ -18,20 +25,33 @@
 //     --cache-capacity N LRU plan-cache capacity       (default 64)
 //     --workers N        pre-warm N pool workers       (default 0: grown
 //                        on demand to the widest gang)
+//     --max-programs N   per-connection registry quota  (0 = unlimited)
+//     --max-frame-rate F per-connection sustained frames/s (0 = unlimited)
+//     --frame-burst F    token-bucket burst for --max-frame-rate
+//     --quota-strikes N  over-quota replies before disconnect (0 = never)
 //
-//   mimdd --stop <socket>                graceful remote shutdown: sends
+//   mimdd --stop <endpoint>              graceful remote shutdown: sends
 //                                        the Shutdown frame, waits for the
-//                                        ack, then for the socket file to
-//                                        disappear (i.e. the drain to
+//                                        ack, then for the endpoint to
+//                                        stop answering (i.e. the drain to
 //                                        finish)
-//   mimdd --stats <socket>               print daemon-wide cache / pool /
-//                                        connection counters
+//   mimdd --stats <endpoint>             print daemon-wide cache / pool /
+//                                        connection / quota counters
+//
+// <endpoint> is any wire::parse_endpoint form: a bare path, unix:<path>,
+// host:port, or tcp:host:port.
 //
 // Typical pairing:
 //   mimdd --socket /tmp/mimdd.sock &
 //   mimdc --connect /tmp/mimdd.sock --run examples/loops/recurrence.loop
 //   mimdc --connect /tmp/mimdd.sock -p 2 --batch examples/loops
 //   mimdd --stop /tmp/mimdd.sock
+//
+// Fleet pairing:
+//   mimdd --listen 127.0.0.1:7070 --daemonize
+//   mimdd --listen 127.0.0.1:7071 --daemonize
+//   printf '127.0.0.1:7070\n127.0.0.1:7071\n' > shards.txt
+//   mimdc --fleet shards.txt -p 2 --batch examples/loops
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
@@ -54,11 +74,14 @@ namespace {
 
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::cerr << "mimdd: " << msg << "\n";
-  std::cerr << "usage: mimdd --socket <path> [--daemonize] [--pidfile <path>]"
-               " [--force]\n"
+  std::cerr << "usage: mimdd [--socket <path>] [--listen <host:port>]\n"
+               "             [--port-file <path>] [--daemonize]"
+               " [--pidfile <path>] [--force]\n"
                "             [--cache-capacity N] [--workers N]\n"
-               "       mimdd --stop <socket>\n"
-               "       mimdd --stats <socket>\n";
+               "             [--max-programs N] [--max-frame-rate F]"
+               " [--frame-burst F] [--quota-strikes N]\n"
+               "       mimdd --stop <endpoint>\n"
+               "       mimdd --stats <endpoint>\n";
   std::exit(2);
 }
 
@@ -84,6 +107,7 @@ void write_pidfile(const std::string& path, pid_t pid) {
 /// built in the parent would report num_workers() == N in the child while
 /// owning zero live workers, and every run would block forever.
 int run_server(const mimd::PlanServerOptions& opts, const std::string& pidfile,
+               const std::string& port_file,
                const std::function<void(bool ok)>& on_ready, bool verbose) {
   sigset_t sigs;
   sigemptyset(&sigs);
@@ -100,9 +124,17 @@ int run_server(const mimd::PlanServerOptions& opts, const std::string& pidfile,
     return 1;
   }
   if (!pidfile.empty()) write_pidfile(pidfile, ::getpid());
+  if (!port_file.empty()) {
+    // The ":0" answer: the kernel-assigned port, written ONLY once bound,
+    // so a fixture that polls the file cannot read a stale port.
+    std::ofstream f(port_file, std::ios::trunc);
+    if (f) f << server.tcp_port() << "\n";
+  }
   if (verbose) {
-    std::cerr << "mimdd: listening on " << server.socket_path() << " (pid "
-              << ::getpid() << ")\n";
+    std::cerr << "mimdd: listening on";
+    if (!server.socket_path().empty()) std::cerr << " " << server.socket_path();
+    if (server.tcp_port() != 0) std::cerr << " tcp:" << server.tcp_port();
+    std::cerr << " (pid " << ::getpid() << ")\n";
   }
   on_ready(true);
 
@@ -145,7 +177,8 @@ int run_server(const mimd::PlanServerOptions& opts, const std::string& pidfile,
 /// --daemonize: fork; the child serves, the parent exits only once the
 /// child reports (over a pipe) that the socket is bound and listening.
 int serve_daemonized(const mimd::PlanServerOptions& opts,
-                     const std::string& pidfile) {
+                     const std::string& pidfile,
+                     const std::string& port_file) {
   int ready[2];
   if (pipe(ready) != 0) {
     std::cerr << "mimdd: pipe failed: " << std::strerror(errno) << "\n";
@@ -170,7 +203,7 @@ int serve_daemonized(const mimd::PlanServerOptions& opts,
       ::dup2(devnull, STDERR_FILENO);
       if (devnull > STDERR_FILENO) ::close(devnull);
     }
-    const int rc = run_server(opts, pidfile,
+    const int rc = run_server(opts, pidfile, port_file,
                               [&ready](bool ok) {
                                 const char status = ok ? 'R' : 'E';
                                 (void)!::write(ready[1], &status, 1);
@@ -186,43 +219,58 @@ int serve_daemonized(const mimd::PlanServerOptions& opts,
   ::close(ready[0]);
   if (n == 1 && status == 'R') {
     std::cerr << "mimdd: daemon pid " << child << " listening on "
-              << opts.socket_path << "\n";
+              << (!opts.socket_path.empty() ? opts.socket_path
+                                            : opts.tcp_address)
+              << "\n";
     return 0;
   }
   std::cerr << "mimdd: daemon failed to start\n";
   return 1;
 }
 
-int stop_daemon(const std::string& socket_path) {
+int stop_daemon(const std::string& endpoint) {
+  const mimd::wire::Endpoint ep = mimd::wire::parse_endpoint(endpoint);
   try {
     mimd::PlanClient client =
-        mimd::PlanClient::connect(socket_path, /*timeout_ms=*/30000);
+        mimd::PlanClient::connect(endpoint, /*timeout_ms=*/30000);
     client.shutdown_server();
   } catch (const std::exception& e) {
     std::cerr << "mimdd: stop failed: " << e.what() << "\n";
     return 1;
   }
-  // The ack precedes the drain; wait for the unlink that ends stop() so
-  // callers (ctest fixtures) can immediately reuse the path.
+  // The ack precedes the drain; wait for the endpoint to actually go away
+  // so callers (ctest fixtures) can immediately reuse it.  Unix: the
+  // unlink that ends stop().  TCP: the listener refusing connections.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  struct stat st{};
-  while (::stat(socket_path.c_str(), &st) == 0) {
+  for (;;) {
+    bool gone = false;
+    if (ep.kind == mimd::wire::Endpoint::Kind::Unix) {
+      struct stat st{};
+      gone = ::stat(ep.path.c_str(), &st) != 0;
+    } else {
+      try {
+        ::close(mimd::wire::connect_endpoint(ep));
+      } catch (const mimd::wire::WireError&) {
+        gone = true;
+      }
+    }
+    if (gone) break;
     if (std::chrono::steady_clock::now() > deadline) {
-      std::cerr << "mimdd: daemon acked shutdown but " << socket_path
-                << " still exists\n";
+      std::cerr << "mimdd: daemon acked shutdown but " << endpoint
+                << " is still up\n";
       return 1;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  std::cout << "mimdd: stopped daemon on " << socket_path << "\n";
+  std::cout << "mimdd: stopped daemon on " << endpoint << "\n";
   return 0;
 }
 
-int print_stats(const std::string& socket_path) {
+int print_stats(const std::string& endpoint) {
   try {
     mimd::PlanClient client =
-        mimd::PlanClient::connect(socket_path, /*timeout_ms=*/30000);
+        mimd::PlanClient::connect(endpoint, /*timeout_ms=*/30000);
     const mimd::wire::StatsReply s = client.stats();
     std::cout << "cache    : " << s.cache.hits << " hits, " << s.cache.misses
               << " misses, " << s.cache.evictions << " evictions, "
@@ -232,7 +280,11 @@ int print_stats(const std::string& socket_path) {
               << "server   : " << s.connections_accepted
               << " connections accepted (" << s.connections_active
               << " active), " << s.programs_registered << " programs, "
-              << s.runs_executed << " runs\n";
+              << s.runs_executed << " runs\n"
+              << "quotas   : " << s.frame_quota_trips << " frame-rate trips, "
+              << s.registry_quota_trips << " registry trips, "
+              << s.quota_disconnects << " disconnects, " << s.accept_backoffs
+              << " accept backoffs\n";
   } catch (const std::exception& e) {
     std::cerr << "mimdd: stats failed: " << e.what() << "\n";
     return 1;
@@ -243,10 +295,16 @@ int print_stats(const std::string& socket_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path, stop_path, stats_path, pidfile;
+  std::string socket_path, listen_address, stop_ep, stats_ep, pidfile,
+      port_file;
   bool daemonize = false, force = false;
   std::size_t cache_capacity = mimd::PlanCache::kDefaultCapacity;
   std::size_t workers = 0;
+  mimd::PlanServerOptions defaults;
+  std::size_t max_programs = defaults.max_programs_per_connection;
+  double max_frame_rate = defaults.max_frames_per_second;
+  double frame_burst = defaults.frame_burst;
+  int quota_strikes = defaults.max_quota_strikes;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -256,10 +314,14 @@ int main(int argc, char** argv) {
     };
     if (a == "--socket") {
       socket_path = next("--socket needs a path");
+    } else if (a == "--listen") {
+      listen_address = next("--listen needs host:port");
+    } else if (a == "--port-file") {
+      port_file = next("--port-file needs a path");
     } else if (a == "--stop") {
-      stop_path = next("--stop needs a socket path");
+      stop_ep = next("--stop needs an endpoint");
     } else if (a == "--stats") {
-      stats_path = next("--stats needs a socket path");
+      stats_ep = next("--stats needs an endpoint");
     } else if (a == "--pidfile") {
       pidfile = next("--pidfile needs a path");
     } else if (a == "--daemonize") {
@@ -274,6 +336,19 @@ int main(int argc, char** argv) {
       const long v = std::atol(next("--workers needs a value").c_str());
       if (v < 0) usage("--workers must be >= 0");
       workers = static_cast<std::size_t>(v);
+    } else if (a == "--max-programs") {
+      const long v = std::atol(next("--max-programs needs a value").c_str());
+      if (v < 0) usage("--max-programs must be >= 0");
+      max_programs = static_cast<std::size_t>(v);
+    } else if (a == "--max-frame-rate") {
+      max_frame_rate = std::atof(next("--max-frame-rate needs a value").c_str());
+      if (max_frame_rate < 0) usage("--max-frame-rate must be >= 0");
+    } else if (a == "--frame-burst") {
+      frame_burst = std::atof(next("--frame-burst needs a value").c_str());
+      if (frame_burst < 0) usage("--frame-burst must be >= 0");
+    } else if (a == "--quota-strikes") {
+      quota_strikes = std::atoi(next("--quota-strikes needs a value").c_str());
+      if (quota_strikes < 0) usage("--quota-strikes must be >= 0");
     } else if (a == "--help" || a == "-h") {
       usage(nullptr);
     } else {
@@ -281,19 +356,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int modes = (!socket_path.empty() ? 1 : 0) +
-                    (!stop_path.empty() ? 1 : 0) +
-                    (!stats_path.empty() ? 1 : 0);
-  if (modes != 1) usage("exactly one of --socket, --stop, --stats required");
-  if (!stop_path.empty()) return stop_daemon(stop_path);
-  if (!stats_path.empty()) return print_stats(stats_path);
+  const bool serving = !socket_path.empty() || !listen_address.empty();
+  const int modes = (serving ? 1 : 0) + (!stop_ep.empty() ? 1 : 0) +
+                    (!stats_ep.empty() ? 1 : 0);
+  if (modes != 1) {
+    usage("exactly one of --socket/--listen, --stop, --stats required");
+  }
+  if (!stop_ep.empty()) return stop_daemon(stop_ep);
+  if (!stats_ep.empty()) return print_stats(stats_ep);
 
   mimd::PlanServerOptions opts;
   opts.socket_path = socket_path;
+  opts.tcp_address = listen_address;
   opts.cache_capacity = cache_capacity;
   opts.initial_workers = workers;
   opts.remove_existing = force;
+  opts.max_programs_per_connection = max_programs;
+  opts.max_frames_per_second = max_frame_rate;
+  opts.frame_burst = frame_burst;
+  opts.max_quota_strikes = quota_strikes;
 
-  if (daemonize) return serve_daemonized(opts, pidfile);
-  return run_server(opts, pidfile, [](bool) {}, /*verbose=*/true);
+  if (daemonize) return serve_daemonized(opts, pidfile, port_file);
+  return run_server(opts, pidfile, port_file, [](bool) {}, /*verbose=*/true);
 }
