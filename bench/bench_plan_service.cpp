@@ -29,19 +29,31 @@
 //                               structure regardless of shard count — the
 //                               fleet_misses counter pins that invariant
 //                               while the timing shows what the extra
-//                               shards cost/buy at this request size.
+//                               shards cost/buy at this request size;
+//  * Jit_VsInterpreted_*      — the PR 7 A/B, a procs x trip-count
+//                               matrix over fig7 (both sides compiled AT
+//                               the benchmarked n): ColdCompile is the
+//                               one-time background cost of building the
+//                               dlopen'd kernel, WarmNative the
+//                               steady-state native run (compile_seconds
+//                               counter = the latency a background
+//                               compile hides), InterpretedPooled the
+//                               exact --jit=off baseline (cached plan +
+//                               pooled run).
 //
 // tools/bench_runner.py records BENCH_bench_plan_service.json; the
 // cold-vs-cached and pool-vs-spawn ratios live in EXPERIMENTS.md
-// ("Plan service A/B").
+// ("Plan service A/B"), the native-vs-interpreted ratio in "JIT A/B".
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "partition/lowering.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/jit_compiler.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/plan_server.hpp"
 #include "runtime/plan_service.hpp"
@@ -154,6 +166,102 @@ void BM_Run_PooledPinned(benchmark::State& state) {
       benchmark::Counter(affinity_supported() ? 1.0 : 0.0);
 }
 BENCHMARK(BM_Run_PooledPinned)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// ---- JIT A/B: native kernel vs interpreted plan, same request. ----
+
+void BM_Jit_VsInterpreted_ColdCompile(benchmark::State& state) {
+  if (!jit_available()) {
+    state.SkipWithError(jit_unavailable_reason().c_str());
+    return;
+  }
+  const ExecutorPlan& plan = fig7_plan();
+  // Each iteration is a full emit + cc -shared + dlopen + handshake: the
+  // price the background compiler thread pays once per structure.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jit_compile(plan));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Jit_VsInterpreted_ColdCompile)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Both sides of the A/B are compiled AT the benchmarked trip count —
+// passing a bigger n to run() only sizes result buffers, the executed
+// iteration count is baked in at compile() time.  At the request default
+// (n=24) per-run fixed costs dominate — the kernel pthread_creates its
+// PEs while the interpreter borrows pooled threads — so the two are
+// comparable; at realistic trip counts the native steady-state loop
+// pulls away from per-node interpretation.
+struct JitAbPair {
+  ExecutorPlan plan;
+  std::shared_ptr<const JitKernel> kernel;  // null when jit unavailable
+  double compile_seconds = 0.0;
+};
+
+JitAbPair& jit_ab_pair(int procs, std::int64_t n) {
+  // benchmarks run serially
+  static std::map<std::pair<int, std::int64_t>, JitAbPair> pairs;
+  auto it = pairs.find({procs, n});
+  if (it == pairs.end()) {
+    JitAbPair ab;
+    const Ddg g = workloads::fig7_loop();
+    const Machine m{procs, 2};
+    const CyclicSchedResult r = cyclic_sched(g, m);
+    ab.plan = compile(lower(materialize(*r.pattern, m.processors, n), g), g);
+    if (jit_available()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ab.kernel = jit_compile(ab.plan);
+      ab.compile_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    it = pairs.emplace(std::make_pair(procs, n), std::move(ab)).first;
+  }
+  return it->second;
+}
+
+void BM_Jit_VsInterpreted_WarmNative(benchmark::State& state) {
+  if (!jit_available()) {
+    state.SkipWithError(jit_unavailable_reason().c_str());
+    return;
+  }
+  const int procs = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  JitAbPair& ab = jit_ab_pair(procs, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ab.kernel->run(n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  // The one-time latency the background thread hides from request paths.
+  state.counters["compile_seconds"] = benchmark::Counter(ab.compile_seconds);
+}
+BENCHMARK(BM_Jit_VsInterpreted_WarmNative)
+    ->ArgNames({"procs", "n"})
+    ->ArgsProduct({{1, 2}, {24, 4096}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Jit_VsInterpreted_InterpretedPooled(benchmark::State& state) {
+  // The exact --jit=off steady state: cached plan, pooled threads.  The
+  // WarmNative/this ratio is the JIT's answer to "what does a request
+  // cost once the kernel exists?".
+  const int procs = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const ExecutorPlan& plan = jit_ab_pair(procs, n).plan;
+  static WorkerPool pool;
+  RunOptions opts;
+  opts.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.run(n, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Jit_VsInterpreted_InterpretedPooled)
+    ->ArgNames({"procs", "n"})
+    ->ArgsProduct({{1, 2}, {24, 4096}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 // ---- run_batch end to end. ----
 

@@ -1,5 +1,7 @@
 #include "partition/c_codegen.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -87,12 +89,18 @@ std::optional<RolledShape> detect_period(const CompiledThread& t) {
     if (e < anchor || !ops_equal_shifted(t, anchor, anchor + p, di)) {
       continue;
     }
-    // [s, e + p) tiles with period p; align whole repetitions to its end.
+    // [s, e + p) tiles with period p: ops_equal_shifted holds for every
+    // pair (i, i + p) with i in [s, e), which covers every whole
+    // repetition started at s itself.  Start-align the repetitions there
+    // — the prologue is exactly the non-periodic warm-up [0, s), and the
+    // leftover (run % p) ops fall to the epilogue.  (End-aligning, as
+    // this used to, padded the prologue with up to period-1 already-
+    // periodic ops per thread.)
     const std::size_t run = e + p - s;
     const std::int64_t reps = static_cast<std::int64_t>(run / p);
     if (reps < 3) continue;
     RolledShape shape;
-    shape.prologue = (e + p) - static_cast<std::size_t>(reps) * p;
+    shape.prologue = s;
     shape.period = p;
     shape.reps = reps;
     shape.iter_shift = di;
@@ -199,10 +207,13 @@ void emit_kernel_combine(std::ostringstream& out, const Ddg& g, NodeId v,
 
 /// One compiled op as C.  `iter_expr` is the op's iteration as a C
 /// expression — a literal in straight-line code, `(base + r * shift)` in a
-/// rolled steady state.
+/// rolled steady state.  In shared-object mode (`shared`) computed values
+/// go to the caller's row-major matrix through the per-call context, and
+/// InitialValue operands that carry the library's default pre-loop value
+/// load from the caller's init vector instead of being baked as literals.
 void emit_op(std::ostringstream& out, const CompiledThread& t,
              const CompiledOp& op, const Ddg& g,
-             const std::string& iter_expr, const char* note) {
+             const std::string& iter_expr, const char* note, bool shared) {
   switch (op.kind) {
     case CompiledOp::Kind::Compute: {
       out << "  { /* " << g.node(op.node).name << "[" << iter_expr << "]"
@@ -221,15 +232,35 @@ void emit_op(std::ostringstream& out, const CompiledThread& t,
           case OperandRef::Kind::ChannelRecv:
             out << "chan_recv(&chans[" << r.index << "]);\n";
             break;
-          case OperandRef::Kind::InitialValue:
-            out << fmt_double(r.initial) << ";\n";
+          case OperandRef::Kind::InitialValue: {
+            // Compute operands follow the graph's in-edge order, so
+            // operand j's producing node is the j-th in-edge's source.
+            // Route it through the kernel's init vector iff the compiled
+            // constant is (bitwise) that node's default initial value;
+            // anything else stays a literal, so a plan compiled against
+            // bespoke initials keeps its exact semantics.
+            const auto& ins = g.in_edges(op.node);
+            const NodeId src =
+                j < ins.size() ? g.edge(ins[j]).src : NodeId{0};
+            if (shared && j < ins.size() &&
+                std::bit_cast<std::uint64_t>(r.initial) ==
+                    std::bit_cast<std::uint64_t>(initial_value(src))) {
+              out << "init[" << src << "];\n";
+            } else {
+              out << fmt_double(r.initial) << ";\n";
+            }
             break;
+          }
         }
         operand_exprs.push_back("a" + std::to_string(j));
       }
       emit_kernel_combine(out, g, op.node, "i", "    ", operand_exprs);
-      out << "    s[" << op.slot << "] = acc;\n"
-          << "    R[" << op.node << "][i] = acc;\n  }\n";
+      out << "    s[" << op.slot << "] = acc;\n";
+      if (shared) {
+        out << "    k->R[" << op.node << "LL * k->n + i] = acc;\n  }\n";
+      } else {
+        out << "    R[" << op.node << "][i] = acc;\n  }\n";
+      }
       break;
     }
     case CompiledOp::Kind::Send:
@@ -255,9 +286,14 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
   const std::int64_t iterations = cp.iterations;
   const std::size_t nchans = cp.channels.size();
   const std::size_t nthreads = cp.threads.size();
+  const bool shared = opts.shared_object;
+  // A loadable kernel has no main() to self-check in; its loader
+  // (runtime/jit_compiler.cpp) validates differentially instead.
+  const bool self_check = opts.self_check && !shared;
 
   std::ostringstream out;
-  out << "/* Generated by mimd-pattern-sched: partitioned MIMD loop.\n"
+  out << "/* Generated by mimd-pattern-sched: partitioned MIMD loop"
+      << (shared ? " (loadable kernel)" : "") << ".\n"
       << " * Lowered from the same CompiledProgram the in-process executor\n"
       << " * runs: per-thread slot arrays ("
       << cp.total_slots() << " slots total, " << cp.total_slots_ssa()
@@ -265,69 +301,117 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
       << (opts.transport == Transport::Spsc
               ? "lock-free C11 SPSC value rings"
               : "mutex+condvar value queues")
-      << ".\n"
-      << " * Build: cc -O2 -std=c11 -pthread this_file.c\n";
-  if (opts.self_check) {
-    out << " * Exit status 0 and a final \"OK\" line mean the parallel\n"
-        << " * execution matched sequential execution bit for bit. */\n";
+      << ".\n";
+  if (shared) {
+    out << " * Build: cc -O2 -std=c11 -shared -fPIC -pthread this_file.c\n"
+        << " * Entry: mimd_kernel_run(n, init, R) runs the compiled\n"
+        << " * iterations with init[v] as node v's pre-loop value, writing\n"
+        << " * node v, iteration i to R[v * n + i]; mimd_kernel_info is the\n"
+        << " * loader's ABI handshake.  Reentrant: all mutable state lives\n"
+        << " * in a per-call heap context. */\n";
   } else {
-    out << " * Self-check SKIPPED (--no-check): standalone benchmark\n"
-        << " * artifact — prints parallel wall time and a result fold;\n"
-        << " * validate the loop once with the checking emission first. */\n";
+    out << " * Build: cc -O2 -std=c11 -pthread this_file.c\n";
+    if (self_check) {
+      out << " * Exit status 0 and a final \"OK\" line mean the parallel\n"
+          << " * execution matched sequential execution bit for bit. */\n";
+    } else {
+      out << " * Self-check SKIPPED (--no-check): standalone benchmark\n"
+          << " * artifact — prints parallel wall time and a result fold;\n"
+          << " * validate the loop once with the checking emission first. "
+             "*/\n";
+    }
   }
   out << "#include <pthread.h>\n"
-      << "#include <sched.h>\n"
-      << "#include <stdio.h>\n";
-  if (!opts.self_check) {
-    out << "#include <time.h>\n";
+      << "#include <sched.h>\n";
+  if (shared) {
+    out << "#include <stdlib.h>\n";
+  } else {
+    out << "#include <stdio.h>\n";
+    if (!self_check) {
+      out << "#include <time.h>\n";
+    }
   }
   if (opts.transport == Transport::Spsc) {
     out << "#include <stdatomic.h>\n";
   }
   out << "\n#define N " << iterations << "LL\n"
       << "#define NODES " << g.num_nodes() << "\n\n";
-  if (opts.self_check) {
-    out << "/* R[v][i]: written only by the thread computing (v, i);\n"
-        << " * SEQ[v][i]: the in-program sequential recompute. */\n"
-        << "static double R[NODES][N];\n"
-        << "static double SEQ[NODES][N];\n\n";
-  } else {
-    out << "/* R[v][i]: written only by the thread computing (v, i). */\n"
-        << "static double R[NODES][N];\n\n";
+  if (!shared) {
+    if (self_check) {
+      out << "/* R[v][i]: written only by the thread computing (v, i);\n"
+          << " * SEQ[v][i]: the in-program sequential recompute. */\n"
+          << "static double R[NODES][N];\n"
+          << "static double SEQ[NODES][N];\n\n";
+    } else {
+      out << "/* R[v][i]: written only by the thread computing (v, i). */\n"
+          << "static double R[NODES][N];\n\n";
+    }
   }
 
   emit_channel_runtime(out, opts.transport);
 
-  // Channel storage: one static buffer per channel, sized by the shared
-  // ring_capacity policy (runtime/transport.hpp) from the channel's exact
-  // message count — the same capacity the in-process executor would give
-  // its SpscChannel for this program.
-  for (std::size_t c = 0; c < nchans; ++c) {
-    const ChannelDesc& d = cp.channels[c];
-    out << "static double chan" << c << "_buf["
-        << ring_capacity(d.messages) << "]; /* edge " << d.edge << ", PE"
-        << d.src_proc << " -> PE" << d.dst_proc << ", " << d.messages
-        << " messages */\n";
+  if (shared) {
+    // Per-call context: channel rings (storage + cursors) and the
+    // caller's buffers.  calloc-zeroed state is exactly the valid empty-
+    // ring state the static emission relies on, and heap-allocating it
+    // per call makes one loaded kernel reentrant.
+    out << "/* Per-call context: every piece of mutable state, so one\n"
+        << " * loaded kernel can serve concurrent invocations. */\n"
+        << "typedef struct {\n";
+    for (std::size_t c = 0; c < nchans; ++c) {
+      const ChannelDesc& d = cp.channels[c];
+      out << "  double chan" << c << "_buf[" << ring_capacity(d.messages)
+          << "]; /* edge " << d.edge << ", PE" << d.src_proc << " -> PE"
+          << d.dst_proc << ", " << d.messages << " messages */\n";
+    }
+    out << "  chan_t chans[" << (nchans == 0 ? 1 : nchans) << "];\n"
+        << "  double* R;          /* caller's NODES x n row-major matrix "
+           "*/\n"
+        << "  long long n;        /* row stride (>= N) */\n"
+        << "  const double* init; /* caller's per-node pre-loop values */\n"
+        << "} kctx_t;\n\n";
+  } else {
+    // Channel storage: one static buffer per channel, sized by the shared
+    // ring_capacity policy (runtime/transport.hpp) from the channel's
+    // exact message count — the same capacity the in-process executor
+    // would give its SpscChannel for this program.
+    for (std::size_t c = 0; c < nchans; ++c) {
+      const ChannelDesc& d = cp.channels[c];
+      out << "static double chan" << c << "_buf["
+          << ring_capacity(d.messages) << "]; /* edge " << d.edge << ", PE"
+          << d.src_proc << " -> PE" << d.dst_proc << ", " << d.messages
+          << " messages */\n";
+    }
+    out << "static chan_t chans[" << (nchans == 0 ? 1 : nchans) << "];\n\n";
   }
-  out << "static chan_t chans[" << (nchans == 0 ? 1 : nchans) << "];\n\n";
 
   // One function per compiled thread, each with its fixed slot array.
   for (const CompiledThread& t : cp.threads) {
-    out << "static void* pe" << t.proc << "_main(void* arg) {\n"
-        << "  (void)arg;\n"
-        << "  double s[" << (t.num_slots == 0 ? 1 : t.num_slots)
+    out << "static void* pe" << t.proc << "_main(void* arg) {\n";
+    if (shared) {
+      // Local aliases keep the per-op emission textually identical to the
+      // standalone mode's file-static storage.
+      out << "  kctx_t* k = (kctx_t*)arg;\n"
+          << "  chan_t* chans = k->chans;\n"
+          << "  const double* init = k->init;\n"
+          << "  (void)chans; (void)init;\n";
+    } else {
+      out << "  (void)arg;\n";
+    }
+    out << "  double s[" << (t.num_slots == 0 ? 1 : t.num_slots)
         << "]; /* " << t.num_slots_ssa << " values, " << t.num_slots
         << " after liveness reuse */\n";
     const auto shape =
         opts.roll_steady_state ? detect_period(t) : std::nullopt;
     if (!shape.has_value()) {
       for (const CompiledOp& op : t.ops) {
-        emit_op(out, t, op, g, std::to_string(op.iter), "");
+        emit_op(out, t, op, g, std::to_string(op.iter), "", shared);
       }
     } else {
       // Prologue, straight-line.
       for (std::size_t j = 0; j < shape->prologue; ++j) {
-        emit_op(out, t, t.ops[j], g, std::to_string(t.ops[j].iter), "");
+        emit_op(out, t, t.ops[j], g, std::to_string(t.ops[j].iter), "",
+                shared);
       }
       // Steady state, rolled: the paper's per-processor subloop.
       out << "  for (long long r = 0; r < " << shape->reps
@@ -338,7 +422,7 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
         const CompiledOp& op = t.ops[j];
         const std::string expr = "(" + std::to_string(op.iter) + " + r * " +
                                  std::to_string(shape->iter_shift) + ")";
-        emit_op(out, t, op, g, expr, " (rolled)");
+        emit_op(out, t, op, g, expr, " (rolled)", shared);
       }
       out << "  }\n";
       // Epilogue, straight-line (empty when the run divides evenly).
@@ -346,13 +430,63 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
                            static_cast<std::size_t>(shape->reps) *
                                shape->period;
            j < t.ops.size(); ++j) {
-        emit_op(out, t, t.ops[j], g, std::to_string(t.ops[j].iter), "");
+        emit_op(out, t, t.ops[j], g, std::to_string(t.ops[j].iter), "",
+                shared);
       }
     }
     out << "  return 0;\n}\n\n";
   }
 
-  if (opts.self_check) {
+  if (shared) {
+    // Loadable-kernel entry points: the ABI handshake constant and the
+    // run function the loader dlsym()s.  Symbols are exported by default
+    // in a plain -shared build; the file is C, so no mangling.
+    out << "/* ABI handshake for the loader: version, result rows,\n"
+        << " * compiled iteration count, thread count. */\n"
+        << "typedef struct {\n"
+        << "  long long abi_version;\n"
+        << "  long long nodes;\n"
+        << "  long long iterations;\n"
+        << "  long long threads;\n"
+        << "} mimd_kernel_info_t;\n"
+        << "const mimd_kernel_info_t mimd_kernel_info = {1, NODES, N, "
+        << nthreads << "};\n\n"
+        << "int mimd_kernel_run(long long n, const double* init, "
+           "double* R) {\n"
+        << "  if (n < N || !init || !R) return 1;\n"
+        << "  kctx_t* k = (kctx_t*)calloc(1, sizeof(kctx_t));\n"
+        << "  if (!k) return 2; /* zeroed = valid empty-ring state */\n";
+    for (std::size_t c = 0; c < nchans; ++c) {
+      out << "  k->chans[" << c << "].buf = k->chan" << c << "_buf;\n"
+          << "  k->chans[" << c << "].mask = "
+          << ring_capacity(cp.channels[c].messages) - 1 << ";\n";
+    }
+    if (opts.transport == Transport::Mutex) {
+      out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
+          << "; ++c) {\n"
+          << "    pthread_mutex_init(&k->chans[c].mu, 0);\n"
+          << "    pthread_cond_init(&k->chans[c].cv, 0);\n  }\n";
+    }
+    out << "  k->R = R;\n"
+        << "  k->n = n;\n"
+        << "  k->init = init;\n"
+        << "  pthread_t th[" << (nthreads == 0 ? 1 : nthreads) << "];\n"
+        << "  int t = 0;\n";
+    for (const CompiledThread& t : cp.threads) {
+      out << "  pthread_create(&th[t++], 0, pe" << t.proc << "_main, k);\n";
+    }
+    out << "  for (int j = 0; j < t; ++j) pthread_join(th[j], 0);\n";
+    if (opts.transport == Transport::Mutex) {
+      out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
+          << "; ++c) {\n"
+          << "    pthread_mutex_destroy(&k->chans[c].mu);\n"
+          << "    pthread_cond_destroy(&k->chans[c].cv);\n  }\n";
+    }
+    out << "  free(k);\n  return 0;\n}\n";
+    return out.str();
+  }
+
+  if (self_check) {
     // Sequential reference: same kernel, same fold order, node order from
     // the library's own intra-iteration topological sort.
     out << "static void sequential(void) {\n"
@@ -388,7 +522,7 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
   }
   out << "  pthread_t th[" << (nthreads == 0 ? 1 : nthreads) << "];\n"
       << "  int t = 0;\n";
-  if (!opts.self_check) {
+  if (!self_check) {
     out << "  struct timespec t0, t1;\n"
         << "  clock_gettime(CLOCK_MONOTONIC, &t0);\n";
   }
@@ -396,7 +530,7 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
     out << "  pthread_create(&th[t++], 0, pe" << t.proc << "_main, 0);\n";
   }
   out << "  for (int j = 0; j < t; ++j) pthread_join(th[j], 0);\n\n";
-  if (opts.self_check) {
+  if (self_check) {
     out << "  sequential();\n"
         << "  long long bad = 0;\n"
         << "  for (int v = 0; v < NODES; ++v)\n"

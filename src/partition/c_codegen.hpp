@@ -54,6 +54,26 @@ struct CEmitOptions {
   /// the emitted artifact serves as a standalone benchmark.  Validate a
   /// loop once with the default before timing it with --no-check.
   bool self_check = true;
+  /// Emit a loadable kernel instead of a standalone program (the JIT
+  /// backend, runtime/jit_compiler.hpp): no main(), no self-check, no
+  /// static result/channel storage.  All mutable state (channel rings +
+  /// cursors, result pointer) lives in a heap-allocated context passed to
+  /// each thread, so one loaded kernel is reentrant.  Exports
+  ///
+  ///   int mimd_kernel_run(long long n, const double* init, double* R)
+  ///
+  /// — run the compiled iterations with `init[v]` as node v's pre-loop
+  /// value, writing every computed value to the row-major result matrix
+  /// `R[v * n + i]` (caller allocates NODES * n doubles, zero-filled so
+  /// uncomputed entries match the interpreted executor's zero rows);
+  /// returns 0 on success, nonzero on a bad argument — and
+  ///
+  ///   const mimd_kernel_info_t mimd_kernel_info
+  ///
+  /// = {abi_version, nodes, iterations, threads} (four long longs) so a
+  /// loader can validate the ABI and bounds before the first call.
+  /// Incompatible with self_check; transport/rolling apply as usual.
+  bool shared_object = false;
 };
 
 /// Emit the full C translation unit executing `cp` (compiled from the

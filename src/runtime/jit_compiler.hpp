@@ -1,0 +1,209 @@
+// JIT-compiled native plans: the C backend (partition/c_codegen.hpp,
+// CEmitOptions::shared_object) re-emits a CompiledProgram as a loadable
+// shared-object kernel, the system toolchain compiles it (`cc -O2 -shared
+// -fPIC -pthread`), and dlopen() turns it into a function pointer the
+// serving stack can call instead of interpreting CompiledOps per
+// iteration.  EXPERIMENTS.md's interpreted-vs-generated-C gap becomes a
+// served-traffic win: for a long-lived daemon the one-time compile
+// amortizes to zero (ROADMAP, "as fast as the hardware allows").
+//
+// Layers:
+//  * jit_compile(plan) — synchronous emit + compile + dlopen, returning a
+//    JitKernel (RAII over the dlopen handle; dlclose on destruction, so a
+//    kernel unloads only when the last shared_ptr — cache entry or
+//    in-flight run — drops).
+//  * JitSlot — the atomically-published kernel slot a PlanCache entry
+//    carries next to its interpreted plan.  Publication follows the
+//    release/acquire publish-subscribe discipline (McKenney, PAPERS.md):
+//    the compiler thread writes the kernel pointer, then release-stores
+//    Ready; readers acquire-load the state before touching the pointer.
+//  * JitEngine — one low-priority background compiler thread over a
+//    bounded queue, deduplicating by slot state (a slot is enqueued at
+//    most once; concurrent first requests CAS Empty -> Queued and only
+//    one wins).  Toolchain availability is probed once per (cc, flags)
+//    pair process-wide and cached, so constructing many engines (tests)
+//    costs one probe total.  A failed compile marks the slot Failed
+//    permanently — the interpreted plan keeps serving; no retry storms.
+//
+// Degradation: hosts without a working toolchain, builds with
+// MIMD_ENABLE_JIT=OFF (-DMIMD_JIT_DISABLED), and ThreadSanitizer builds
+// (dlopen'd kernels are uninstrumented; their pthreads would be invisible
+// to TSan and every channel handoff a false positive) all report
+// available() == false with a pinned reason, and every caller falls back
+// to the interpreted path — behavior identical to --jit=off.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/executor.hpp"
+
+namespace mimd {
+
+/// Emission, toolchain, or load failure.  Callers treat it as "no native
+/// kernel for this plan" and keep interpreting.
+class JitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct JitOptions {
+  /// Toolchain driver; probed once per (cc, extra_flags) process-wide.
+  std::string cc = "cc";
+  /// Extra flags appended verbatim to the compile command (sanitizer
+  /// builds would pass matching instrumentation flags here).
+  std::string extra_flags;
+  /// Scratch directory for .c/.so artifacts; empty = $TMPDIR or /tmp.
+  /// Artifacts are unlinked right after dlopen.
+  std::string scratch_dir;
+  /// Background-compile queue bound; excess enqueues are dropped (the
+  /// slot reverts to Empty and a later cache hit re-enqueues).
+  std::size_t queue_capacity = 64;
+};
+
+/// A loaded native kernel.  Immutable and thread-compatible: run() is
+/// const and reentrant (all mutable kernel state is per-call).  The
+/// dlopen handle closes when the last owner drops — in-flight runs hold
+/// shared_ptrs, so cache eviction never unloads code mid-run.
+class JitKernel {
+ public:
+  ~JitKernel();
+  JitKernel(const JitKernel&) = delete;
+  JitKernel& operator=(const JitKernel&) = delete;
+
+  /// Execute for n iterations (n >= iterations(); ContractViolation
+  /// otherwise).  Initial values are the library defaults
+  /// (initial_value(v)), matching the interpreted executor; the result is
+  /// bit-identical with ExecutorPlan::run on an eligible RunOptions.
+  /// Throws JitError if the kernel entry reports a bad argument.
+  [[nodiscard]] ExecutionResult run(std::int64_t n) const;
+
+  [[nodiscard]] std::int64_t nodes() const { return nodes_; }
+  [[nodiscard]] std::int64_t iterations() const { return iterations_; }
+  [[nodiscard]] std::int64_t threads() const { return threads_; }
+
+ private:
+  friend std::shared_ptr<const JitKernel> jit_compile(const ExecutorPlan&,
+                                                      const JitOptions&);
+  JitKernel() = default;
+
+  using EntryFn = int (*)(long long, const double*, double*);
+  void* handle_ = nullptr;
+  EntryFn entry_ = nullptr;
+  std::int64_t nodes_ = 0;
+  std::int64_t iterations_ = 0;
+  std::int64_t threads_ = 0;
+};
+
+/// Emit, compile, and load `plan` as a native kernel, synchronously.
+/// Throws JitError on any failure (toolchain missing, compile error, ABI
+/// mismatch) with the toolchain's stderr excerpted in the message.
+std::shared_ptr<const JitKernel> jit_compile(const ExecutorPlan& plan,
+                                             const JitOptions& opts = {});
+
+/// True iff a native kernel computes exactly what plan.run(n, opts)
+/// would: default kernel (work_per_cycle 0), Spsc transport, uncapped
+/// channels, no pinning.  The kernel spawns its own pthreads, so the
+/// WorkerPool setting is irrelevant to the values (a pool caller just
+/// doesn't use the pool for that run); pinning is a placement hint the
+/// kernel doesn't implement, so pinned requests run interpreted.
+[[nodiscard]] bool jit_run_eligible(const RunOptions& opts);
+
+/// Probe (once per (cc, extra_flags), cached process-wide) whether this
+/// toolchain can produce a loadable kernel.
+[[nodiscard]] bool jit_available(const JitOptions& opts = {});
+/// Empty string when available; otherwise the pinned reason ("no working
+/// C toolchain: ...", the MIMD_ENABLE_JIT=OFF message, or the
+/// ThreadSanitizer message).
+[[nodiscard]] std::string jit_unavailable_reason(const JitOptions& opts = {});
+
+/// The atomically-published kernel slot a cache entry holds next to its
+/// interpreted plan.  Single writer (the engine thread) drives
+///   Empty -> Queued -> Compiling -> Ready | Failed,
+/// with Queued claimed by CAS so concurrent first requests enqueue once.
+/// Failed is terminal; a dropped enqueue reverts to Empty.
+class JitSlot {
+ public:
+  /// The published kernel, or null while Empty/Queued/Compiling/Failed.
+  [[nodiscard]] std::shared_ptr<const JitKernel> kernel() const;
+  /// Queued or Compiling — the cache pins such entries against eviction
+  /// so the compile's result is never published into a dead slot.
+  [[nodiscard]] bool in_flight() const;
+  [[nodiscard]] bool failed() const;
+
+ private:
+  friend class JitEngine;
+
+  enum State : int { kEmpty = 0, kQueued, kCompiling, kReady, kFailed };
+
+  std::atomic<int> state_{kEmpty};
+  /// Written by the engine thread strictly before the release-store of
+  /// kReady; read only after an acquire-load observes kReady.
+  std::shared_ptr<const JitKernel> kernel_;
+};
+
+/// The background compiler: one low-priority thread, bounded queue,
+/// slot-state dedup.  Owned by PlanCache when JIT is enabled.
+class JitEngine {
+ public:
+  struct Stats {
+    std::uint64_t compiles = 0;   ///< kernels published
+    std::uint64_t failures = 0;   ///< slots marked Failed
+    std::uint64_t in_flight = 0;  ///< queued + currently compiling
+    std::uint64_t dropped = 0;    ///< enqueues refused by the full queue
+  };
+
+  explicit JitEngine(const JitOptions& opts = {});
+  ~JitEngine();
+  JitEngine(const JitEngine&) = delete;
+  JitEngine& operator=(const JitEngine&) = delete;
+
+  [[nodiscard]] bool available() const { return available_; }
+  [[nodiscard]] const std::string& unavailable_reason() const {
+    return reason_;
+  }
+
+  /// Queue a background compile of `plan` into `slot` if the slot is
+  /// Empty and the queue has room; otherwise a no-op (dedup / drop).
+  void enqueue(std::shared_ptr<JitSlot> slot,
+               std::shared_ptr<const ExecutorPlan> plan);
+
+  /// Block until the queue is drained and no compile is running — test
+  /// and pre-warm hook; serving paths never wait.
+  void wait_idle();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Job {
+    std::shared_ptr<JitSlot> slot;
+    std::shared_ptr<const ExecutorPlan> plan;
+  };
+
+  void worker();
+
+  JitOptions opts_;
+  bool available_ = false;
+  std::string reason_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;    ///< wakes the worker
+  std::condition_variable idle_;  ///< wakes wait_idle
+  std::list<Job> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::uint64_t compiles_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::thread worker_thread_;  ///< started only when available_
+};
+
+}  // namespace mimd

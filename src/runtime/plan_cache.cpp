@@ -6,8 +6,14 @@
 
 namespace mimd {
 
-PlanCache::PlanCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+PlanCache::PlanCache(std::size_t capacity) : PlanCache(capacity, JitConfig{}) {}
+
+PlanCache::PlanCache(std::size_t capacity, const JitConfig& jit)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (jit.enabled) {
+    engine_ = std::make_unique<JitEngine>(jit.options);
+  }
+}
 
 bool PlanCache::matches_locked(const Entry& e, const PartitionedProgram& prog,
                                const CompileOptions& copts) const {
@@ -15,14 +21,19 @@ bool PlanCache::matches_locked(const Entry& e, const PartitionedProgram& prog,
 }
 
 void PlanCache::evict_to_capacity_locked() {
-  // Building entries are pinned (their builders hold iterators); walk from
-  // the cold end and drop the least recently used *built* entries.
+  // Building entries are pinned (their builders hold iterators), and so
+  // are entries whose native-kernel compile is in flight — evicting one
+  // would have the JIT worker publish into a slot no request can reach,
+  // and would drop the interpreted plan the worker is still reading.
+  // Walk from the cold end and drop the least recently used *built*
+  // entries.
   auto it = lru_.end();
   std::size_t built_over = lru_.size() > capacity_ ? lru_.size() - capacity_
                                                    : 0;
   while (built_over > 0 && it != lru_.begin()) {
     --it;
-    if (it->plan == nullptr) continue;  // in flight: pinned
+    if (it->plan == nullptr) continue;           // in flight: pinned
+    if (it->jit && it->jit->in_flight()) continue;  // compiling: pinned
     by_hash_.erase(it->hash);
     it = lru_.erase(it);
     ++evictions_;
@@ -31,6 +42,12 @@ void PlanCache::evict_to_capacity_locked() {
 }
 
 std::shared_ptr<const ExecutorPlan> PlanCache::get_or_compile(
+    const PartitionedProgram& prog, const Ddg& g,
+    const CompileOptions& copts) {
+  return get_or_compile_jit(prog, g, copts).plan;
+}
+
+PlanCache::CachedPlan PlanCache::get_or_compile_jit(
     const PartitionedProgram& prog, const Ddg& g,
     const CompileOptions& copts) {
   // Hash the graph once; the combined key folds the precomputed value.
@@ -64,11 +81,18 @@ std::shared_ptr<const ExecutorPlan> PlanCache::get_or_compile(
     }
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);  // touch: most recent
-    return e.plan;
+    CachedPlan hit{e.plan, e.jit};
+    lock.unlock();
+    // A full queue may have dropped this entry's enqueue (slot reverted
+    // to Empty); retry on the hit path until it sticks.  The CAS inside
+    // enqueue makes this a no-op for slots already queued or resolved.
+    if (engine_ && hit.jit) engine_->enqueue(hit.jit, hit.plan);
+    return hit;
   }
 
   ++misses_;
-  lru_.push_front(Entry{hash, prog, copts, graph_hash, nullptr});
+  lru_.push_front(Entry{hash, prog, copts, graph_hash, nullptr,
+                        engine_ ? std::make_shared<JitSlot>() : nullptr});
   const auto self = lru_.begin();
   by_hash_[hash] = self;
   lock.unlock();
@@ -86,14 +110,29 @@ std::shared_ptr<const ExecutorPlan> PlanCache::get_or_compile(
 
   lock.lock();
   self->plan = plan;
+  CachedPlan built{plan, self->jit};
   evict_to_capacity_locked();
   built_.notify_all();
-  return plan;
+  lock.unlock();
+
+  // Queue the background native compile only after the interpreted plan
+  // is published: the caller gets its (interpreted) answer now, the
+  // kernel arrives whenever the low-priority worker gets to it.
+  if (engine_ && built.jit) engine_->enqueue(built.jit, built.plan);
+  return built;
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
   Stats s;
+  if (engine_) {
+    // Engine stats first (its own lock) to keep lock ordering trivial.
+    const JitEngine::Stats js = engine_->stats();
+    s.jit_enabled = engine_->available();
+    s.jit_compiles = js.compiles;
+    s.jit_failures = js.failures;
+    s.jit_in_flight = js.in_flight;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
@@ -102,11 +141,24 @@ PlanCache::Stats PlanCache::stats() const {
   return s;
 }
 
+bool PlanCache::jit_available() const {
+  return engine_ != nullptr && engine_->available();
+}
+
+std::string PlanCache::jit_unavailable_reason() const {
+  if (engine_ == nullptr) return "JIT not configured";
+  return engine_->unavailable_reason();
+}
+
+void PlanCache::wait_jit_idle() {
+  if (engine_) engine_->wait_idle();
+}
+
 void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->plan == nullptr) {
-      ++it;  // in flight: its builder will publish into a live entry
+    if (it->plan == nullptr || (it->jit && it->jit->in_flight())) {
+      ++it;  // in flight (plan build or kernel compile): keep the entry
     } else {
       by_hash_.erase(it->hash);
       it = lru_.erase(it);

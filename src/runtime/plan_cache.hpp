@@ -30,6 +30,15 @@
 // still compiling are never evicted (their builders hold iterators), so
 // the table can transiently exceed capacity by the number of in-flight
 // compiles.
+//
+// JIT (PR 7): with JitConfig::enabled each entry carries, next to the
+// interpreted plan, an atomically-published native-kernel slot
+// (runtime/jit_compiler.hpp).  A miss enqueues a background compile and
+// serves interpreted immediately; later hits see the published kernel.
+// Entries whose kernel compile is still in flight are pinned against
+// eviction *and* clear() — evicting one would publish a freshly-built
+// kernel into a slot nobody can reach — which also guarantees the
+// interpreted plan outlives the background compile that reads it.
 #pragma once
 
 #include <condition_variable>
@@ -38,9 +47,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "runtime/executor.hpp"
+#include "runtime/jit_compiler.hpp"
 
 namespace mimd {
 
@@ -52,9 +63,34 @@ class PlanCache {
     std::uint64_t evictions = 0;   ///< LRU + collision replacements
     std::size_t entries = 0;       ///< currently resident plans
     std::size_t capacity = 0;
+    bool jit_enabled = false;      ///< configured on AND toolchain works
+    std::uint64_t jit_compiles = 0;   ///< native kernels published
+    std::uint64_t jit_failures = 0;   ///< background compiles failed
+    std::uint64_t jit_in_flight = 0;  ///< queued + compiling right now
+  };
+
+  /// JIT policy for this cache.  Disabled by default: a plain PlanCache
+  /// behaves exactly as before this feature existed.
+  struct JitConfig {
+    bool enabled = false;
+    JitOptions options{};
   };
 
   explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+  PlanCache(std::size_t capacity, const JitConfig& jit);
+
+  /// What a lookup hands back: the interpreted plan (always present) and
+  /// the entry's kernel slot (null when JIT is off).  kernel() is the
+  /// moment-in-time native kernel — null until the background compile
+  /// publishes, then stable for the entry's lifetime.
+  struct CachedPlan {
+    std::shared_ptr<const ExecutorPlan> plan;
+    std::shared_ptr<JitSlot> jit;
+
+    [[nodiscard]] std::shared_ptr<const JitKernel> kernel() const {
+      return jit ? jit->kernel() : nullptr;
+    }
+  };
 
   /// The shared plan for this structure: compiled now if absent, returned
   /// from cache otherwise.  Throws what compile() throws (ContractViolation
@@ -64,7 +100,22 @@ class PlanCache {
       const PartitionedProgram& prog, const Ddg& g,
       const CompileOptions& copts = {});
 
+  /// get_or_compile plus the entry's kernel slot.  With JIT enabled, a
+  /// miss (or a hit whose earlier enqueue was dropped by a full queue)
+  /// queues a background native compile; the caller runs the interpreted
+  /// plan now and checks kernel() per request.
+  CachedPlan get_or_compile_jit(const PartitionedProgram& prog, const Ddg& g,
+                                const CompileOptions& copts = {});
+
   [[nodiscard]] Stats stats() const;
+
+  /// True iff JIT was configured on and the toolchain probe succeeded.
+  [[nodiscard]] bool jit_available() const;
+  /// Why not: empty when available, "JIT not configured" for a plain
+  /// cache, else the engine's pinned reason.
+  [[nodiscard]] std::string jit_unavailable_reason() const;
+  /// Drain the background compile queue — pre-warm and test hook.
+  void wait_jit_idle();
 
   /// Drop every *built* entry (in-flight compiles finish and publish as
   /// usual; handed-out shared_ptrs stay valid).  Counters survive.
@@ -82,6 +133,7 @@ class PlanCache {
     /// graph against the built plan's own copy (structurally_equivalent).
     std::uint64_t key_graph_hash = 0;
     std::shared_ptr<const ExecutorPlan> plan;  ///< null while building
+    std::shared_ptr<JitSlot> jit;  ///< null when JIT is off
   };
   using Lru = std::list<Entry>;  ///< front = most recently used
 
@@ -98,6 +150,10 @@ class PlanCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  /// Non-null iff JitConfig::enabled; owns the background compiler
+  /// thread.  Destroyed before the entries (declaration order), so the
+  /// worker never outlives the slots it publishes into.
+  std::unique_ptr<JitEngine> engine_;
 };
 
 }  // namespace mimd

@@ -85,7 +85,8 @@ RunOptions to_run_options(const wire::RemoteRunOptions& o, WorkerPool* pool) {
 
 PlanServer::PlanServer(PlanServerOptions opts)
     : opts_(std::move(opts)),
-      cache_(opts_.cache_capacity),
+      cache_(opts_.cache_capacity,
+             PlanCache::JitConfig{opts_.enable_jit, JitOptions{}}),
       pool_(opts_.initial_workers) {}
 
 PlanServer::~PlanServer() { stop(); }
@@ -257,6 +258,9 @@ PlanServerStats PlanServer::stats() const {
       registry_quota_trips_.load(std::memory_order_relaxed);
   s.quota_disconnects = quota_disconnects_.load(std::memory_order_relaxed);
   s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  s.jit_native_runs = jit_native_runs_.load(std::memory_order_relaxed);
+  s.jit_interpreted_runs =
+      jit_interpreted_runs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -322,14 +326,14 @@ void PlanServer::accept_loop(Listener* listener) {
 
 void PlanServer::serve_connection(Conn* conn) {
   // Shared-nothing per connection: the program registry lives and dies
-  // with the handler thread.  Plans inside it are shared_ptrs into the
-  // cache, so eviction can never invalidate a registered program.
-  std::unordered_map<std::uint64_t, std::shared_ptr<const ExecutorPlan>>
-      programs;
+  // with the handler thread.  Registered CachedPlans are shared_ptrs into
+  // the cache (plan and kernel slot both), so eviction can never
+  // invalidate a registered program, and a kernel published after
+  // registration is visible through the entry's slot on the next run.
+  std::unordered_map<std::uint64_t, PlanCache::CachedPlan> programs;
   std::uint64_t next_id = 1;
 
-  const auto lookup =
-      [&](std::uint64_t id) -> std::shared_ptr<const ExecutorPlan> {
+  const auto lookup = [&](std::uint64_t id) -> const PlanCache::CachedPlan& {
     const auto it = programs.find(id);
     if (it == programs.end()) {
       throw wire::WireError("unknown program id " + std::to_string(id) +
@@ -394,10 +398,11 @@ void PlanServer::serve_connection(Conn* conn) {
           }
           const wire::SubmitProgramRequest req =
               wire::decode_submit_program(frame->payload);
-          const auto plan =
-              cache_.get_or_compile(req.program, req.graph, req.copts);
+          const auto cached =
+              cache_.get_or_compile_jit(req.program, req.graph, req.copts);
+          const auto& plan = cached.plan;
           const std::uint64_t id = next_id++;
-          programs.emplace(id, plan);
+          programs.emplace(id, cached);
           programs_registered_.fetch_add(1, std::memory_order_relaxed);
           wire::SubmitProgramReply rep;
           rep.program_id = id;
@@ -413,13 +418,29 @@ void PlanServer::serve_connection(Conn* conn) {
         }
         case wire::FrameType::Run: {
           const wire::RunRequest req = wire::decode_run(frame->payload);
-          const auto plan = lookup(req.program_id);
+          const PlanCache::CachedPlan entry = lookup(req.program_id);
+          const auto& plan = entry.plan;
           const std::int64_t n = req.iterations > 0
                                      ? req.iterations
                                      : plan->program().iterations;
           check_reply_fits_frame(estimated_result_bytes(*plan, n));
-          const ExecutionResult result =
-              plan->run(n, to_run_options(req.opts, &pool_));
+          const RunOptions ropts = to_run_options(req.opts, &pool_);
+          ExecutionResult result;
+          // Native once the background compile has published (bit-
+          // identical with the interpreted run); interpreted meanwhile.
+          // Both split counters gate on jit_available so --jit=off keeps
+          // every jit stat at zero — today's behavior exactly.
+          if (const auto kernel = entry.kernel();
+              kernel && jit_run_eligible(ropts) &&
+              n >= plan->program().iterations) {
+            result = kernel->run(n);
+            jit_native_runs_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            result = plan->run(n, ropts);
+            if (cache_.jit_available()) {
+              jit_interpreted_runs_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
           runs_executed_.fetch_add(1, std::memory_order_relaxed);
           reply_type = wire::FrameType::RunReply;
           reply = wire::encode_run_reply(result);
@@ -432,8 +453,10 @@ void PlanServer::serve_connection(Conn* conn) {
           jobs.reserve(req.items.size());
           std::uint64_t reply_bytes = 0;
           for (const wire::RunRequest& item : req.items) {
+            const PlanCache::CachedPlan& entry = lookup(item.program_id);
             PlanJob job;
-            job.plan = lookup(item.program_id);
+            job.plan = entry.plan;
+            job.kernel = entry.kernel();  // per-request snapshot
             job.iterations = item.iterations;
             add_saturating(
                 reply_bytes,
@@ -446,13 +469,19 @@ void PlanServer::serve_connection(Conn* conn) {
           }
           check_reply_fits_frame(reply_bytes);
           const auto t0 = std::chrono::steady_clock::now();
+          std::uint64_t native_runs = 0;
           wire::RunBatchReply rep;
-          rep.results = run_plans(jobs, pool_, req.concurrency);
+          rep.results = run_plans(jobs, pool_, req.concurrency, &native_runs);
           rep.wall_seconds = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - t0)
                                  .count();
           runs_executed_.fetch_add(req.items.size(),
                                    std::memory_order_relaxed);
+          jit_native_runs_.fetch_add(native_runs, std::memory_order_relaxed);
+          if (cache_.jit_available()) {
+            jit_interpreted_runs_.fetch_add(req.items.size() - native_runs,
+                                            std::memory_order_relaxed);
+          }
           reply_type = wire::FrameType::RunBatchReply;
           reply = wire::encode_run_batch_reply(rep);
           break;
@@ -471,6 +500,12 @@ void PlanServer::serve_connection(Conn* conn) {
           rep.registry_quota_trips = s.registry_quota_trips;
           rep.quota_disconnects = s.quota_disconnects;
           rep.accept_backoffs = s.accept_backoffs;
+          rep.jit_enabled = s.cache.jit_enabled ? 1 : 0;
+          rep.jit_compiles = s.cache.jit_compiles;
+          rep.jit_failures = s.cache.jit_failures;
+          rep.jit_in_flight = s.cache.jit_in_flight;
+          rep.jit_native_runs = s.jit_native_runs;
+          rep.jit_interpreted_runs = s.jit_interpreted_runs;
           reply_type = wire::FrameType::StatsReply;
           reply = wire::encode_stats_reply(rep);
           break;

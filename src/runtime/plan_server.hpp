@@ -62,6 +62,11 @@ struct PlanServerOptions {
   /// Unlink a pre-existing socket file before binding.  Off by default so
   /// two daemons cannot silently fight over one path.
   bool remove_existing = false;
+  /// Background-JIT registered plans to native kernels (mimdd --jit=off
+  /// turns this off).  ON by default: when the toolchain probe fails the
+  /// cache degrades to interpreted-only, identical to off — so the
+  /// default is safe everywhere and fast where the host allows it.
+  bool enable_jit = true;
 
   // -- Hostile-tenant quotas (per connection; 0 disables a quota) --------
   //
@@ -106,6 +111,11 @@ struct PlanServerStats {
   std::uint64_t registry_quota_trips = 0;
   std::uint64_t quota_disconnects = 0;
   std::uint64_t accept_backoffs = 0;
+  /// Runs served native vs interpreted *while JIT was live* (both stay 0
+  /// with --jit=off or an unusable toolchain; cache.jit_* carries the
+  /// compile-side counters).
+  std::uint64_t jit_native_runs = 0;
+  std::uint64_t jit_interpreted_runs = 0;
 };
 
 class PlanServer {
@@ -194,6 +204,8 @@ class PlanServer {
   std::atomic<std::uint64_t> registry_quota_trips_{0};
   std::atomic<std::uint64_t> quota_disconnects_{0};
   std::atomic<std::uint64_t> accept_backoffs_{0};
+  std::atomic<std::uint64_t> jit_native_runs_{0};
+  std::atomic<std::uint64_t> jit_interpreted_runs_{0};
 };
 
 }  // namespace mimd

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "runtime/jit_compiler.hpp"
+
 namespace mimd {
 
 namespace {
@@ -66,15 +68,29 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
 
   const auto t0 = std::chrono::steady_clock::now();
   std::exception_ptr error;
+  std::atomic<std::uint64_t> native_runs{0};
   try {
     drive_indexed(jobs.size(), concurrency, [&](std::size_t i) {
       const BatchJob& job = jobs[i];
-      const auto plan = cache.get_or_compile(job.program, job.graph, job.copts);
+      const auto cached =
+          cache.get_or_compile_jit(job.program, job.graph, job.copts);
+      const auto& plan = cached.plan;
       RunOptions opts = job.ropts;
       opts.pool = &pool;
       const std::int64_t n =
           job.iterations > 0 ? job.iterations : plan->program().iterations;
-      report.results[i] = plan->run(n, opts);
+      // Native when the background compile has published and the request
+      // asks for exactly what the kernel computes; interpreted otherwise.
+      // Bit-identical either way — the kernel is the same CompiledProgram
+      // lowered through the C backend.
+      if (const auto kernel = cached.kernel();
+          kernel && jit_run_eligible(opts) &&
+          n >= plan->program().iterations) {
+        report.results[i] = kernel->run(n);
+        native_runs.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        report.results[i] = plan->run(n, opts);
+      }
     });
   } catch (...) {
     error = std::current_exception();
@@ -83,22 +99,34 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
 
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   report.cache_stats = cache.stats();
+  report.jit_native_runs = native_runs.load(std::memory_order_relaxed);
   if (error) std::rethrow_exception(error);
   return report;
 }
 
 std::vector<ExecutionResult> run_plans(const std::vector<PlanJob>& jobs,
                                        WorkerPool& pool,
-                                       std::size_t concurrency) {
+                                       std::size_t concurrency,
+                                       std::uint64_t* native_runs) {
   std::vector<ExecutionResult> results(jobs.size());
+  std::atomic<std::uint64_t> native{0};
   drive_indexed(jobs.size(), concurrency, [&](std::size_t i) {
     const PlanJob& job = jobs[i];
     RunOptions opts = job.ropts;
     opts.pool = &pool;
     const std::int64_t n =
         job.iterations > 0 ? job.iterations : job.plan->program().iterations;
-    results[i] = job.plan->run(n, opts);
+    if (job.kernel && jit_run_eligible(opts) &&
+        n >= job.plan->program().iterations) {
+      results[i] = job.kernel->run(n);
+      native.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      results[i] = job.plan->run(n, opts);
+    }
   });
+  if (native_runs != nullptr) {
+    *native_runs = native.load(std::memory_order_relaxed);
+  }
   return results;
 }
 

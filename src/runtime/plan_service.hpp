@@ -49,6 +49,9 @@ struct BatchReport {
   PlanCache::Stats cache_stats;
   /// End-to-end wall time for the whole batch, including compiles.
   double wall_seconds = 0.0;
+  /// Jobs served by a published native kernel instead of the interpreted
+  /// executor (always 0 for a cache without JIT).
+  std::uint64_t jit_native_runs = 0;
 };
 
 /// Run every job through `cache` + `pool` with `concurrency` concurrent
@@ -68,14 +71,21 @@ struct PlanJob {
   std::int64_t iterations = 0;
   /// `pool` is overridden — every job runs on the shared pool.
   RunOptions ropts;
+  /// Optional published native kernel for this plan (the cache entry's
+  /// JitSlot snapshot).  Used iff ropts is jit_run_eligible and the
+  /// iteration count covers the compiled program; otherwise the job runs
+  /// interpreted.  Results are bit-identical either way.
+  std::shared_ptr<const JitKernel> kernel;
 };
 
 /// run_batch without the cache leg: execute pre-resolved plans on `pool`
 /// with the same concurrent-driver shape and error discipline (first error
 /// — e.g. iterations below the compiled count — rethrown after the drain).
-/// Results are in job order.
+/// Results are in job order.  `native_runs`, when non-null, receives the
+/// number of jobs the native kernels served.
 std::vector<ExecutionResult> run_plans(const std::vector<PlanJob>& jobs,
                                        WorkerPool& pool,
-                                       std::size_t concurrency = 0);
+                                       std::size_t concurrency = 0,
+                                       std::uint64_t* native_runs = nullptr);
 
 }  // namespace mimd

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "partition/compiled_program.hpp"
 
@@ -46,6 +47,16 @@ struct ShardRouter::Shard {
   mutable std::mutex mu;
   bool dead = false;
   std::chrono::steady_clock::time_point dead_until{};
+  /// route_key -> program_id on *this* connection: repeat jobs skip
+  /// submit_program entirely, so a long-lived router stops growing the
+  /// daemon's per-connection registry (and re-serializing the program).
+  /// Ids are connection-scoped, so the map is cleared whenever the
+  /// connection turns over (reconnect or death).  Keyed by the same
+  /// 64-bit structural hash the ring routes on; unlike PlanCache there is
+  /// no full-equality guard behind it, so a 2^-64 collision would reuse
+  /// the wrong id — the same odds the consistent-hash ring already
+  /// accepts for routing.
+  std::unordered_map<std::uint64_t, std::uint64_t> submitted;
 };
 
 ShardRouter::ShardRouter(ShardRouterOptions opts) : opts_(std::move(opts)) {
@@ -110,6 +121,7 @@ void ShardRouter::mark_dead(std::size_t shard) {
   s.dead = true;
   s.dead_until = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(opts_.dead_cooldown_ms);
+  s.submitted.clear();  // ids died with the connection
   if (s.connected) {
     s.client.close();
     s.connected = false;
@@ -144,6 +156,7 @@ PlanClient& ShardRouter::ensure_connected(std::size_t shard) {
       s.client = std::move(c);
       s.connected = true;
       s.dead = false;
+      s.submitted.clear();  // fresh connection, fresh id space
       return s.client;
     } catch (const wire::WireError&) {
       if (attempt + 1 >= attempts) throw;
@@ -158,11 +171,13 @@ std::vector<ExecutionResult> ShardRouter::run_jobs(
   std::vector<ExecutionResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  // Precompute each job's failover preference order once.
+  // Precompute each job's structural key (reused below for the
+  // submitted-id cache) and failover preference order once.
+  std::vector<std::uint64_t> keys(jobs.size());
   std::vector<std::vector<std::size_t>> prefs(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    prefs[i] = preference_order(
-        route_key(jobs[i].program, jobs[i].graph, jobs[i].copts));
+    keys[i] = route_key(jobs[i].program, jobs[i].graph, jobs[i].copts);
+    prefs[i] = preference_order(keys[i]);
   }
 
   std::vector<std::size_t> pending(jobs.size());
@@ -201,13 +216,29 @@ std::vector<ExecutionResult> ShardRouter::run_jobs(
         const std::vector<std::size_t>& group = groups[shard];
         try {
           PlanClient& client = ensure_connected(shard);
+          Shard& s = *shards_[shard];
           std::vector<wire::RunRequest> items;
           items.reserve(group.size());
           for (const std::size_t j : group) {
-            const wire::SubmitProgramReply sub = client.submit_program(
-                jobs[j].program, jobs[j].graph, jobs[j].copts);
+            std::uint64_t program_id = 0;
+            bool cached = false;
+            {
+              std::lock_guard<std::mutex> lk(s.mu);
+              const auto it = s.submitted.find(keys[j]);
+              if (it != s.submitted.end()) {
+                program_id = it->second;
+                cached = true;
+              }
+            }
+            if (!cached) {
+              const wire::SubmitProgramReply sub = client.submit_program(
+                  jobs[j].program, jobs[j].graph, jobs[j].copts);
+              program_id = sub.program_id;
+              std::lock_guard<std::mutex> lk(s.mu);
+              s.submitted.emplace(keys[j], program_id);
+            }
             wire::RunRequest rr;
-            rr.program_id = sub.program_id;
+            rr.program_id = program_id;
             rr.iterations = jobs[j].iterations;
             rr.opts = jobs[j].run_opts;
             items.push_back(rr);

@@ -373,6 +373,12 @@ std::vector<std::uint8_t> encode_stats_reply(const StatsReply& m) {
   e.u64(m.registry_quota_trips);
   e.u64(m.quota_disconnects);
   e.u64(m.accept_backoffs);
+  e.u64(m.jit_enabled);
+  e.u64(m.jit_compiles);
+  e.u64(m.jit_failures);
+  e.u64(m.jit_in_flight);
+  e.u64(m.jit_native_runs);
+  e.u64(m.jit_interpreted_runs);
   return e.take();
 }
 
@@ -394,6 +400,12 @@ StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload) {
   m.registry_quota_trips = d.u64();
   m.quota_disconnects = d.u64();
   m.accept_backoffs = d.u64();
+  m.jit_enabled = d.u64();
+  m.jit_compiles = d.u64();
+  m.jit_failures = d.u64();
+  m.jit_in_flight = d.u64();
+  m.jit_native_runs = d.u64();
+  m.jit_interpreted_runs = d.u64();
   d.expect_done();
   return m;
 }

@@ -209,6 +209,16 @@ struct StatsReply {
   std::uint64_t registry_quota_trips = 0;
   std::uint64_t quota_disconnects = 0;
   std::uint64_t accept_backoffs = 0;
+  // JIT counters (PR 7), appended so client and server — which ship
+  // together — stay in lockstep.  jit_enabled is 0/1: configured on AND
+  // the toolchain probe succeeded.  native/interpreted split counts only
+  // runs executed while JIT was live, so --jit=off reports all zeros.
+  std::uint64_t jit_enabled = 0;
+  std::uint64_t jit_compiles = 0;
+  std::uint64_t jit_failures = 0;
+  std::uint64_t jit_in_flight = 0;
+  std::uint64_t jit_native_runs = 0;
+  std::uint64_t jit_interpreted_runs = 0;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_submit_program(

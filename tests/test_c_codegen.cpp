@@ -190,6 +190,44 @@ TEST(CCodegen, RollsTheSteadyStateIntoARealLoop) {
   EXPECT_LT(src.size(), flat.size() / 2);
 }
 
+// Start-aligned rolling: detect_period used to end-align the repetitions
+// against the tail of the match window, which padded each thread's
+// prologue with up to period-1 already-periodic ops (fig7 at n=40: 5 and
+// 4 straight-line op blocks before the loop).  The prologue must be
+// exactly the non-periodic warm-up — here a single op per thread, the
+// rest rolled or in the epilogue.
+TEST(CCodegen, RolledPrologueIsExactlyTheNonPeriodicWarmup) {
+  const Ddg g = workloads::fig7_loop();
+  const CompiledProgram cp = pattern_compiled(g, Machine{2, 2}, 40);
+  const std::string src = emit_c_program(cp, g);
+  const auto count_between = [&src](const std::string& needle,
+                                    std::size_t from, std::size_t to) {
+    std::size_t n = 0;
+    for (std::size_t p = src.find(needle, from);
+         p != std::string::npos && p < to; p = src.find(needle, p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  int functions = 0;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t fn = src.find("_main(void* arg)", pos);
+    if (fn == std::string::npos) break;
+    const std::size_t loop = src.find("for (long long r = 0;", fn);
+    ASSERT_NE(loop, std::string::npos);
+    // Op blocks open with "{ /*"; sends are single chan_send lines.  The
+    // slot declaration's own comment matches neither.
+    const std::size_t prologue_ops = count_between("{ /*", fn, loop) +
+                                     count_between("chan_send(&", fn, loop);
+    EXPECT_EQ(prologue_ops, 1u) << "padded prologue in pe function at byte "
+                                << fn;
+    ++functions;
+    pos = loop + 1;
+  }
+  EXPECT_EQ(functions, 2);
+}
+
 TEST(CCodegen, RolledProgramSelfValidates) {
   if (!have_c_toolchain()) GTEST_SKIP() << "no C toolchain available";
   const Ddg g = workloads::fig7_loop();

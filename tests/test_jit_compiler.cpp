@@ -1,0 +1,222 @@
+// JIT compiler suite: the dlopen'd native kernel must be a bit-identical
+// (IEEE-754) drop-in for the interpreted ExecutorPlan — same values, same
+// zero rows, no tolerance — and the machinery around it must degrade, not
+// break: a missing toolchain serves interpreted forever, N concurrent
+// first requests compile exactly once, and eviction never unloads a
+// kernel a caller still holds.
+//
+// Every test that needs a real compiler probes first (jit_available) and
+// GTEST_SKIPs with the pinned reason otherwise, so the suite is green on
+// toolchain-less hosts and under MIMD_ENABLE_JIT=OFF / TSan builds where
+// the JIT is compiled out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "partition/c_codegen.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/jit_compiler.hpp"
+#include "runtime/plan_cache.hpp"
+#include "support/loop_gen.hpp"
+
+namespace mimd {
+namespace {
+
+using testsupport::GeneratedLoop;
+using testsupport::generate_loop;
+
+#define REQUIRE_JIT()                                                  \
+  do {                                                                 \
+    if (!jit_available()) {                                            \
+      GTEST_SKIP() << "jit unavailable: " << jit_unavailable_reason(); \
+    }                                                                  \
+  } while (false)
+
+// The shared-object emission mode produces a loadable kernel, not a
+// program: exported entry point + ABI constant, no main, no self-check
+// recompute.
+TEST(JitCompiler, SharedObjectSourceIsAKernelNotAProgram) {
+  const GeneratedLoop gl = generate_loop(2000);
+  const ExecutorPlan plan = compile(gl.program, gl.graph);
+  CEmitOptions opts;
+  opts.shared_object = true;
+  const std::string src = emit_c_program(plan.program(), gl.graph, opts);
+  EXPECT_NE(src.find("int mimd_kernel_run(long long n"), std::string::npos);
+  EXPECT_NE(src.find("mimd_kernel_info"), std::string::npos);
+  EXPECT_EQ(src.find("int main"), std::string::npos);
+  EXPECT_EQ(src.find("SEQ"), std::string::npos);
+  EXPECT_EQ(src.find("MISMATCH"), std::string::npos);
+  // All mutable state lives in the per-call context, so the kernel is
+  // reentrant — no static channel rings (the standalone mode's
+  // "static double chan0_buf[...]") or result arrays.
+  EXPECT_NE(src.find("kctx_t"), std::string::npos);
+  EXPECT_EQ(src.find("static double chan0_buf"), std::string::npos);
+  EXPECT_EQ(src.find("static double R["), std::string::npos);
+}
+
+// The acceptance differential: 50 generated programs, each run natively,
+// interpreted, and sequentially — all three bit-identical.
+TEST(JitCompiler, FuzzDifferentialNativeVsInterpretedVsSequential) {
+  REQUIRE_JIT();
+  for (std::uint64_t seed = 2000; seed < 2050; ++seed) {
+    const GeneratedLoop gl = generate_loop(seed);
+    const ExecutorPlan plan = compile(gl.program, gl.graph);
+    std::shared_ptr<const JitKernel> kernel;
+    try {
+      kernel = jit_compile(plan);
+    } catch (const JitError& e) {
+      ADD_FAILURE() << gl.tag << ": jit_compile failed: " << e.what();
+      continue;
+    }
+    ASSERT_NE(kernel, nullptr) << gl.tag;
+    const ExecutionResult native = kernel->run(gl.iterations);
+    const ExecutionResult interp = plan.run(gl.iterations);
+    const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+    EXPECT_TRUE(values_match(native, interp, gl.iterations))
+        << gl.tag << ": native vs interpreted";
+    EXPECT_TRUE(values_match(native, seq, gl.iterations))
+        << gl.tag << ": native vs sequential";
+  }
+}
+
+// A kernel is reentrant: repeat runs (and runs after other kernels
+// loaded) produce the same bytes, because every run calloc's its own
+// channel/result context.
+TEST(JitCompiler, RepeatRunsAreIdentical) {
+  REQUIRE_JIT();
+  const GeneratedLoop gl = generate_loop(2060);
+  const ExecutorPlan plan = compile(gl.program, gl.graph);
+  const std::shared_ptr<const JitKernel> kernel = jit_compile(plan);
+  const ExecutionResult first = kernel->run(gl.iterations);
+  const ExecutionResult second = kernel->run(gl.iterations);
+  EXPECT_TRUE(values_match(first, second, gl.iterations));
+}
+
+// No toolchain is a mode, not an error: probes say why, jit_compile
+// throws JitError, and a PlanCache configured with the broken toolchain
+// serves interpreted plans forever with kernel() == nullptr.
+TEST(JitCompiler, MissingToolchainDegradesGracefully) {
+  JitOptions opts;
+  opts.cc = "/nonexistent/mimd-jit-no-such-cc";
+  EXPECT_FALSE(jit_available(opts));
+  EXPECT_FALSE(jit_unavailable_reason(opts).empty());
+
+  const GeneratedLoop gl = generate_loop(2100);
+  const ExecutorPlan plan = compile(gl.program, gl.graph);
+  EXPECT_THROW((void)jit_compile(plan, opts), JitError);
+
+  PlanCache::JitConfig cfg;
+  cfg.enabled = true;
+  cfg.options = opts;
+  PlanCache cache(4, cfg);
+  EXPECT_FALSE(cache.jit_available());
+  const PlanCache::CachedPlan cached =
+      cache.get_or_compile_jit(gl.program, gl.graph);
+  ASSERT_NE(cached.plan, nullptr);
+  EXPECT_EQ(cached.kernel(), nullptr);
+  cache.wait_jit_idle();  // must not hang: nothing was ever queued
+  EXPECT_EQ(cache.stats().jit_compiles, 0u);
+  const ExecutionResult r = cached.plan->run(gl.iterations);
+  EXPECT_TRUE(values_match(r, run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+}
+
+// N threads racing the first request for one structure must cost exactly
+// one background compile (the Empty -> Queued CAS is the dedup).
+TEST(JitCompiler, ConcurrentFirstRequestsCompileExactlyOnce) {
+  PlanCache::JitConfig cfg;
+  cfg.enabled = true;
+  PlanCache cache(8, cfg);
+  if (!cache.jit_available()) {
+    GTEST_SKIP() << "jit unavailable: " << cache.jit_unavailable_reason();
+  }
+  const GeneratedLoop gl = generate_loop(2101);
+  constexpr int kThreads = 8;
+  std::atomic<int> null_plans{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      const PlanCache::CachedPlan c =
+          cache.get_or_compile_jit(gl.program, gl.graph);
+      if (c.plan == nullptr) ++null_plans;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(null_plans.load(), 0);
+  cache.wait_jit_idle();
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.jit_compiles, 1u);
+  EXPECT_EQ(s.jit_failures, 0u);
+  EXPECT_EQ(s.jit_in_flight, 0u);
+
+  const PlanCache::CachedPlan warm =
+      cache.get_or_compile_jit(gl.program, gl.graph);
+  const std::shared_ptr<const JitKernel> kernel = warm.kernel();
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_TRUE(values_match(kernel->run(gl.iterations),
+                           run_reference(gl.graph, gl.iterations),
+                           gl.iterations));
+}
+
+// Eviction drops the cache's reference, not the caller's: a held kernel
+// keeps running after its entry is evicted, and the mapping unloads only
+// when the last shared_ptr goes away.
+TEST(JitCompiler, EvictionUnloadsKernelOnlyAfterCallersFinish) {
+  PlanCache::JitConfig cfg;
+  cfg.enabled = true;
+  PlanCache cache(1, cfg);
+  if (!cache.jit_available()) {
+    GTEST_SKIP() << "jit unavailable: " << cache.jit_unavailable_reason();
+  }
+  const GeneratedLoop a = generate_loop(2102);
+  const GeneratedLoop b = generate_loop(2103);
+
+  (void)cache.get_or_compile_jit(a.program, a.graph);
+  cache.wait_jit_idle();  // A's kernel published; entry no longer pinned
+  PlanCache::CachedPlan ca = cache.get_or_compile_jit(a.program, a.graph);
+  std::shared_ptr<const JitKernel> kernel = ca.kernel();
+  ASSERT_NE(kernel, nullptr);
+  std::weak_ptr<const JitKernel> weak = kernel;
+  ca = PlanCache::CachedPlan{};  // keep only the kernel itself
+
+  // B's insert overflows the capacity-1 cache and evicts A's entry.
+  (void)cache.get_or_compile_jit(b.program, b.graph);
+  cache.wait_jit_idle();
+
+  EXPECT_FALSE(weak.expired()) << "eviction dlclosed a kernel in use";
+  EXPECT_TRUE(values_match(kernel->run(a.iterations),
+                           run_reference(a.graph, a.iterations),
+                           a.iterations));
+  kernel.reset();
+  EXPECT_TRUE(weak.expired())
+      << "kernel outlived its last reference (leak)";
+}
+
+// The run-site gate: only a default-shaped run (SPSC, unpinned, no
+// synthetic work, default rings) may be served natively — every other
+// knob changes observable behavior or timing semantics the kernel does
+// not implement.
+TEST(JitCompiler, RunEligibilityGate) {
+  RunOptions o;
+  EXPECT_TRUE(jit_run_eligible(o));
+  o.transport = Transport::Mutex;
+  EXPECT_FALSE(jit_run_eligible(o));
+  o = RunOptions{};
+  o.pin_threads = true;
+  EXPECT_FALSE(jit_run_eligible(o));
+  o = RunOptions{};
+  o.kernel.work_per_cycle = 8;
+  EXPECT_FALSE(jit_run_eligible(o));
+  o = RunOptions{};
+  o.channel_capacity = 4;
+  EXPECT_FALSE(jit_run_eligible(o));
+}
+
+}  // namespace
+}  // namespace mimd

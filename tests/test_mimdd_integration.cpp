@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <string>
@@ -150,6 +151,50 @@ TEST(MimddIntegration, ConcurrentClientsRenamedCopiesCostExactlyOneMiss) {
             static_cast<std::uint64_t>(kClients));
   EXPECT_GE(after.connections_accepted - before.connections_accepted,
             static_cast<std::uint64_t>(kClients));
+}
+
+// JIT (PR 7): a warm daemon serves native runs.  The first run of a fresh
+// structure is interpreted while the background compiler works; once the
+// Stats frame shows the compile resolved (and nothing else in flight), a
+// re-run of the same program must bump the native counter and still be
+// byte-identical to the local sequential reference.
+TEST(MimddIntegration, WarmDaemonServesNativeRunsWithIdenticalBytes) {
+  REQUIRE_DAEMON();
+  PlanClient client = PlanClient::connect(daemon_socket(), kTimeoutMs);
+  const wire::StatsReply before = client.stats();
+  if (before.jit_enabled == 0) {
+    GTEST_SKIP() << "daemon reports jit disabled (no usable toolchain, or "
+                    "built with MIMD_ENABLE_JIT=OFF)";
+  }
+  const GeneratedLoop gl = generate_loop(1050);
+  const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+  const std::uint64_t id =
+      client.submit_program(gl.program, gl.graph).program_id;
+  const ExecutionResult cold = client.run(id);
+  EXPECT_TRUE(values_match(cold, seq, gl.iterations));
+
+  // Poll until the daemon's compile queue drains AND at least one compile
+  // resolved past the baseline — deltas, because the daemon is shared.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  wire::StatsReply now = client.stats();
+  while ((now.jit_in_flight != 0 ||
+          now.jit_compiles + now.jit_failures ==
+              before.jit_compiles + before.jit_failures) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    now = client.stats();
+  }
+  ASSERT_GT(now.jit_compiles + now.jit_failures,
+            before.jit_compiles + before.jit_failures)
+      << "background kernel compile never resolved within the deadline";
+  ASSERT_EQ(now.jit_failures, before.jit_failures)
+      << "a background kernel compile failed on the daemon";
+
+  const ExecutionResult warm = client.run(id);
+  EXPECT_TRUE(values_match(warm, seq, gl.iterations));
+  const wire::StatsReply after = client.stats();
+  EXPECT_GE(after.jit_native_runs - now.jit_native_runs, 1u);
 }
 
 TEST(MimddIntegration, ErrorFrameOverRealSocketKeepsConnectionUsable) {

@@ -232,6 +232,54 @@ TEST(ShardRouter, AllShardsDeadThrowsWireError) {
                wire::WireError);
 }
 
+// JIT PR satellite: the router remembers which structures it already
+// submitted on each connection (keyed by route_key), so repeat run_jobs
+// calls reuse the daemon-side program ids — the fleet's registered-program
+// counter must stay FLAT across the second call, not grow by jobs.size().
+TEST(ShardRouter, RepeatRunJobsSkipSubmitProgram) {
+  TestFleet fleet("sr_resubmit", 2);
+  ShardRouterOptions opts;
+  opts.endpoints = fleet.endpoints;
+  ShardRouter router(opts);
+
+  std::vector<GeneratedLoop> loops;
+  std::vector<ShardJob> jobs;
+  for (std::uint64_t seed = 461; seed <= 468; ++seed) {
+    loops.push_back(generate_loop(seed));
+    jobs.push_back(make_job(loops.back(), Transport::Spsc));
+  }
+
+  const std::vector<ExecutionResult> first = router.run_jobs(jobs);
+  std::uint64_t registered_after_first = 0;
+  for (const ShardStatsRow& row : router.fleet_stats()) {
+    ASSERT_TRUE(row.alive);
+    registered_after_first += row.stats.programs_registered;
+  }
+  EXPECT_GT(registered_after_first, 0u);
+
+  const std::vector<ExecutionResult> again = router.run_jobs(jobs);
+  std::uint64_t registered_after_second = 0;
+  for (const ShardStatsRow& row : router.fleet_stats()) {
+    registered_after_second += row.stats.programs_registered;
+  }
+  EXPECT_EQ(registered_after_second, registered_after_first)
+      << "repeat run_jobs re-submitted already-registered programs";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(values_match(again[i], first[i], loops[i].iterations))
+        << loops[i].tag;
+  }
+
+  // A reconnect invalidates the cached ids (they are connection-scoped):
+  // after burying a shard, rerouted jobs must submit fresh ids, not reuse
+  // dead ones.
+  router.mark_dead(0);
+  const std::vector<ExecutionResult> rerouted = router.run_jobs(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(values_match(rerouted[i], first[i], loops[i].iterations))
+        << loops[i].tag;
+  }
+}
+
 // The fleet acceptance test: >= 50 generated programs through 3 shards,
 // bit-identical to the in-process plan service and to sequential.
 TEST(ShardRouter, FuzzDifferentialFleetVsInProcessVsSequential) {

@@ -60,6 +60,15 @@
 //                 ssa keeps one slot per value instance, for debugging;
 //                 implies --run when no execution or emission mode is
 //                 requested)
+//     --jit       with --run: compile the plan to a native shared-object
+//                 kernel (runtime/jit_compiler.hpp) and execute that in
+//                 place of the interpreter, still validated bit-for-bit
+//                 against sequential; falls back to interpreted execution
+//                 (with a note) when no C toolchain is available.  With
+//                 --batch: pre-warm every loop's kernel through the
+//                 background compiler before the timed run.  With
+//                 --connect/--fleet the *daemon* decides (mimdd --jit);
+//                 mimdc surfaces its native/interpreted counters.
 //
 // Example:
 //   echo 'for i:
@@ -84,6 +93,7 @@
 #include "ir/parser.hpp"
 #include "partition/c_codegen.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/jit_compiler.hpp"
 #include "runtime/plan_client.hpp"
 #include "runtime/plan_service.hpp"
 #include "runtime/shard_router.hpp"
@@ -94,9 +104,9 @@ namespace {
   if (msg != nullptr) std::cerr << "mimdc: " << msg << "\n";
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
                "[--schedule] [--code] [--c] [--no-check] [--compare] "
-               "[--run] [--pin] [--connect <endpoint>] "
+               "[--run] [--jit] [--pin] [--connect <endpoint>] "
                "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] <file|->\n"
-               "       mimdc [-p N] [-k N] [-n N] [--fold] [--pin] "
+               "       mimdc [-p N] [-k N] [-n N] [--fold] [--jit] [--pin] "
                "[--connect <endpoint> | --fleet <shards.txt>] "
                "[--runtime=<mutex|spsc>] "
                "[--slots=<reuse|ssa>] --batch <dir>\n";
@@ -161,7 +171,7 @@ std::vector<std::string> read_shards_file(const std::string& path) {
 /// pool are a running mimdd daemon's instead of in-process ones; with
 /// --fleet, N daemons' — each loop consistent-hashed to its shard.
 int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
-                   bool fold, mimd::Transport transport, bool pin,
+                   bool fold, mimd::Transport transport, bool pin, bool jit,
                    const mimd::CompileOptions& copts,
                    const std::string& connect, const std::string& fleet_file) {
   using namespace mimd;
@@ -202,6 +212,7 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
   PlanCache::Stats cache_stats;
   double wall_seconds = 0.0;
   std::string workers_note;
+  std::string jit_note;
   std::string fleet_report;
   if (!fleet_file.empty()) {
     ShardRouterOptions shard_opts;
@@ -230,6 +241,8 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     // then fleet totals folded into the standard summary line.
     std::size_t pool_workers_total = 0, shards_alive = 0;
     std::uint64_t quota_trips = 0, quota_disconnects = 0, backoffs = 0;
+    std::uint64_t jit_native = 0, jit_interp = 0, jit_kernels = 0;
+    bool any_jit = false;
     std::ostringstream fleet;
     const std::vector<ShardStatsRow> rows = router.fleet_stats();
     for (std::size_t s = 0; s < rows.size(); ++s) {
@@ -251,7 +264,15 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
       }
       fleet << ", " << st.runs_executed << " runs, "
             << (st.frame_quota_trips + st.registry_quota_trips)
-            << " quota trips, " << st.quota_disconnects << " disconnects\n";
+            << " quota trips, " << st.quota_disconnects << " disconnects";
+      if (st.jit_enabled != 0) {
+        any_jit = true;
+        jit_native += st.jit_native_runs;
+        jit_interp += st.jit_interpreted_runs;
+        jit_kernels += st.jit_compiles;
+        fleet << ", " << st.jit_native_runs << " jit-native runs";
+      }
+      fleet << "\n";
       cache_stats.hits += st.cache.hits;
       cache_stats.misses += st.cache.misses;
       cache_stats.evictions += st.cache.evictions;
@@ -269,14 +290,44 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     fleet_report = fleet.str();
     workers_note = std::to_string(pool_workers_total) + " fleet workers on " +
                    std::to_string(shards_alive) + " shard(s)";
+    if (any_jit) {
+      jit_note = std::to_string(jit_native) + " native / " +
+                 std::to_string(jit_interp) +
+                 " interpreted runs fleet-wide (" +
+                 std::to_string(jit_kernels) + " kernel compiles)";
+    }
   } else if (connect.empty()) {
-    PlanCache cache;
+    PlanCache::JitConfig jit_cfg;
+    jit_cfg.enabled = jit;
+    PlanCache cache(PlanCache::kDefaultCapacity, jit_cfg);
     WorkerPool pool;
+    if (jit) {
+      if (cache.jit_available()) {
+        // Pre-warm: queue every unique structure's native compile and
+        // drain the background worker, so the timed batch below measures
+        // warm kernels rather than compile latency.
+        for (const BatchJob& job : jobs) {
+          cache.get_or_compile_jit(job.program, job.graph, job.copts);
+        }
+        cache.wait_jit_idle();
+      } else {
+        std::cerr << "mimdc: jit unavailable ("
+                  << cache.jit_unavailable_reason()
+                  << "); running interpreted\n";
+      }
+    }
     BatchReport report = run_batch(jobs, cache, pool);
     results = std::move(report.results);
     cache_stats = report.cache_stats;
     wall_seconds = report.wall_seconds;
     workers_note = std::to_string(pool.num_workers()) + " pooled workers";
+    if (jit && cache.jit_available()) {
+      const PlanCache::Stats js = cache.stats();
+      jit_note = std::to_string(report.jit_native_runs) + "/" +
+                 std::to_string(jobs.size()) + " loops ran native (" +
+                 std::to_string(js.jit_compiles) + " kernel compiles, " +
+                 std::to_string(js.jit_failures) + " failed)";
+    }
   } else {
     PlanClient client = PlanClient::connect(connect);
     std::vector<wire::RunRequest> items;
@@ -305,6 +356,14 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     wall_seconds = reply.wall_seconds;
     workers_note = std::to_string(stats.pool_workers) +
                    " daemon workers via " + connect;
+    if (stats.jit_enabled != 0) {
+      jit_note = std::to_string(stats.jit_native_runs) + " native / " +
+                 std::to_string(stats.jit_interpreted_runs) +
+                 " interpreted runs daemon-wide (" +
+                 std::to_string(stats.jit_compiles) + " kernel compiles)";
+    } else if (jit) {
+      jit_note = "daemon has jit disabled";
+    }
   }
 
   bool all_ok = true;
@@ -330,6 +389,7 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
             << wall_seconds << " s total, "
             << static_cast<double>(jobs.size()) / wall_seconds
             << " loops/s\n";
+  if (!jit_note.empty()) std::cout << "jit      : " << jit_note << "\n";
   std::cout << fleet_report;
   return all_ok ? 0 : 1;
 }
@@ -343,7 +403,7 @@ int main(int argc, char** argv) {
   bool fold = false, want_dot = false, want_sched = false, want_code = false,
        want_c = false, want_compare = false, want_run = false,
        runtime_given = false, slots_given = false, pin = false,
-       no_check = false;
+       no_check = false, jit = false;
   Transport transport = Transport::Spsc;
   CompileOptions copts;
   std::string path;
@@ -388,6 +448,8 @@ int main(int argc, char** argv) {
       fleet_file = argv[++i];
     } else if (a == "--pin") {
       pin = true;
+    } else if (a == "--jit") {
+      jit = true;
     } else if (a == "--no-check") {
       no_check = true;
     } else if (a.rfind("--runtime=", 0) == 0) {
@@ -440,7 +502,7 @@ int main(int argc, char** argv) {
     }
     try {
       return run_batch_mode(batch_dir, procs, k, n, fold, transport, pin,
-                            copts, connect_path, fleet_file);
+                            jit, copts, connect_path, fleet_file);
     } catch (const ir::ParseError& e) {
       std::cerr << "mimdc: " << e.what() << "\n";
       return 1;
@@ -455,12 +517,12 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) usage("no input");
   // A bare transport or slot-policy choice is asking for execution;
-  // alongside --c they configure the emitted program instead.  --pin
-  // configures only execution (emitted C has no pinning), so it demands
-  // a run even next to --c — never silently dropped.  --connect exists
-  // only to execute remotely, so it implies --run too.
+  // alongside --c they configure the emitted program instead.  --pin and
+  // --jit configure only execution (emitted C has neither), so they
+  // demand a run even next to --c — never silently dropped.  --connect
+  // exists only to execute remotely, so it implies --run too.
   if ((runtime_given || slots_given) && !want_c) want_run = true;
-  if (pin || !connect_path.empty()) want_run = true;
+  if (pin || jit || !connect_path.empty()) want_run = true;
   if (!want_dot && !want_sched && !want_code && !want_c && !want_compare &&
       !want_run) {
     want_code = true;
@@ -520,6 +582,21 @@ int main(int argc, char** argv) {
                 << sub.threads << " threads, " << sub.channels
                 << " channels, " << par.wall_seconds << " s, "
                 << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
+      if (jit) {
+        // The daemon owns the JIT decision; surface its counters so the
+        // caller can tell whether this run (or a future warm one) is
+        // native.
+        const wire::StatsReply stats = client.stats();
+        if (stats.jit_enabled != 0) {
+          std::cout << "jit      : " << stats.jit_native_runs << " native / "
+                    << stats.jit_interpreted_runs
+                    << " interpreted runs daemon-wide ("
+                    << stats.jit_compiles << " kernel compiles, "
+                    << stats.jit_in_flight << " in flight)\n";
+        } else {
+          std::cout << "jit      : daemon has jit disabled\n";
+        }
+      }
       if (!ok) return 1;
     } else if (want_c || want_run) {
       // One lowering pipeline: the emitted C and the threaded run both
@@ -540,14 +617,31 @@ int main(int argc, char** argv) {
         RunOptions ropts;
         ropts.transport = transport;
         ropts.pin_threads = pin;
-        const ExecutionResult par =
-            plan.run(r.normalized_iterations, ropts);
+        ExecutionResult par;
+        bool native = false;
+        if (jit) {
+          // Synchronous JIT: compile the plan to a shared-object kernel
+          // and run that.  Any failure (no toolchain, bad ABI) degrades
+          // to the interpreter with a note — same answer, same oracle.
+          try {
+            const std::shared_ptr<const JitKernel> kernel = jit_compile(plan);
+            par = kernel->run(r.normalized_iterations);
+            native = true;
+          } catch (const JitError& e) {
+            std::cerr << "mimdc: jit unavailable (" << e.what()
+                      << "); running interpreted\n";
+          }
+        }
+        if (!native) par = plan.run(r.normalized_iterations, ropts);
         const ExecutionResult reference =
             run_reference(r.normalized.graph, r.normalized_iterations);
         const bool ok =
             values_match(par, reference, r.normalized_iterations);
-        std::cout << "run      : " << transport_name(transport)
-                  << " transport, " << cp.threads.size() << " threads, "
+        std::cout << "run      : "
+                  << (native ? "jit-native kernel"
+                             : std::string(transport_name(transport)) +
+                                   " transport")
+                  << ", " << cp.threads.size() << " threads, "
                   << cp.channels.size() << " channels, " << par.wall_seconds
                   << " s, "
                   << (ok ? "bitwise match vs sequential" : "MISMATCH")

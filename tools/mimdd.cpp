@@ -29,6 +29,11 @@
 //     --max-frame-rate F per-connection sustained frames/s (0 = unlimited)
 //     --frame-burst F    token-bucket burst for --max-frame-rate
 //     --quota-strikes N  over-quota replies before disconnect (0 = never)
+//     --jit[=on|off]     background-compile registered plans to dlopen'd
+//                        native kernels (runtime/jit_compiler.hpp); ON by
+//                        default — degrades to interpreted-only when the
+//                        host has no usable toolchain.  --jit=off
+//                        restores pure interpreted serving exactly.
 //
 //   mimdd --stop <endpoint>              graceful remote shutdown: sends
 //                                        the Shutdown frame, waits for the
@@ -80,6 +85,7 @@ namespace {
                "             [--cache-capacity N] [--workers N]\n"
                "             [--max-programs N] [--max-frame-rate F]"
                " [--frame-burst F] [--quota-strikes N]\n"
+               "             [--jit[=on|off]]\n"
                "       mimdd --stop <endpoint>\n"
                "       mimdd --stats <endpoint>\n";
   std::exit(2);
@@ -285,6 +291,15 @@ int print_stats(const std::string& endpoint) {
               << s.registry_quota_trips << " registry trips, "
               << s.quota_disconnects << " disconnects, " << s.accept_backoffs
               << " accept backoffs\n";
+    if (s.jit_enabled != 0) {
+      std::cout << "jit      : enabled, " << s.jit_native_runs
+                << " native runs, " << s.jit_interpreted_runs
+                << " interpreted runs, " << s.jit_compiles << " compiles ("
+                << s.jit_failures << " failed, " << s.jit_in_flight
+                << " in flight)\n";
+    } else {
+      std::cout << "jit      : disabled\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "mimdd: stats failed: " << e.what() << "\n";
     return 1;
@@ -305,6 +320,7 @@ int main(int argc, char** argv) {
   double max_frame_rate = defaults.max_frames_per_second;
   double frame_burst = defaults.frame_burst;
   int quota_strikes = defaults.max_quota_strikes;
+  bool enable_jit = defaults.enable_jit;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -349,6 +365,10 @@ int main(int argc, char** argv) {
     } else if (a == "--quota-strikes") {
       quota_strikes = std::atoi(next("--quota-strikes needs a value").c_str());
       if (quota_strikes < 0) usage("--quota-strikes must be >= 0");
+    } else if (a == "--jit" || a == "--jit=on") {
+      enable_jit = true;
+    } else if (a == "--jit=off") {
+      enable_jit = false;
     } else if (a == "--help" || a == "-h") {
       usage(nullptr);
     } else {
@@ -375,6 +395,7 @@ int main(int argc, char** argv) {
   opts.max_frames_per_second = max_frame_rate;
   opts.frame_burst = frame_burst;
   opts.max_quota_strikes = quota_strikes;
+  opts.enable_jit = enable_jit;
 
   if (daemonize) return serve_daemonized(opts, pidfile, port_file);
   return run_server(opts, pidfile, port_file, [](bool) {}, /*verbose=*/true);
