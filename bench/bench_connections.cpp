@@ -1,0 +1,188 @@
+// Wire-protocol A/B (google-benchmark): v1 strict request/reply vs v2
+// pipelined, at 1 / 8 / 64 / 256 concurrent clients against ONE
+// PlanServer (epoll event loop + handler pool, Unix socket).
+//
+// Each benchmark thread IS one client: it owns a connection and, per
+// iteration, pushes kRequestsPerClient requests through it.
+//
+//   v1 leg — connect(ep, 0, pipeline=false): no Hello, 5-byte headers,
+//            one frame in flight per connection.  Every request pays a
+//            full client->server->client round trip before the next may
+//            start.
+//   v2 leg — the negotiated pipelined path: all kRequestsPerClient
+//            requests written back-to-back, replies demuxed by request
+//            id.  The server's event loop parses many frames per recv
+//            and coalesces queued replies into one sendmsg — the syscall
+//            amortization v1's lockstep framing makes impossible.
+//
+// Two request mixes, because they bound the win from both sides:
+//
+//  * BM_Connections_Wire_*  — Stats requests: near-zero server work, so
+//                             the numbers are the protocol + event loop
+//                             themselves.  This is the ISSUE 8 A/B
+//                             (v2 >= 2x v1 at 64 clients).
+//  * BM_Connections_Runs_*  — tiny fig7@16 runs: real executor work per
+//                             request.  Once the shared WorkerPool
+//                             saturates the machine, BOTH legs converge
+//                             on the compute ceiling — the honest
+//                             reminder that pipelining amortizes framing,
+//                             not execution.
+//
+// tools/bench_runner.py records BENCH_bench_connections.json; the ratios
+// live in EXPERIMENTS.md ("Wire protocol v2 A/B").
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/lowering.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/plan_client.hpp"
+#include "runtime/plan_server.hpp"
+#include "schedule/cyclic_sched.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace {
+
+using namespace mimd;
+
+constexpr int kRequestsPerClient = 32;
+
+/// The tiny run request: fig7 at a small iteration count, so one run is
+/// a few microseconds of actual execution.
+struct TinyProgram {
+  Ddg g = workloads::fig7_loop();
+  PartitionedProgram prog;
+
+  TinyProgram() {
+    const Machine m{2, 2};
+    const CyclicSchedResult r = cyclic_sched(g, m);
+    prog = lower(materialize(*r.pattern, m.processors, 16), g);
+  }
+};
+
+const TinyProgram& tiny() {
+  static const TinyProgram t;
+  return t;
+}
+
+/// One shared server for the whole binary: every thread count and both
+/// protocol legs hammer the SAME event loop + handler pool, which is the
+/// point — server threads stay O(handlers) while client counts scale.
+const std::string& server_endpoint() {
+  static const std::unique_ptr<PlanServer> server = [] {
+    PlanServerOptions opts;
+    opts.socket_path = "/tmp/mimd-bench-connections.sock";
+    opts.remove_existing = true;
+    // Quotas off: a warm bench loop legitimately sustains far more than
+    // the hostile-tenant defaults; this measures framing, not policing.
+    opts.max_frames_per_second = 0;
+    opts.max_programs_per_connection = 0;
+    auto s = std::make_unique<PlanServer>(opts);
+    s->start();
+    return s;
+  }();
+  return server->socket_path();
+}
+
+void finish_counters(benchmark::State& state, bool pipeline) {
+  state.SetItemsProcessed(state.iterations() * kRequestsPerClient);
+  if (state.thread_index() == 0) {
+    state.counters["clients"] =
+        benchmark::Counter(static_cast<double>(state.threads()));
+    state.counters["protocol"] = benchmark::Counter(pipeline ? 2.0 : 1.0);
+  }
+}
+
+// ---- The protocol-bound mix: Stats requests. ----
+
+void wire_leg(benchmark::State& state, bool pipeline) {
+  PlanClient client =
+      PlanClient::connect(server_endpoint(), /*timeout_ms=*/0, pipeline);
+  for (auto _ : state) {
+    if (pipeline) {
+      std::vector<std::future<wire::StatsReply>> futs;
+      futs.reserve(kRequestsPerClient);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        futs.push_back(client.stats_async());
+      }
+      for (auto& f : futs) benchmark::DoNotOptimize(f.get());
+    } else {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        benchmark::DoNotOptimize(client.stats());
+      }
+    }
+  }
+  finish_counters(state, pipeline);
+}
+
+void BM_Connections_Wire_V1Blocking(benchmark::State& state) {
+  wire_leg(state, /*pipeline=*/false);
+}
+BENCHMARK(BM_Connections_Wire_V1Blocking)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(64)
+    ->Threads(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Connections_Wire_V2Pipelined(benchmark::State& state) {
+  wire_leg(state, /*pipeline=*/true);
+}
+BENCHMARK(BM_Connections_Wire_V2Pipelined)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(64)
+    ->Threads(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// ---- The compute-bound mix: tiny runs on the shared WorkerPool. ----
+
+void runs_leg(benchmark::State& state, bool pipeline) {
+  PlanClient client =
+      PlanClient::connect(server_endpoint(), /*timeout_ms=*/0, pipeline);
+  const std::uint64_t id =
+      client.submit_program(tiny().prog, tiny().g).program_id;
+  for (auto _ : state) {
+    if (pipeline) {
+      std::vector<std::future<ExecutionResult>> futs;
+      futs.reserve(kRequestsPerClient);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        futs.push_back(client.run_async(id));
+      }
+      for (auto& f : futs) benchmark::DoNotOptimize(f.get());
+    } else {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        benchmark::DoNotOptimize(client.run(id));
+      }
+    }
+  }
+  finish_counters(state, pipeline);
+}
+
+void BM_Connections_Runs_V1Blocking(benchmark::State& state) {
+  runs_leg(state, /*pipeline=*/false);
+}
+BENCHMARK(BM_Connections_Runs_V1Blocking)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Connections_Runs_V2Pipelined(benchmark::State& state) {
+  runs_leg(state, /*pipeline=*/true);
+}
+BENCHMARK(BM_Connections_Runs_V2Pipelined)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,14 +1,243 @@
 #include "runtime/plan_client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 namespace mimd {
 
-PlanClient PlanClient::connect(const std::string& endpoint, int timeout_ms) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Decode adapter for replies whose payload carries nothing (Shutdown).
+std::uint64_t decode_empty_reply(const std::vector<std::uint8_t>& payload) {
+  if (!payload.empty()) throw wire::WireError("unexpected reply payload");
+  return 0;
+}
+
+}  // namespace
+
+/// All connection state lives here (not in PlanClient itself) so the
+/// reader thread's pointer survives moves of the owning PlanClient.
+struct PlanClient::Impl {
+  int fd = -1;
+  int timeout_ms = 0;
+  /// Deferred Hello: connect() never does I/O beyond the TCP/Unix
+  /// handshake, so a dead or hostile server surfaces as a typed error at
+  /// FIRST USE, exactly like the pre-v2 client.  The first request pays
+  /// the negotiation roundtrip.
+  bool negotiate_pending = false;
+  std::atomic<std::uint32_t> version{wire::kProtocolV1};
+  std::thread reader;  ///< only in v2 mode
+
+  /// Serializes frame *writes* (v2) or whole roundtrips (v1 fallback).
+  std::mutex wmu;
+
+  /// Guards everything below.
+  std::mutex mu;
+  std::uint64_t next_id = 1;
+  struct Pending {
+    wire::FrameType expected = wire::FrameType::Error;
+    Clock::time_point enqueued;
+    /// Called exactly once, outside mu: with the reply frame, or with the
+    /// exception that killed the request.
+    std::function<void(wire::FrameV2*, std::exception_ptr)> complete;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending;
+  bool dead = false;  ///< transport failed; every new submit fails fast
+  std::string dead_reason;
+  bool closing = false;
+
+  /// Fail every outstanding future and mark the connection dead.  The
+  /// reply stream is a single ordered byte sequence, so any transport
+  /// fault orphans everything still in flight — typed errors, not hangs.
+  void fail_all(const std::string& reason) {
+    std::unordered_map<std::uint64_t, Pending> orphans;
+    {
+      const std::lock_guard<std::mutex> lk(mu);
+      dead = true;
+      if (dead_reason.empty()) dead_reason = reason;
+      orphans.swap(pending);
+    }
+    const auto ep = std::make_exception_ptr(wire::WireError(reason));
+    for (auto& [id, p] : orphans) p.complete(nullptr, ep);
+  }
+
+  void reader_loop();
+
+  /// Run the deferred Hello exchange if it has not happened yet.  Both
+  /// legs use v1 framing: a v1 server answers the unknown Hello frame
+  /// with an ordinary Error frame and keeps the connection usable — the
+  /// fallback costs one roundtrip and degrades to exactly the old
+  /// blocking client.  A transport fault here kills the connection
+  /// (typed, at first use); throws wire::WireError.
+  void ensure_negotiated() {
+    const std::lock_guard<std::mutex> lk(wmu);
+    if (!negotiate_pending) return;
+    negotiate_pending = false;
+    try {
+      wire::write_frame(fd, wire::FrameType::Hello,
+                        wire::encode_hello(wire::HelloRequest{}));
+      const std::optional<wire::Frame> reply = wire::read_frame(fd);
+      if (!reply) throw wire::WireError("server closed during hello");
+      if (reply->type == wire::FrameType::HelloReply) {
+        const std::uint32_t v = wire::decode_hello_reply(reply->payload);
+        if (v >= wire::kProtocolV2) {
+          version.store(wire::kProtocolV2, std::memory_order_release);
+          reader = std::thread([this] { reader_loop(); });
+        }
+      } else if (reply->type != wire::FrameType::Error) {
+        throw wire::WireError("unexpected hello reply frame type " +
+                              std::to_string(static_cast<int>(reply->type)));
+      }
+      // Error frame: v1 server — stay in blocking v1 mode.
+    } catch (const wire::WireError& e) {
+      const std::lock_guard<std::mutex> dlk(mu);
+      dead = true;
+      if (dead_reason.empty()) dead_reason = e.what();
+      throw;
+    }
+  }
+};
+
+void PlanClient::Impl::reader_loop() {
+  wire::FrameBuffer rbuf;
+  rbuf.set_version(wire::kProtocolV2);
+  std::vector<std::uint8_t> chunk(64 * 1024);
+  for (;;) {
+    // poll() first so SO_RCVTIMEO only governs mid-frame stalls: an IDLE
+    // pipelined connection (nothing pending) must not spuriously die when
+    // the receive timeout elapses with no reply owed.
+    int timeout = -1;
+    if (timeout_ms > 0) {
+      const std::lock_guard<std::mutex> lk(mu);
+      if (pending.empty()) {
+        timeout = timeout_ms;  // idle tick; re-checked below
+      } else {
+        Clock::time_point earliest = Clock::time_point::max();
+        for (const auto& [id, p] : pending) {
+          earliest = std::min(earliest, p.enqueued);
+        }
+        const auto deadline = earliest + std::chrono::milliseconds(timeout_ms);
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        timeout = static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+      }
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail_all(std::string("poll failed: ") + std::strerror(errno));
+      return;
+    }
+    if (rc == 0) {
+      bool owed = false;
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        owed = !pending.empty();
+      }
+      if (!owed) continue;  // idle tick, nothing outstanding
+      // The oldest outstanding reply exhausted its budget (the deadline
+      // math above makes this exact, not an early fire).
+      fail_all("receive timed out");
+      return;
+    }
+
+    // Readable: drain one chunk, then dispatch every complete frame in
+    // it.  One recv may carry dozens of pipelined replies — the
+    // client-side half of the syscall amortization v2 exists for (the
+    // server's sendmsg coalescing being the other half).
+    const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_all(std::string("recv failed: ") + std::strerror(errno));
+      return;
+    }
+    if (n == 0) {
+      bool was_closing = false;
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        was_closing = closing;
+      }
+      fail_all(was_closing          ? "client closed"
+               : rbuf.buffered() > 0 ? "connection closed mid-frame"
+                                     : "server closed the connection");
+      return;
+    }
+    rbuf.append(chunk.data(), static_cast<std::size_t>(n));
+    for (;;) {
+      std::optional<wire::FrameV2> frame;
+      try {
+        frame = rbuf.next();
+      } catch (const wire::WireError& e) {
+        fail_all(e.what());
+        return;
+      }
+      if (!frame) break;
+
+      Pending entry;
+      bool found = false;
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        const auto it = pending.find(frame->request_id);
+        if (it != pending.end()) {
+          entry = std::move(it->second);
+          pending.erase(it);
+          found = true;
+        }
+      }
+      if (!found) {
+        // A reply for an id this connection never issued: the server (or
+        // something between) is confused, and nothing downstream of this
+        // byte can be trusted.  Typed failure for everyone, never a hang.
+        fail_all("reply carries unknown request id " +
+                 std::to_string(frame->request_id));
+        return;
+      }
+      if (frame->type == wire::FrameType::Error) {
+        std::exception_ptr ep;
+        try {
+          ep = std::make_exception_ptr(
+              RemoteError(wire::decode_error(frame->payload)));
+        } catch (const wire::WireError&) {
+          ep = std::current_exception();
+        }
+        entry.complete(nullptr, ep);
+        continue;
+      }
+      if (frame->type != entry.expected) {
+        // A well-framed reply of the wrong type is a protocol violation,
+        // not a server-side refusal — fatal for the connection.
+        entry.complete(nullptr, std::make_exception_ptr(wire::WireError(
+                                    "unexpected reply frame type " +
+                                    std::to_string(static_cast<int>(
+                                        frame->type)))));
+        fail_all("protocol violation: unexpected reply frame type");
+        return;
+      }
+      entry.complete(&*frame, nullptr);
+    }
+  }
+}
+
+PlanClient PlanClient::connect(const std::string& endpoint, int timeout_ms,
+                               bool pipeline) {
   const int fd = wire::connect_endpoint(wire::parse_endpoint(endpoint));
   if (timeout_ms > 0) {
     timeval tv{};
@@ -19,71 +248,192 @@ PlanClient PlanClient::connect(const std::string& endpoint, int timeout_ms) {
   }
 
   PlanClient c;
-  c.fd_ = fd;
+  c.impl_->fd = fd;
+  c.impl_->timeout_ms = timeout_ms;
+  // Negotiation is deferred to the first request (Impl::ensure_negotiated)
+  // so connect() keeps its historical contract: it succeeds whenever the
+  // socket connects, and an unresponsive or hostile peer surfaces as a
+  // typed error at first use.
+  c.impl_->negotiate_pending = pipeline;
   return c;
 }
+
+PlanClient::PlanClient() : impl_(std::make_unique<Impl>()) {}
 
 PlanClient::~PlanClient() { close(); }
 
 PlanClient::PlanClient(PlanClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : impl_(std::move(other.impl_)) {
+  other.impl_ = std::make_unique<Impl>();
+}
 
 PlanClient& PlanClient::operator=(PlanClient&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = std::exchange(other.fd_, -1);
+    impl_ = std::move(other.impl_);
+    other.impl_ = std::make_unique<Impl>();
   }
   return *this;
 }
 
+bool PlanClient::connected() const { return impl_ && impl_->fd >= 0; }
+
+std::uint32_t PlanClient::protocol_version() const {
+  return impl_ ? impl_->version.load(std::memory_order_acquire)
+               : wire::kProtocolV1;
+}
+
 void PlanClient::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  if (!impl_ || impl_->fd < 0) return;
+  {
+    const std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->closing = true;
   }
+  // Wake the reader (poll sees the hangup, read sees EOF); it fails any
+  // outstanding futures and exits, then the fd can be closed safely.
+  ::shutdown(impl_->fd, SHUT_RDWR);
+  if (impl_->reader.joinable()) impl_->reader.join();
+  ::close(impl_->fd);
+  impl_->fd = -1;
 }
 
-wire::Frame PlanClient::roundtrip(wire::FrameType request,
-                                  wire::FrameType expected_reply,
-                                  const std::vector<std::uint8_t>& payload) {
-  if (fd_ < 0) throw wire::WireError("client not connected");
-  wire::write_frame(fd_, request, payload);
-  std::optional<wire::Frame> reply = wire::read_frame(fd_);
-  if (!reply) throw wire::WireError("server closed the connection");
-  if (reply->type == wire::FrameType::Error) {
-    throw RemoteError(wire::decode_error(reply->payload));
+template <typename T>
+std::future<T> PlanClient::submit_typed(
+    wire::FrameType request, wire::FrameType expected_reply,
+    std::vector<std::uint8_t> payload,
+    T (*decode)(const std::vector<std::uint8_t>&)) {
+  auto prom = std::make_shared<std::promise<T>>();
+  std::future<T> fut = prom->get_future();
+  Impl* im = impl_.get();
+
+  if (!im || im->fd < 0) {
+    prom->set_exception(
+        std::make_exception_ptr(wire::WireError("client not connected")));
+    return fut;
   }
-  if (reply->type != expected_reply) {
-    throw wire::WireError("unexpected reply frame type " +
-                          std::to_string(static_cast<int>(reply->type)));
+
+  try {
+    im->ensure_negotiated();
+  } catch (...) {
+    // First-use negotiation failed: this request reports it (typed, via
+    // the future, like every other transport fault).
+    prom->set_exception(std::current_exception());
+    return fut;
   }
-  return std::move(*reply);
+  {
+    const std::lock_guard<std::mutex> lk(im->mu);
+    if (im->dead) {
+      prom->set_exception(
+          std::make_exception_ptr(wire::WireError(im->dead_reason)));
+      return fut;
+    }
+  }
+
+  if (im->version.load(std::memory_order_acquire) >= wire::kProtocolV2) {
+    std::uint64_t id = 0;
+    {
+      const std::lock_guard<std::mutex> lk(im->mu);
+      if (im->dead) {
+        prom->set_exception(
+            std::make_exception_ptr(wire::WireError(im->dead_reason)));
+        return fut;
+      }
+      id = im->next_id++;
+      Impl::Pending p;
+      p.expected = expected_reply;
+      p.enqueued = Clock::now();
+      p.complete = [prom, decode](wire::FrameV2* frame,
+                                  std::exception_ptr ep) {
+        if (ep) {
+          prom->set_exception(ep);
+          return;
+        }
+        try {
+          prom->set_value(decode(frame->payload));
+        } catch (...) {
+          prom->set_exception(std::current_exception());
+        }
+      };
+      im->pending.emplace(id, std::move(p));
+    }
+    try {
+      const std::lock_guard<std::mutex> lk(im->wmu);
+      wire::write_frame_v2(im->fd, request, id, payload);
+    } catch (const wire::WireError&) {
+      // The request never left: fail just this future (the reader owns
+      // the shared-fate decision for replies already owed).  The entry
+      // may already be gone if fail_all raced us — then it was completed.
+      Impl::Pending orphan;
+      bool mine = false;
+      {
+        const std::lock_guard<std::mutex> lk(im->mu);
+        const auto it = im->pending.find(id);
+        if (it != im->pending.end()) {
+          orphan = std::move(it->second);
+          im->pending.erase(it);
+          mine = true;
+        }
+      }
+      if (mine) orphan.complete(nullptr, std::current_exception());
+    }
+    return fut;
+  }
+
+  // v1 fallback: the strict blocking roundtrip, serialized so concurrent
+  // callers interleave whole request/reply pairs, never bytes.
+  const std::lock_guard<std::mutex> lk(im->wmu);
+  try {
+    wire::write_frame(im->fd, request, payload);
+    std::optional<wire::Frame> reply = wire::read_frame(im->fd);
+    if (!reply) throw wire::WireError("server closed the connection");
+    if (reply->type == wire::FrameType::Error) {
+      throw RemoteError(wire::decode_error(reply->payload));
+    }
+    if (reply->type != expected_reply) {
+      throw wire::WireError("unexpected reply frame type " +
+                            std::to_string(static_cast<int>(reply->type)));
+    }
+    prom->set_value(decode(reply->payload));
+  } catch (...) {
+    prom->set_exception(std::current_exception());
+  }
+  return fut;
 }
 
-wire::SubmitProgramReply PlanClient::submit_program(
+std::future<wire::SubmitProgramReply> PlanClient::submit_program_async(
     const PartitionedProgram& program, const Ddg& graph,
     const CompileOptions& copts) {
   wire::SubmitProgramRequest req;
   req.program = program;
   req.graph = graph;
   req.copts = copts;
-  const wire::Frame reply =
-      roundtrip(wire::FrameType::SubmitProgram,
-                wire::FrameType::SubmitProgramReply,
-                wire::encode_submit_program(req));
-  return wire::decode_submit_program_reply(reply.payload);
+  return submit_typed(wire::FrameType::SubmitProgram,
+                      wire::FrameType::SubmitProgramReply,
+                      wire::encode_submit_program(req),
+                      wire::decode_submit_program_reply);
+}
+
+wire::SubmitProgramReply PlanClient::submit_program(
+    const PartitionedProgram& program, const Ddg& graph,
+    const CompileOptions& copts) {
+  return submit_program_async(program, graph, copts).get();
+}
+
+std::future<ExecutionResult> PlanClient::run_async(
+    std::uint64_t program_id, std::int64_t iterations,
+    const wire::RemoteRunOptions& opts) {
+  wire::RunRequest req;
+  req.program_id = program_id;
+  req.iterations = iterations;
+  req.opts = opts;
+  return submit_typed(wire::FrameType::Run, wire::FrameType::RunReply,
+                      wire::encode_run(req), wire::decode_run_reply);
 }
 
 ExecutionResult PlanClient::run(std::uint64_t program_id,
                                 std::int64_t iterations,
                                 const wire::RemoteRunOptions& opts) {
-  wire::RunRequest req;
-  req.program_id = program_id;
-  req.iterations = iterations;
-  req.opts = opts;
-  const wire::Frame reply = roundtrip(
-      wire::FrameType::Run, wire::FrameType::RunReply, wire::encode_run(req));
-  return wire::decode_run_reply(reply.payload);
+  return run_async(program_id, iterations, opts).get();
 }
 
 wire::RunBatchReply PlanClient::run_batch(
@@ -91,21 +441,35 @@ wire::RunBatchReply PlanClient::run_batch(
   wire::RunBatchRequest req;
   req.items = items;
   req.concurrency = concurrency;
-  const wire::Frame reply =
-      roundtrip(wire::FrameType::RunBatch, wire::FrameType::RunBatchReply,
-                wire::encode_run_batch(req));
-  return wire::decode_run_batch_reply(reply.payload);
+  return submit_typed(wire::FrameType::RunBatch,
+                      wire::FrameType::RunBatchReply,
+                      wire::encode_run_batch(req), wire::decode_run_batch_reply)
+      .get();
 }
 
-wire::StatsReply PlanClient::stats() {
-  const wire::Frame reply =
-      roundtrip(wire::FrameType::Stats, wire::FrameType::StatsReply, {});
-  return wire::decode_stats_reply(reply.payload);
+std::future<std::uint64_t> PlanClient::drop_program_async(
+    std::uint64_t program_id) {
+  return submit_typed(wire::FrameType::DropProgram,
+                      wire::FrameType::DropProgramReply,
+                      wire::encode_drop_program(program_id),
+                      wire::decode_drop_program_reply);
+}
+
+void PlanClient::drop_program(std::uint64_t program_id) {
+  (void)drop_program_async(program_id).get();
+}
+
+wire::StatsReply PlanClient::stats() { return stats_async().get(); }
+
+std::future<wire::StatsReply> PlanClient::stats_async() {
+  return submit_typed(wire::FrameType::Stats, wire::FrameType::StatsReply, {},
+                      wire::decode_stats_reply);
 }
 
 void PlanClient::shutdown_server() {
-  (void)roundtrip(wire::FrameType::Shutdown, wire::FrameType::ShutdownReply,
-                  {});
+  (void)submit_typed(wire::FrameType::Shutdown, wire::FrameType::ShutdownReply,
+                     {}, decode_empty_reply)
+      .get();
 }
 
 }  // namespace mimd

@@ -12,17 +12,36 @@
 //     const auto sub = c.submit_program(program, graph);
 //     const ExecutionResult r = c.run(sub.program_id, iterations);
 //
-// Threading: a PlanClient is one connection with strict request/reply
-// framing — use it from one thread at a time (open one client per thread
-// for concurrency; the server scales by connection).
+// Pipelining (wire protocol v2): connect() opens with a Hello frame; a
+// v2 server negotiates request-id framing and the client switches to an
+// async core — every *_async call assigns a request id, registers a
+// pending future, writes the frame, and returns immediately, while one
+// reader thread demuxes replies by id (they may arrive in any order).
+// The blocking API above is the async API plus .get(), so callers that
+// never pipeline see the exact pre-v2 behavior.  Against a server that
+// answers Hello with an Error frame (a v1 server), the client falls back
+// to strict blocking request/reply transparently — the async calls then
+// complete synchronously, futures already resolved.
+//
+// Threading: a PlanClient is safe for concurrent calls from many threads
+// in v2 mode (writes are serialized, replies demuxed by id).  In v1
+// fallback mode calls are serialized internally, so concurrent callers
+// are safe but gain nothing — open one client per thread for concurrency
+// against a v1 server.
 //
 // Errors: server-reported failures (ill-formed program, unknown id, bad
 // iteration count) throw RemoteError carrying the server's message;
 // transport-level failures (daemon gone, truncated frame, SO_RCVTIMEO
-// expiry) throw wire::WireError.
+// expiry, a reply carrying an id that was never issued) throw
+// wire::WireError — from the blocking calls directly, from the async
+// calls via the returned future.  A transport failure fails EVERY
+// outstanding future: replies are a single ordered stream, so one lost
+// byte orphans everything behind it.
 #pragma once
 
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,19 +62,31 @@ class PlanClient {
   /// Connect to a mimdd endpoint — any form wire::parse_endpoint accepts
   /// ("path", "unix:path", "host:port", "tcp:host:port").  `timeout_ms` >
   /// 0 arms SO_RCVTIMEO / SO_SNDTIMEO so a hung daemon surfaces as
-  /// wire::WireError("receive timed out") instead of blocking forever.
-  /// Throws wire::WireError if the endpoint cannot be reached.
-  static PlanClient connect(const std::string& endpoint, int timeout_ms = 0);
+  /// wire::WireError("receive timed out") instead of blocking forever; in
+  /// v2 mode the same budget bounds how long any pipelined reply may be
+  /// outstanding.  `pipeline` = false skips the Hello handshake entirely
+  /// and speaks blocking v1 for the connection's lifetime (the bench's
+  /// A/B baseline, and a live v1-client-vs-v2-server compatibility
+  /// check).  Throws wire::WireError if the endpoint cannot be reached.
+  /// The Hello exchange itself is deferred to the first request, so an
+  /// unresponsive peer behind a successful socket connect surfaces as a
+  /// typed error at first use — connect() itself never blocks on a reply.
+  static PlanClient connect(const std::string& endpoint, int timeout_ms = 0,
+                            bool pipeline = true);
 
-  PlanClient() = default;
+  PlanClient();
   ~PlanClient();
   PlanClient(PlanClient&& other) noexcept;
   PlanClient& operator=(PlanClient&& other) noexcept;
   PlanClient(const PlanClient&) = delete;
   PlanClient& operator=(const PlanClient&) = delete;
 
-  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] bool connected() const;
   void close();
+
+  /// The protocol version in force: kProtocolV2 after a successful Hello
+  /// negotiation, else kProtocolV1.
+  [[nodiscard]] std::uint32_t protocol_version() const;
 
   /// Register a program; the reply's program_id names it in run() /
   /// run_batch() on THIS connection.  Compilation is served from the
@@ -64,31 +95,53 @@ class PlanClient {
   wire::SubmitProgramReply submit_program(const PartitionedProgram& program,
                                           const Ddg& graph,
                                           const CompileOptions& copts = {});
+  std::future<wire::SubmitProgramReply> submit_program_async(
+      const PartitionedProgram& program, const Ddg& graph,
+      const CompileOptions& copts = {});
 
   /// Execute a registered program for `iterations` (0 = its compiled
   /// count) on the daemon's shared worker pool.
   ExecutionResult run(std::uint64_t program_id, std::int64_t iterations = 0,
                       const wire::RemoteRunOptions& opts = {});
+  std::future<ExecutionResult> run_async(
+      std::uint64_t program_id, std::int64_t iterations = 0,
+      const wire::RemoteRunOptions& opts = {});
 
   /// Execute many registered programs concurrently server-side (the
   /// daemon's run_plans drivers).  Results are in item order.
   wire::RunBatchReply run_batch(const std::vector<wire::RunRequest>& items,
                                 std::uint32_t concurrency = 0);
 
+  /// Evict one registered program id from this connection's registry on
+  /// the server (frees the pinned plan; the id becomes invalid).
+  void drop_program(std::uint64_t program_id);
+  std::future<std::uint64_t> drop_program_async(std::uint64_t program_id);
+
   /// Daemon-wide counters: cache hits/misses/evictions, pool size,
   /// connections, runs — the observability window onto cross-connection
-  /// amortization.
+  /// amortization.  The async form doubles as the cheapest pipelined
+  /// probe: near-zero server work, so a burst of these measures the wire
+  /// and event loop themselves (bench/bench_connections.cpp).
   wire::StatsReply stats();
+  std::future<wire::StatsReply> stats_async();
 
   /// Graceful daemon shutdown: returns once the server has acked; the
   /// daemon then drains in-flight runs on other connections and exits.
   void shutdown_server();
 
  private:
-  wire::Frame roundtrip(wire::FrameType request, wire::FrameType expected_reply,
-                        const std::vector<std::uint8_t>& payload);
+  struct Impl;
 
-  int fd_ = -1;
+  /// Type-erased async core: register a pending reply slot (v2) or do the
+  /// blocking roundtrip inline (v1), completing `prom`-style via the
+  /// decode callback.  Defined in plan_client.cpp.
+  template <typename T>
+  std::future<T> submit_typed(wire::FrameType request,
+                              wire::FrameType expected_reply,
+                              std::vector<std::uint8_t> payload,
+                              T (*decode)(const std::vector<std::uint8_t>&));
+
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace mimd

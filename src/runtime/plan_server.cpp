@@ -1,12 +1,17 @@
 #include "runtime/plan_server.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -81,7 +86,48 @@ RunOptions to_run_options(const wire::RemoteRunOptions& o, WorkerPool* pool) {
   return r;
 }
 
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
+
+/// Everything one accepted socket owns.  The event loop is the only
+/// thread that touches the fd, the read buffer, and the token bucket; the
+/// mutex guards what loop and handlers share: the write queue, the
+/// program registry, dispatch bookkeeping, and the close flags.  Handlers
+/// never see the socket — their output is bytes on `wqueue` plus a kick.
+struct PlanServer::Connection {
+  int fd = -1;
+
+  // -- loop thread only --------------------------------------------------
+  wire::FrameBuffer rbuf;
+  bool saw_frame = false;   ///< Hello is only honored as the first frame
+  bool read_closed = false; ///< EOF (or fatal read error) seen
+  std::uint32_t armed = 0;  ///< epoll interest mask currently installed
+  double tokens = 0.0;      ///< frame-rate token bucket
+  std::chrono::steady_clock::time_point last_refill{};
+
+  // -- shared with handlers (guarded by mu) ------------------------------
+  std::mutex mu;
+  std::uint32_t version = wire::kProtocolV1;
+  std::deque<std::vector<std::uint8_t>> wqueue;
+  std::size_t wqueue_bytes = 0;
+  std::size_t woffset = 0;     ///< sent prefix of wqueue.front()
+  bool write_dead = false;     ///< send failed: nothing further deliverable
+  bool closing = false;        ///< stop reading; close once idle + flushed
+  bool closed = false;         ///< torn down, fd gone
+  bool read_paused = false;    ///< backpressure dropped EPOLLIN
+  int in_flight = 0;           ///< tasks dispatched to handlers
+  std::deque<Task> v1_pending; ///< decoded v1 frames awaiting their turn
+  bool v1_busy = false;        ///< a v1 task is in a handler right now
+  std::unordered_map<std::uint64_t, PlanCache::CachedPlan> programs;
+  std::uint64_t next_id = 1;
+  std::size_t registry_reserved = 0;  ///< submits admitted but not landed
+  int strikes = 0;
+  bool counted_quota_disconnect = false;
+};
 
 PlanServer::PlanServer(PlanServerOptions opts)
     : opts_(std::move(opts)),
@@ -160,16 +206,53 @@ void PlanServer::start() {
     }
   }
 
+  // The loop's plumbing: epoll set + the eventfd handlers kick after
+  // queueing a reply.  Listeners go in nonblocking so the accept drain
+  // loop terminates on EAGAIN instead of parking the whole loop.
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = epoll_fd_ >= 0
+                  ? ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)
+                  : -1;
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    const int err = errno;
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    close_all();
+    if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+    throw std::runtime_error(std::string("event loop setup failed: ") +
+                             std::strerror(err));
+  }
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = event_fd_;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+  }
+  for (const auto& l : listeners) {
+    set_nonblocking(l->fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = l->fd;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, l->fd, &ev);
+  }
+
   {
     const std::lock_guard<std::mutex> lock(lifecycle_mu_);
     listeners_ = std::move(listeners);
     tcp_port_ = tcp_port;
     started_ = true;
   }
-  for (const auto& l : listeners_) {
-    Listener* raw = l.get();
-    raw->thread = std::thread([this, raw] { accept_loop(raw); });
+
+  std::size_t handlers = opts_.handler_threads;
+  if (handlers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    handlers = std::max(2u, std::min(8u, hw / 2));
   }
+  handler_pool_.reserve(handlers);
+  for (std::size_t i = 0; i < handlers; ++i) {
+    handler_pool_.emplace_back([this] { handler_loop(); });
+  }
+  loop_thread_ = std::thread([this] { event_loop(); });
 }
 
 std::uint16_t PlanServer::tcp_port() const {
@@ -204,40 +287,47 @@ void PlanServer::stop() {
   }
   stop_cv_.notify_all();
 
-  // Kick every accept loop off accept(2) (or out of its backoff sleep —
-  // the sleep waits on stop_cv_) and join it; no new connections from
-  // here on.  listeners_ is only mutated before the accept threads exist
-  // and after they are joined, so no lock is needed to walk it here.
-  for (const auto& l : listeners_) {
-    if (l->fd >= 0) ::shutdown(l->fd, SHUT_RDWR);
+  // Hand the drain to the loop: it unregisters the listeners, half-closes
+  // every connection's read side, serves whatever was already buffered,
+  // flushes every queued reply, and exits once the last connection is
+  // idle + flushed.  Joining it IS the drain barrier.
+  draining_.store(true, std::memory_order_release);
+  if (event_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t r =
+        ::write(event_fd_, &one, sizeof(one));
   }
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Loop gone means no connection has work in flight — the handler pool
+  // is necessarily idle; stop and join it.
+  {
+    const std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_stopped_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : handler_pool_) {
+    if (t.joinable()) t.join();
+  }
+  handler_pool_.clear();
+
   for (const auto& l : listeners_) {
-    if (l->thread.joinable()) l->thread.join();
     if (l->fd >= 0) ::close(l->fd);
   }
-
-  // Drain: half-close every connection's read side.  Idle handlers see
-  // EOF immediately; a handler mid-run keeps its open write side, so its
-  // reply is still delivered before the handler exits.
+  listeners_.clear();
+  conns_.clear();
   {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const auto& c : conns_) {
-      if (!c->done.load(std::memory_order_acquire)) {
-        ::shutdown(c->fd, SHUT_RD);
-      }
-    }
+    const std::lock_guard<std::mutex> lock(kick_mu_);
+    kicked_.clear();
   }
-  // Join handlers and close their fds (exactly once, after the join, so
-  // stop()'s shutdown above can never race a close+fd-reuse).
-  std::vector<std::unique_ptr<Conn>> drained;
   {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    drained.swap(conns_);
+    const std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.clear();
   }
-  for (const auto& c : drained) {
-    if (c->thread.joinable()) c->thread.join();
-    ::close(c->fd);
-  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  epoll_fd_ = -1;
+  event_fd_ = -1;
 
   if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
 }
@@ -264,78 +354,495 @@ PlanServerStats PlanServer::stats() const {
   return s;
 }
 
-void PlanServer::reap_finished_locked() {
-  for (std::size_t i = 0; i < conns_.size();) {
-    if (conns_[i]->done.load(std::memory_order_acquire)) {
-      if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
-      ::close(conns_[i]->fd);
-      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
+// ---------------------------------------------------------------------------
+// Event loop
+
+void PlanServer::event_loop() {
+  std::array<epoll_event, 128> events{};
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire) && !drain_started_) {
+      begin_drain();
     }
+    if (drain_started_ && conns_.empty()) return;
+
+    // A paused listener (EMFILE backoff) turns the wait into a timed one;
+    // once its deadline passes it rejoins the epoll set.
+    int timeout = -1;
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& l : listeners_) {
+      if (!l->paused) continue;
+      if (drain_started_) {
+        l->paused = false;
+        continue;
+      }
+      if (now >= l->resume_at) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = l->fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, l->fd, &ev) == 0) {
+          l->paused = false;
+        }
+      } else {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              l->resume_at - now)
+                              .count() +
+                          1;
+        const int ms = static_cast<int>(
+            std::min<long long>(left, std::numeric_limits<int>::max()));
+        timeout = timeout < 0 ? ms : std::min(timeout, ms);
+      }
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone: nothing left to serve
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == event_fd_) {
+        std::uint64_t counter = 0;
+        while (::read(event_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;  // the kicked set is swept below
+      }
+      Listener* listener = nullptr;
+      for (const auto& l : listeners_) {
+        if (l->fd == fd) {
+          listener = l.get();
+          break;
+        }
+      }
+      if (listener != nullptr) {
+        if (!drain_started_) handle_accept(listener);
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this sweep
+      const std::shared_ptr<Connection> conn = it->second;
+      if ((events[i].events & EPOLLOUT) != 0) {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        flush_locked(*conn);
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        handle_readable(conn);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->closed) {
+          flush_locked(*conn);
+          update_interest_locked(*conn);
+        }
+      }
+      maybe_close(conn);
+    }
+    handle_kicks();
   }
 }
 
-void PlanServer::accept_loop(Listener* listener) {
-  auto backoff = std::chrono::milliseconds(opts_.accept_backoff_initial_ms);
-  const auto backoff_max =
-      std::chrono::milliseconds(opts_.accept_backoff_max_ms);
+void PlanServer::begin_drain() {
+  drain_started_ = true;
+  for (const auto& l : listeners_) {
+    if (!l->paused) {
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, l->fd, nullptr);
+    }
+    l->paused = false;
+  }
+  // Half-close every connection's read side.  Bytes already buffered (in
+  // the kernel or in rbuf) still parse and get served; the stream then
+  // reports EOF and the connection closes once idle + flushed — requests
+  // accepted before the drain always see their replies.
+  std::vector<std::shared_ptr<Connection>> snapshot;
+  snapshot.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) snapshot.push_back(conn);
+  for (const auto& conn : snapshot) {
+    (void)::shutdown(conn->fd, SHUT_RD);
+    {
+      const std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) update_interest_locked(*conn);
+    }
+    maybe_close(conn);
+  }
+}
+
+void PlanServer::handle_accept(Listener* listener) {
   for (;;) {
-    const int fd = ::accept(listener->fd, nullptr, nullptr);
+    const int fd = ::accept4(listener->fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
           errno == ENOMEM) {
         // Transient resource exhaustion — most likely fd exhaustion from
         // a connection flood or a leaky tenant.  The pending connection
-        // stays in the backlog; sleep (interruptibly: stop() signals
-        // stop_cv_) and retry instead of abandoning the listener, which
-        // would silently turn a full daemon into a dead one.
+        // stays in the backlog; drop the listener from the epoll set and
+        // re-arm it after a doubling backoff (fed into the loop's wait
+        // timeout) instead of abandoning it, which would silently turn a
+        // full daemon into a dead one.
         accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
-        {
-          std::unique_lock<std::mutex> lock(lifecycle_mu_);
-          stop_cv_.wait_for(lock, backoff,
-                            [this] { return stop_requested_; });
-          if (stop_requested_) return;
-        }
-        backoff = std::min(backoff * 2, backoff_max);
-        continue;
+        listener->backoff =
+            listener->backoff.count() == 0
+                ? std::chrono::milliseconds(opts_.accept_backoff_initial_ms)
+                : std::min(listener->backoff * 2,
+                           std::chrono::milliseconds(
+                               opts_.accept_backoff_max_ms));
+        listener->paused = true;
+        listener->resume_at =
+            std::chrono::steady_clock::now() + listener->backoff;
+        (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener->fd, nullptr);
+        return;
       }
-      // shutdown(listener->fd) during stop(), or a genuinely fatal accept
-      // error: this listener is done.
+      // Genuinely fatal accept error: this listener is done.
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener->fd, nullptr);
       return;
     }
-    backoff = std::chrono::milliseconds(opts_.accept_backoff_initial_ms);
+    listener->backoff = std::chrono::milliseconds(0);
     if (listener->is_tcp) {
-      // Strict request/reply framing: Nagle + delayed ACK would add a
-      // round-trip's latency to every small frame.
+      // Strict small frames: Nagle + delayed ACK would add a round-trip's
+      // latency to every one.
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
 
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    reap_finished_locked();
-    conns_.push_back(std::make_unique<Conn>());
-    Conn* conn = conns_.back().get();
+    auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    conn->thread = std::thread([this, conn] { serve_connection(conn); });
+    conn->tokens = std::max(opts_.frame_burst, 1.0);
+    conn->last_refill = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      connections_active_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    conn->armed = EPOLLIN;
+    conns_.emplace(fd, std::move(conn));
   }
 }
 
-void PlanServer::serve_connection(Conn* conn) {
-  // Shared-nothing per connection: the program registry lives and dies
-  // with the handler thread.  Registered CachedPlans are shared_ptrs into
-  // the cache (plan and kernel slot both), so eviction can never
-  // invalidate a registered program, and a kernel published after
-  // registration is visible through the entry's slot on the next run.
-  std::unordered_map<std::uint64_t, PlanCache::CachedPlan> programs;
-  std::uint64_t next_id = 1;
+void PlanServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+  Connection& c = *conn;
+  std::uint8_t buf[64 * 1024];
+  // Bounded per wake so one firehose connection cannot starve the rest;
+  // level-triggered epoll re-reports whatever is left.
+  std::size_t budget = 4 * sizeof(buf);
+  bool fatal = false;
+  while (budget > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      if (c.closed || c.closing) return;
+      if (update_pause_locked(c) && !drain_started_) break;
+    }
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      c.read_closed = true;  // ECONNRESET and friends: treat as EOF
+      break;
+    }
+    if (n == 0) {
+      c.read_closed = true;
+      break;
+    }
+    budget -= std::min(budget, static_cast<std::size_t>(n));
+    c.rbuf.append(buf, static_cast<std::size_t>(n));
+    try {
+      while (auto frame = c.rbuf.next()) {
+        on_frame(conn, std::move(*frame));
+        const std::lock_guard<std::mutex> lock(c.mu);
+        if (c.closing || c.closed) break;
+      }
+    } catch (const wire::WireError&) {
+      // Framing violation (oversize length prefix): the stream cannot be
+      // resynced — drop the peer, no Error frame.
+      fatal = true;
+      break;
+    }
+  }
+  if (fatal) {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    c.closing = true;
+    c.write_dead = true;
+    c.read_closed = true;
+    c.wqueue.clear();
+    c.wqueue_bytes = 0;
+    c.woffset = 0;
+  }
+}
 
-  const auto lookup = [&](std::uint64_t id) -> const PlanCache::CachedPlan& {
-    const auto it = programs.find(id);
-    if (it == programs.end()) {
+void PlanServer::on_frame(const std::shared_ptr<Connection>& conn,
+                          wire::FrameV2 frame) {
+  Connection& c = *conn;
+
+  // Version negotiation is the loop's job, not a handler's: the switch
+  // must land before the next buffered byte is parsed.  Only honored as
+  // the very first frame — a v1 client never sends Hello, so its first
+  // real request locks the connection to v1.  Hello is also exempt from
+  // the frame-rate bucket: it is one frame per connection, and charging
+  // it would shift every quota test's arithmetic by one.
+  if (!c.saw_frame && frame.type == wire::FrameType::Hello) {
+    c.saw_frame = true;
+    wire::FrameType reply_type = wire::FrameType::HelloReply;
+    std::vector<std::uint8_t> reply;
+    std::uint32_t chosen = wire::kProtocolV1;
+    try {
+      const wire::HelloRequest hello = wire::decode_hello(frame.payload);
+      if (hello.min_version > wire::kProtocolV2) {
+        throw wire::WireError(
+            "unsupported protocol version range " +
+            std::to_string(hello.min_version) + ".." +
+            std::to_string(hello.max_version) + " (server speaks up to " +
+            std::to_string(wire::kProtocolV2) + ")");
+      }
+      chosen = std::min<std::uint32_t>(wire::kProtocolV2, hello.max_version);
+      reply = wire::encode_hello_reply(chosen);
+    } catch (const std::exception& e) {
+      reply_type = wire::FrameType::Error;
+      reply = wire::encode_error(e.what());
+      chosen = wire::kProtocolV1;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(c.mu);
+      if (c.closed) return;
+      // The negotiation exchange itself is always v1-framed.
+      auto bytes = wire::encode_frame_bytes(wire::kProtocolV1, reply_type,
+                                            0, reply);
+      c.wqueue_bytes += bytes.size();
+      c.wqueue.push_back(std::move(bytes));
+      if (chosen >= wire::kProtocolV2) c.version = chosen;
+    }
+    if (chosen >= wire::kProtocolV2) c.rbuf.set_version(chosen);
+    return;
+  }
+  c.saw_frame = true;
+
+  bool struck = false;
+  if (opts_.max_frames_per_second > 0) {
+    const double burst = std::max(opts_.frame_burst, 1.0);
+    const auto now = std::chrono::steady_clock::now();
+    c.tokens = std::min(
+        burst, c.tokens + std::chrono::duration<double>(now - c.last_refill)
+                                  .count() *
+                              opts_.max_frames_per_second);
+    c.last_refill = now;
+    if (c.tokens < 1.0) {
+      // Counted here, at decode time, exactly as the blocking server
+      // counted it at read time; the handler turns the strike into the
+      // Error frame so reply ordering stays request order.
+      frame_quota_trips_.fetch_add(1, std::memory_order_relaxed);
+      struck = true;
+    } else {
+      c.tokens -= 1.0;
+    }
+  }
+
+  Task task{conn, std::move(frame), struck};
+  bool post = false;
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (c.closing || c.closed) return;
+    if (c.version >= wire::kProtocolV2) {
+      // v2: every request dispatches immediately; replies come back in
+      // completion order, demuxed client-side by request id.
+      ++c.in_flight;
+      post = true;
+    } else if (!c.v1_busy) {
+      c.v1_busy = true;
+      ++c.in_flight;
+      post = true;
+    } else {
+      // v1 promises strict request-order replies: one task at a time,
+      // the rest queue here and chain in process_task.
+      c.v1_pending.push_back(std::move(task));
+    }
+  }
+  if (post) enqueue_task(std::move(task));
+}
+
+bool PlanServer::update_pause_locked(Connection& c) {
+  const std::size_t depth =
+      static_cast<std::size_t>(c.in_flight) + c.v1_pending.size();
+  if (!c.read_paused) {
+    if ((opts_.write_high_watermark > 0 &&
+         c.wqueue_bytes > opts_.write_high_watermark) ||
+        (opts_.max_pipeline_depth > 0 &&
+         depth >= opts_.max_pipeline_depth)) {
+      c.read_paused = true;
+    }
+  } else {
+    if (c.wqueue_bytes <= opts_.write_low_watermark &&
+        (opts_.max_pipeline_depth == 0 ||
+         depth < opts_.max_pipeline_depth)) {
+      c.read_paused = false;
+    }
+  }
+  return c.read_paused;
+}
+
+void PlanServer::flush_locked(Connection& c) {
+  if (c.closed || c.write_dead) return;
+  while (!c.wqueue.empty()) {
+    // Coalesce queued frames into one sendmsg — pipelined connections
+    // carry many small replies per flush, and this is where the v2 path
+    // earns its syscall amortization.
+    std::array<iovec, 16> iov{};
+    std::size_t cnt = 0;
+    std::size_t skip = c.woffset;
+    for (auto it = c.wqueue.begin();
+         it != c.wqueue.end() && cnt < iov.size(); ++it) {
+      iov[cnt].iov_base =
+          const_cast<std::uint8_t*>(it->data()) + skip;
+      iov[cnt].iov_len = it->size() - skip;
+      skip = 0;
+      ++cnt;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov.data();
+    mh.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // Peer gone: nothing queued (or still in flight) is deliverable.
+      c.write_dead = true;
+      c.closing = true;
+      c.wqueue.clear();
+      c.wqueue_bytes = 0;
+      c.woffset = 0;
+      return;
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && !c.wqueue.empty()) {
+      auto& front = c.wqueue.front();
+      const std::size_t remain = front.size() - c.woffset;
+      if (left >= remain) {
+        left -= remain;
+        c.wqueue_bytes -= front.size();
+        c.woffset = 0;
+        c.wqueue.pop_front();
+      } else {
+        c.woffset += left;
+        left = 0;
+      }
+    }
+  }
+}
+
+void PlanServer::update_interest_locked(Connection& c) {
+  if (c.closed) return;
+  std::uint32_t desired = 0;
+  if (!c.read_closed && !c.closing &&
+      (!c.read_paused || drain_started_)) {
+    desired |= EPOLLIN;
+  }
+  if (!c.wqueue.empty() && !c.write_dead) desired |= EPOLLOUT;
+  if (desired == c.armed) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.fd = c.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.armed = desired;
+  }
+}
+
+void PlanServer::maybe_close(const std::shared_ptr<Connection>& conn) {
+  Connection& c = *conn;
+  std::deque<Task> dropped;  // destroyed outside the lock: Tasks hold
+                             // shared_ptrs back to this Connection
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (c.closed) return;
+    if (c.closing && !c.v1_pending.empty()) dropped.swap(c.v1_pending);
+    const bool idle = c.in_flight == 0 && c.v1_pending.empty();
+    const bool flushed = c.wqueue.empty() || c.write_dead;
+    if (!((c.closing || c.read_closed) && idle && flushed)) return;
+    c.closed = true;
+  }
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  (void)::shutdown(c.fd, SHUT_RDWR);
+  ::close(c.fd);
+  conns_.erase(c.fd);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void PlanServer::handle_kicks() {
+  std::vector<std::shared_ptr<Connection>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(kick_mu_);
+    batch.swap(kicked_);
+  }
+  for (const auto& conn : batch) {
+    {
+      const std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed) continue;
+      flush_locked(*conn);
+      (void)update_pause_locked(*conn);
+      update_interest_locked(*conn);
+    }
+    maybe_close(conn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Handler pool
+
+void PlanServer::enqueue_task(Task task) {
+  {
+    const std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void PlanServer::kick(std::shared_ptr<Connection> conn) {
+  bool was_empty = false;
+  {
+    const std::lock_guard<std::mutex> lock(kick_mu_);
+    was_empty = kicked_.empty();
+    kicked_.push_back(std::move(conn));
+  }
+  // One eventfd write per batch, not per task: whenever kicked_ is
+  // non-empty a wakeup is already pending (the writer who emptied->filled
+  // it sent one), so further completions before the loop's swap ride the
+  // same wakeup — and their replies coalesce into the same sendmsg.
+  if (was_empty) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t r = ::write(event_fd_, &one, sizeof(one));
+  }
+}
+
+void PlanServer::handler_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(task_mu_);
+      task_cv_.wait(lock,
+                    [this] { return tasks_stopped_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopped and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    process_task(task);
+  }
+}
+
+void PlanServer::process_task(Task& t) {
+  Connection& c = *t.conn;
+
+  // Registered CachedPlans are shared_ptrs into the cache (plan and
+  // kernel slot both), so eviction can never invalidate a registered
+  // program, and a kernel published after registration is visible
+  // through the entry's slot on the next run.  Copied out under the lock
+  // so the run itself never holds it.
+  const auto lookup = [&c](std::uint64_t id) -> PlanCache::CachedPlan {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    const auto it = c.programs.find(id);
+    if (it == c.programs.end()) {
       throw wire::WireError("unknown program id " + std::to_string(id) +
                             " (submit-program first; ids are "
                             "per-connection)");
@@ -343,81 +850,72 @@ void PlanServer::serve_connection(Conn* conn) {
     return it->second;
   };
 
-  // Frame-rate quota: a token bucket refilled in real time.  A burst up
-  // to `frame_burst` is free; sustained traffic above
-  // `max_frames_per_second` drains the bucket and every further frame is
-  // answered with an Error frame (a strike) until tokens accrue again.
-  const double burst = std::max(opts_.frame_burst, 1.0);
-  double tokens = burst;
-  auto last_refill = std::chrono::steady_clock::now();
-  int strikes = 0;
-
+  wire::FrameType reply_type = wire::FrameType::Error;
+  std::vector<std::uint8_t> reply;
+  bool struck = false;
   bool shutdown_requested = false;
-  for (;;) {
-    std::optional<wire::Frame> frame;
-    try {
-      frame = wire::read_frame(conn->fd);
-    } catch (const wire::WireError&) {
-      break;  // framing violation or mid-frame disconnect: drop the peer
-    }
-    if (!frame) break;  // clean EOF
 
-    wire::FrameType reply_type = wire::FrameType::Error;
-    std::vector<std::uint8_t> reply;
-    bool struck = false;
+  if (t.struck) {
+    // The loop already tripped the token bucket for this frame; the
+    // handler's job is just the Error frame and the strike.
+    struck = true;
+    reply = wire::encode_error(
+        "frame-rate quota exceeded (sustained limit " +
+        std::to_string(
+            static_cast<std::uint64_t>(opts_.max_frames_per_second)) +
+        " frames/s); back off or be disconnected");
+  } else {
     try {
-      if (opts_.max_frames_per_second > 0) {
-        const auto now = std::chrono::steady_clock::now();
-        tokens = std::min(
-            burst, tokens + std::chrono::duration<double>(now - last_refill)
-                                    .count() *
-                                opts_.max_frames_per_second);
-        last_refill = now;
-        if (tokens < 1.0) {
-          frame_quota_trips_.fetch_add(1, std::memory_order_relaxed);
-          throw QuotaViolation(
-              "frame-rate quota exceeded (sustained limit " +
-              std::to_string(static_cast<std::uint64_t>(
-                  opts_.max_frames_per_second)) +
-              " frames/s); back off or be disconnected");
-        }
-        tokens -= 1.0;
-      }
-      switch (frame->type) {
+      switch (t.frame.type) {
         case wire::FrameType::SubmitProgram: {
-          if (opts_.max_programs_per_connection > 0 &&
-              programs.size() >= opts_.max_programs_per_connection) {
-            // Checked BEFORE decoding/compiling: a tenant over its
-            // registry quota must not be able to keep burning the shared
-            // cache and compile path.
-            registry_quota_trips_.fetch_add(1, std::memory_order_relaxed);
-            throw QuotaViolation(
-                "program registry quota exceeded (" +
-                std::to_string(opts_.max_programs_per_connection) +
-                " programs per connection); run or drop existing ids");
+          {
+            const std::lock_guard<std::mutex> lock(c.mu);
+            if (opts_.max_programs_per_connection > 0 &&
+                c.programs.size() + c.registry_reserved >=
+                    opts_.max_programs_per_connection) {
+              // Checked BEFORE decoding/compiling: a tenant over its
+              // registry quota must not be able to keep burning the
+              // shared cache and compile path.  The reservation keeps
+              // the check exact when several v2 submits race.
+              registry_quota_trips_.fetch_add(1, std::memory_order_relaxed);
+              throw QuotaViolation(
+                  "program registry quota exceeded (" +
+                  std::to_string(opts_.max_programs_per_connection) +
+                  " programs per connection); run or drop existing ids");
+            }
+            ++c.registry_reserved;
           }
-          const wire::SubmitProgramRequest req =
-              wire::decode_submit_program(frame->payload);
-          const auto cached =
-              cache_.get_or_compile_jit(req.program, req.graph, req.copts);
-          const auto& plan = cached.plan;
-          const std::uint64_t id = next_id++;
-          programs.emplace(id, cached);
-          programs_registered_.fetch_add(1, std::memory_order_relaxed);
           wire::SubmitProgramReply rep;
-          rep.program_id = id;
-          rep.threads =
-              static_cast<std::uint32_t>(plan->program().threads.size());
-          rep.channels =
-              static_cast<std::uint32_t>(plan->program().channels.size());
-          rep.slots = static_cast<std::uint32_t>(plan->program().total_slots());
-          rep.iterations = plan->program().iterations;
+          try {
+            const wire::SubmitProgramRequest req =
+                wire::decode_submit_program(t.frame.payload);
+            const auto cached =
+                cache_.get_or_compile_jit(req.program, req.graph, req.copts);
+            const auto& plan = cached.plan;
+            rep.threads =
+                static_cast<std::uint32_t>(plan->program().threads.size());
+            rep.channels =
+                static_cast<std::uint32_t>(plan->program().channels.size());
+            rep.slots =
+                static_cast<std::uint32_t>(plan->program().total_slots());
+            rep.iterations = plan->program().iterations;
+            const std::lock_guard<std::mutex> lock(c.mu);
+            --c.registry_reserved;
+            const std::uint64_t id = c.next_id++;
+            c.programs.emplace(id, cached);
+            rep.program_id = id;
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(c.mu);
+            --c.registry_reserved;
+            throw;
+          }
+          programs_registered_.fetch_add(1, std::memory_order_relaxed);
           reply_type = wire::FrameType::SubmitProgramReply;
           reply = wire::encode_submit_program_reply(rep);
           break;
         }
         case wire::FrameType::Run: {
-          const wire::RunRequest req = wire::decode_run(frame->payload);
+          const wire::RunRequest req = wire::decode_run(t.frame.payload);
           const PlanCache::CachedPlan entry = lookup(req.program_id);
           const auto& plan = entry.plan;
           const std::int64_t n = req.iterations > 0
@@ -448,12 +946,12 @@ void PlanServer::serve_connection(Conn* conn) {
         }
         case wire::FrameType::RunBatch: {
           const wire::RunBatchRequest req =
-              wire::decode_run_batch(frame->payload);
+              wire::decode_run_batch(t.frame.payload);
           std::vector<PlanJob> jobs;
           jobs.reserve(req.items.size());
           std::uint64_t reply_bytes = 0;
           for (const wire::RunRequest& item : req.items) {
-            const PlanCache::CachedPlan& entry = lookup(item.program_id);
+            const PlanCache::CachedPlan entry = lookup(item.program_id);
             PlanJob job;
             job.plan = entry.plan;
             job.kernel = entry.kernel();  // per-request snapshot
@@ -486,6 +984,23 @@ void PlanServer::serve_connection(Conn* conn) {
           reply = wire::encode_run_batch_reply(rep);
           break;
         }
+        case wire::FrameType::DropProgram: {
+          const std::uint64_t id =
+              wire::decode_drop_program(t.frame.payload);
+          {
+            const std::lock_guard<std::mutex> lock(c.mu);
+            if (c.programs.erase(id) == 0) {
+              throw wire::WireError(
+                  "unknown program id " + std::to_string(id) +
+                  " (submit-program first; ids are per-connection)");
+            }
+            // programs_registered_ stays cumulative — it counts submits,
+            // not live registrations.
+          }
+          reply_type = wire::FrameType::DropProgramReply;
+          reply = wire::encode_drop_program_reply(id);
+          break;
+        }
         case wire::FrameType::Stats: {
           const PlanServerStats s = stats();
           wire::StatsReply rep;
@@ -516,8 +1031,9 @@ void PlanServer::serve_connection(Conn* conn) {
           break;
         }
         default:
-          throw wire::WireError("unexpected frame type " +
-                                std::to_string(static_cast<int>(frame->type)));
+          throw wire::WireError(
+              "unexpected frame type " +
+              std::to_string(static_cast<int>(t.frame.type)));
       }
     } catch (const QuotaViolation& e) {
       // Over-quota: an Error frame AND a strike — the connection survives
@@ -532,39 +1048,58 @@ void PlanServer::serve_connection(Conn* conn) {
       reply_type = wire::FrameType::Error;
       reply = wire::encode_error(e.what());
     }
-    if (struck) ++strikes;
-
-    if (reply.size() > wire::kMaxFramePayload) {
-      // The pre-run estimate should make this unreachable; if a reply
-      // still outgrows a frame, degrade to an Error frame rather than
-      // letting write_frame throw and silently drop the connection.
-      reply_type = wire::FrameType::Error;
-      reply = wire::encode_error("reply exceeds the frame size limit");
-    }
-    try {
-      wire::write_frame(conn->fd, reply_type, reply);
-    } catch (const wire::WireError&) {
-      break;  // peer gone mid-reply
-    }
-    if (shutdown_requested) {
-      // Ack delivered; hand the actual teardown to whoever is parked in
-      // wait() — this thread cannot join itself.
-      request_stop();
-      break;
-    }
-    if (struck && opts_.max_quota_strikes > 0 &&
-        strikes >= opts_.max_quota_strikes) {
-      // Repeat offender: the Error frame above was the last word.  The
-      // half-open window until the peer reads it is fine — SHUT_RDWR
-      // below flushes the send queue on AF_UNIX and TCP alike.
-      quota_disconnects_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
   }
 
-  ::shutdown(conn->fd, SHUT_RDWR);  // fd itself is closed post-join
-  connections_active_.fetch_sub(1, std::memory_order_relaxed);
-  conn->done.store(true, std::memory_order_release);
+  if (reply.size() > wire::kMaxFramePayload) {
+    // The pre-run estimate should make this unreachable; if a reply
+    // still outgrows a frame, degrade to an Error frame rather than
+    // desynchronizing the stream.
+    reply_type = wire::FrameType::Error;
+    reply = wire::encode_error("reply exceeds the frame size limit");
+  }
+
+  Task next;
+  bool have_next = false;
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (!c.closed && !c.write_dead) {
+      auto bytes = wire::encode_frame_bytes(c.version, reply_type,
+                                            t.frame.request_id, reply);
+      c.wqueue_bytes += bytes.size();
+      c.wqueue.push_back(std::move(bytes));
+    }
+    if (struck) {
+      ++c.strikes;
+      if (opts_.max_quota_strikes > 0 &&
+          c.strikes >= opts_.max_quota_strikes) {
+        // Repeat offender: the Error frame above is the last word — the
+        // loop flushes it, then closes.
+        if (!c.counted_quota_disconnect) {
+          c.counted_quota_disconnect = true;
+          quota_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        }
+        c.closing = true;
+      }
+    }
+    --c.in_flight;
+    if (c.version < wire::kProtocolV2) {
+      if (!c.v1_pending.empty() && !c.closing && !c.closed) {
+        next = std::move(c.v1_pending.front());
+        c.v1_pending.pop_front();
+        ++c.in_flight;
+        have_next = true;
+      } else {
+        c.v1_busy = false;
+      }
+    }
+  }
+  if (have_next) enqueue_task(std::move(next));
+  kick(t.conn);
+  if (shutdown_requested) {
+    // Ack queued; hand the actual teardown to whoever is parked in
+    // wait() — this thread cannot join itself.
+    request_stop();
+  }
 }
 
 }  // namespace mimd

@@ -1,11 +1,11 @@
 // PlanServer — the long-lived plan-service daemon core: listening
 // sockets (Unix-domain, TCP, or both — the wire framing is identical
-// over either family), one accept loop per listener, one handler thread
-// per connection, and ONE shared PlanCache + WorkerPool behind all of
-// them.  TCP is the scale-out face: N of these daemons form a fleet that
-// a client-side ShardRouter (runtime/shard_router.hpp) consistent-hashes
-// programs across, so identical loop structures always land on the same
-// shard's warm cache.
+// over either family), ONE epoll event loop owning every socket, a small
+// handler pool executing decoded requests, and ONE shared PlanCache +
+// WorkerPool behind all of them.  TCP is the scale-out face: N of these
+// daemons form a fleet that a client-side ShardRouter
+// (runtime/shard_router.hpp) consistent-hashes programs across, so
+// identical loop structures always land on the same shard's warm cache.
 //
 // This is the ROADMAP's "long-lived server front end for the plan
 // service": PR 4's cache/pool amortized compilation and thread startup
@@ -16,34 +16,56 @@
 // amortization is observable: the Stats frame reports cache hits/misses/
 // evictions plus pool and connection counters.
 //
-// Connection design (the shared-nothing discipline McKenney's text argues
-// for): each connection's handler thread owns its fd and its program
-// registry (id -> shared plan) outright — no cross-connection state except
-// the cache, the pool, and a handful of stats atomics, each of which is
-// already thread-safe.  Handlers never touch each other, so the
-// concurrent-connection path has nothing to race on by construction
-// (tests/test_plan_server.cpp runs it under TSan to keep it that way).
+// Event-loop design (PR 8, replacing thread-per-connection): the loop
+// thread owns epoll, all nonblocking socket reads and writes, accept (with
+// EMFILE backoff folded into the epoll timeout), partial-frame reassembly
+// (wire::FrameBuffer), the per-connection token bucket, and the Hello
+// version negotiation — a version switch must land before the next
+// buffered byte is parsed, so it cannot be deferred to a handler.  Decoded
+// requests are dispatched onto `handler_threads` pool threads; runs still
+// execute on the shared WorkerPool.  Handlers never touch sockets: a
+// finished reply is appended to the connection's write queue and the loop
+// is woken through an eventfd to flush it (writev-coalesced — pipelined
+// connections get many frames per syscall).  So the thread count is
+// O(handler pool), not O(connections).
 //
-// Graceful shutdown drains in-flight runs: stop() shuts the listening
-// socket, then half-closes (SHUT_RD) every connection.  A handler blocked
-// in read sees EOF and exits; a handler mid-run still owns an open write
-// side, so it finishes the run, delivers the reply, and exits on the next
-// read.  Only then are handler threads joined and the socket file
-// unlinked.  A Shutdown frame acks first, then requests the same stop
-// from whichever thread is parked in wait() — the handler cannot call
-// stop() itself (it would join itself).
+// Per-connection state — registry, quota bucket, strikes, buffers — lives
+// in one Connection object guarded by its own mutex (v2 connections may
+// have several handlers in flight at once).  v1 connections are serialized
+// through a per-connection pending queue so their replies keep arriving in
+// request order, exactly as the blocking protocol promises; v2 requests
+// dispatch freely and reply out of order by request id.
+//
+// Backpressure: a connection whose write queue is above
+// `write_high_watermark`, or with `max_pipeline_depth` requests already
+// decoded-but-unanswered, has EPOLLIN dropped from its interest mask until
+// it drains — a slow reader stalls only itself, never the loop or another
+// tenant.
+//
+// Graceful shutdown drains in-flight runs: stop() unregisters the
+// listeners, then half-closes (SHUT_RD) every connection.  The loop keeps
+// running: bytes already buffered are parsed and served, replies flushed,
+// and each connection closes once it is EOF + idle + flushed.  Only then
+// are the loop and handler threads joined and the socket file unlinked.  A
+// Shutdown frame acks first, then requests the same stop from whichever
+// thread is parked in wait() — a handler cannot run the teardown that
+// joins it.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/plan_cache.hpp"
+#include "runtime/wire.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace mimd {
@@ -68,6 +90,12 @@ struct PlanServerOptions {
   /// default is safe everywhere and fast where the host allows it.
   bool enable_jit = true;
 
+  /// Request-handler pool size; 0 = auto (a small pool — requests block a
+  /// handler only for their own compile/run, the loop never blocks).
+  /// This, plus the loop, is the server's whole thread bill regardless of
+  /// connection count.
+  std::size_t handler_threads = 0;
+
   // -- Hostile-tenant quotas (per connection; 0 disables a quota) --------
   //
   // A TCP listener means tenants the operator does not control; these
@@ -81,7 +109,7 @@ struct PlanServerOptions {
   /// Programs one connection may hold registered at once.  Each entry
   /// pins a shared_ptr'd plan in memory even after cache eviction, so an
   /// unbounded registry lets one tenant hold the whole cache's worth of
-  /// dead plans alive.
+  /// dead plans alive.  DropProgram releases entries explicitly.
   std::size_t max_programs_per_connection = 4096;
   /// Sustained frame-rate cap, token-bucket enforced: a connection may
   /// burst `frame_burst` frames, then refills at this rate.
@@ -90,10 +118,22 @@ struct PlanServerOptions {
   /// Over-quota Error frames tolerated before the connection is dropped.
   int max_quota_strikes = 8;
 
-  // -- Accept-loop resource-exhaustion backoff ---------------------------
+  // -- Event-loop backpressure -------------------------------------------
+  /// Stop reading a connection whose un-flushed reply bytes exceed the
+  /// high watermark; resume below the low one (hysteresis, so a slow
+  /// reader does not flap the interest mask per frame).
+  std::size_t write_high_watermark = 8u << 20;
+  std::size_t write_low_watermark = 1u << 20;
+  /// Decoded-but-unanswered requests one connection may have in flight
+  /// before the loop stops reading it — bounds what a pipelining tenant
+  /// can queue into the handler pool.
+  std::size_t max_pipeline_depth = 256;
+
+  // -- Accept resource-exhaustion backoff --------------------------------
   /// On EMFILE/ENFILE (fd exhaustion — someone leaked or flooded), the
-  /// accept loop sleeps and retries instead of abandoning the listener;
-  /// the sleep doubles from initial to max while exhaustion persists.
+  /// listener is unregistered from the loop and re-armed after a backoff
+  /// (folded into the epoll timeout; the loop never sleeps); the backoff
+  /// doubles from initial to max while exhaustion persists.
   int accept_backoff_initial_ms = 10;
   int accept_backoff_max_ms = 1000;
 };
@@ -127,14 +167,15 @@ class PlanServer {
   PlanServer(const PlanServer&) = delete;
   PlanServer& operator=(const PlanServer&) = delete;
 
-  /// Bind + listen + spawn the accept loop.  Throws std::runtime_error on
-  /// any socket failure (path too long, already bound, ...).  After
-  /// start() returns, connections are accepted (or queued in the backlog).
+  /// Bind + listen + spawn the event loop and handler pool.  Throws
+  /// std::runtime_error on any socket failure (path too long, already
+  /// bound, ...).  After start() returns, connections are accepted (or
+  /// queued in the backlog).
   void start();
 
-  /// Ask the server to stop, from any thread — including a connection
-  /// handler (the Shutdown frame) or a signal-watching thread.  Returns
-  /// immediately; the actual teardown happens in stop().
+  /// Ask the server to stop, from any thread — including a handler (the
+  /// Shutdown frame) or a signal-watching thread.  Returns immediately;
+  /// the actual teardown happens in stop().
   void request_stop();
 
   /// Block until request_stop() is called (by a Shutdown frame, a signal
@@ -162,23 +203,46 @@ class PlanServer {
   [[nodiscard]] WorkerPool& pool() { return pool_; }
 
  private:
-  struct Conn {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
+  struct Connection;  // sockets + buffers + registry; plan_server.cpp
 
   struct Listener {
     int fd = -1;
     bool is_tcp = false;
-    std::thread thread;
+    /// EMFILE backoff: while paused the fd is out of the epoll set and
+    /// `resume_at` feeds the loop's wait timeout.
+    bool paused = false;
+    std::chrono::steady_clock::time_point resume_at{};
+    std::chrono::milliseconds backoff{0};
   };
 
-  void accept_loop(Listener* listener);
-  void serve_connection(Conn* conn);
-  /// Join and drop finished handlers (called opportunistically from the
-  /// accept loop so a long-lived daemon does not accumulate dead threads).
-  void reap_finished_locked();
+  /// One decoded request bound for (or inside) the handler pool.
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    wire::FrameV2 frame;
+    /// The loop already tripped the frame-rate quota for this frame: the
+    /// handler answers with the quota Error and counts the strike.
+    bool struck = false;
+  };
+
+  // -- event-loop side (loop thread only unless noted) -------------------
+  void event_loop();
+  void begin_drain();
+  void handle_accept(Listener* listener);
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void on_frame(const std::shared_ptr<Connection>& conn, wire::FrameV2 frame);
+  void flush_locked(Connection& c);
+  /// Recompute read backpressure (write-queue watermarks + pipeline
+  /// depth, with hysteresis); returns the new paused state.
+  bool update_pause_locked(Connection& c);
+  void update_interest_locked(Connection& c);
+  void maybe_close(const std::shared_ptr<Connection>& conn);
+  void handle_kicks();
+
+  // -- handler side ------------------------------------------------------
+  void handler_loop();
+  void process_task(Task& task);
+  void enqueue_task(Task task);           // any thread
+  void kick(std::shared_ptr<Connection> conn);  // any thread
 
   PlanServerOptions opts_;
   PlanCache cache_;
@@ -187,8 +251,24 @@ class PlanServer {
   std::vector<std::unique_ptr<Listener>> listeners_;
   std::uint16_t tcp_port_ = 0;
 
-  mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::thread loop_thread_;
+  std::vector<std::thread> handler_pool_;
+
+  /// Loop-thread-only: live connections by fd.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<Task> tasks_;
+  bool tasks_stopped_ = false;
+
+  std::mutex kick_mu_;
+  std::vector<std::shared_ptr<Connection>> kicked_;
+
+  std::atomic<bool> draining_{false};
+  bool drain_started_ = false;  ///< loop thread only
 
   mutable std::mutex lifecycle_mu_;
   std::condition_variable stop_cv_;

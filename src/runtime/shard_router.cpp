@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <future>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -217,31 +218,46 @@ std::vector<ExecutionResult> ShardRouter::run_jobs(
         try {
           PlanClient& client = ensure_connected(shard);
           Shard& s = *shards_[shard];
-          std::vector<wire::RunRequest> items;
-          items.reserve(group.size());
-          for (const std::size_t j : group) {
-            std::uint64_t program_id = 0;
+          // Pipelined submits (wire v2): issue every uncached job's
+          // SubmitProgram back-to-back, then gather the ids — the shard
+          // overlaps the compiles across its handler pool and the wire
+          // carries N requests per flight instead of N round trips.
+          // Against a v1 shard the futures resolve synchronously inside
+          // submit_program_async, which is exactly the old sequential
+          // behavior.  A duplicate key inside one group may submit twice
+          // (both misses at issue time); the daemon's shared cache still
+          // compiles once and the extra registry id is harmless.
+          std::vector<wire::RunRequest> items(group.size());
+          std::vector<
+              std::pair<std::size_t, std::future<wire::SubmitProgramReply>>>
+              inflight;
+          for (std::size_t k = 0; k < group.size(); ++k) {
+            const std::size_t j = group[k];
             bool cached = false;
             {
               std::lock_guard<std::mutex> lk(s.mu);
               const auto it = s.submitted.find(keys[j]);
               if (it != s.submitted.end()) {
-                program_id = it->second;
+                items[k].program_id = it->second;
                 cached = true;
               }
             }
             if (!cached) {
-              const wire::SubmitProgramReply sub = client.submit_program(
-                  jobs[j].program, jobs[j].graph, jobs[j].copts);
-              program_id = sub.program_id;
-              std::lock_guard<std::mutex> lk(s.mu);
-              s.submitted.emplace(keys[j], program_id);
+              inflight.emplace_back(
+                  k, client.submit_program_async(jobs[j].program,
+                                                 jobs[j].graph,
+                                                 jobs[j].copts));
             }
-            wire::RunRequest rr;
-            rr.program_id = program_id;
-            rr.iterations = jobs[j].iterations;
-            rr.opts = jobs[j].run_opts;
-            items.push_back(rr);
+            items[k].iterations = jobs[j].iterations;
+            items[k].opts = jobs[j].run_opts;
+          }
+          for (auto& [k, fut] : inflight) {
+            // Throws RemoteError (rethrown to the caller) or WireError
+            // (failover) exactly like the blocking submit did.
+            const wire::SubmitProgramReply sub = fut.get();
+            items[k].program_id = sub.program_id;
+            std::lock_guard<std::mutex> lk(s.mu);
+            s.submitted.emplace(keys[group[k]], sub.program_id);
           }
           wire::RunBatchReply reply = client.run_batch(items);
           if (reply.results.size() != group.size()) {
@@ -281,6 +297,48 @@ std::vector<ExecutionResult> ShardRouter::run_jobs(
 ExecutionResult ShardRouter::run_one(const ShardJob& job) {
   std::vector<ExecutionResult> r = run_jobs({job});
   return std::move(r.front());
+}
+
+bool ShardRouter::drop_program(const PartitionedProgram& program,
+                               const Ddg& graph, const CompileOptions& copts) {
+  const std::uint64_t key = route_key(program, graph, copts);
+  // The program can only be registered on shards this router submitted it
+  // to — walk the preference order and drop wherever the submitted-id
+  // cache has an entry (normally just the primary; failover may have
+  // left copies on successors).
+  bool dropped = false;
+  for (const std::size_t shard : preference_order(key)) {
+    Shard& s = *shards_[shard];
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      const auto it = s.submitted.find(key);
+      if (it == s.submitted.end()) continue;
+      id = it->second;
+    }
+    try {
+      ensure_connected(shard).drop_program(id);
+    } catch (const RemoteError&) {
+      // The shard no longer knows the id (restart, registry turnover):
+      // the local cache entry is stale either way — fall through and
+      // invalidate it.
+    } catch (const wire::WireError&) {
+      // Connection death: the per-connection registry died with it
+      // server-side, and mark_dead just cleared this shard's whole
+      // submitted cache — both sides already forgot the id.
+      note_failure(shard);
+      dropped = true;
+      continue;
+    }
+    // Invalidate only on ack (or a stale id): the next run_jobs with
+    // this program re-submits instead of using a dangling id.
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.submitted.erase(key);
+    }
+    dropped = true;
+  }
+  return dropped;
 }
 
 std::vector<ShardStatsRow> ShardRouter::fleet_stats() {

@@ -122,6 +122,16 @@ class ShardRouter {
   /// Single-job convenience over run_jobs.
   [[nodiscard]] ExecutionResult run_one(const ShardJob& job);
 
+  /// Release a program this router previously submitted: sends
+  /// DropProgram to every shard whose submitted-id cache holds the
+  /// program's routing key and invalidates the cache entry on ack, so
+  /// the next run_jobs with the same program re-submits cleanly.
+  /// Returns true if any shard held (and dropped) it.  A shard that
+  /// already forgot the id — registry turnover or a dead connection —
+  /// counts as dropped: both sides have forgotten it.
+  bool drop_program(const PartitionedProgram& program, const Ddg& graph,
+                    const CompileOptions& copts = {});
+
   /// Stats from every shard (rows in endpoint order).  A shard that
   /// cannot be reached right now reports alive=false instead of throwing.
   [[nodiscard]] std::vector<ShardStatsRow> fleet_stats();

@@ -423,6 +423,61 @@ std::string decode_error(const std::vector<std::uint8_t>& payload) {
   return s;
 }
 
+std::vector<std::uint8_t> encode_hello(const HelloRequest& m) {
+  Encoder e;
+  e.u32(m.min_version);
+  e.u32(m.max_version);
+  return e.take();
+}
+
+HelloRequest decode_hello(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  HelloRequest m;
+  m.min_version = d.u32();
+  m.max_version = d.u32();
+  if (m.min_version == 0 || m.min_version > m.max_version) {
+    throw WireError("invalid hello version range");
+  }
+  d.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_hello_reply(std::uint32_t version) {
+  Encoder e;
+  e.u32(version);
+  return e.take();
+}
+
+std::uint32_t decode_hello_reply(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  const std::uint32_t version = d.u32();
+  if (version == 0) throw WireError("invalid hello reply version");
+  d.expect_done();
+  return version;
+}
+
+std::vector<std::uint8_t> encode_drop_program(std::uint64_t program_id) {
+  Encoder e;
+  e.u64(program_id);
+  return e.take();
+}
+
+std::uint64_t decode_drop_program(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload);
+  const std::uint64_t id = d.u64();
+  d.expect_done();
+  return id;
+}
+
+std::vector<std::uint8_t> encode_drop_program_reply(std::uint64_t program_id) {
+  return encode_drop_program(program_id);
+}
+
+std::uint64_t decode_drop_program_reply(
+    const std::vector<std::uint8_t>& payload) {
+  return decode_drop_program(payload);
+}
+
 // ---------------------------------------------------------------------------
 // Endpoints
 
@@ -671,6 +726,103 @@ std::optional<Frame> read_frame(int fd) {
   if (len > 0 && !recv_all(fd, f.payload.data(), len)) {
     throw WireError("connection closed mid-frame");
   }
+  return f;
+}
+
+namespace {
+
+/// Little-endian header assembly shared by the fd writers and the
+/// write-queue encoder — one place defines the byte layout per version.
+void put_header(std::uint8_t* out, std::uint32_t version, FrameType type,
+                std::uint64_t request_id, std::uint32_t len) {
+  out[0] = static_cast<std::uint8_t>(len);
+  out[1] = static_cast<std::uint8_t>(len >> 8);
+  out[2] = static_cast<std::uint8_t>(len >> 16);
+  out[3] = static_cast<std::uint8_t>(len >> 24);
+  out[4] = static_cast<std::uint8_t>(type);
+  if (version >= kProtocolV2) {
+    for (int i = 0; i < 8; ++i) {
+      out[5 + i] = static_cast<std::uint8_t>(request_id >> (8 * i));
+    }
+  }
+}
+
+}  // namespace
+
+void write_frame_v2(int fd, FrameType type, std::uint64_t request_id,
+                    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) throw WireError("frame too large");
+  std::uint8_t header[kHeaderBytesV2];
+  put_header(header, kProtocolV2, type, request_id,
+             static_cast<std::uint32_t>(payload.size()));
+  send_all(fd, header, sizeof(header));
+  if (!payload.empty()) send_all(fd, payload.data(), payload.size());
+}
+
+std::optional<FrameV2> read_frame_v2(int fd) {
+  std::uint8_t header[kHeaderBytesV2];
+  if (!recv_all(fd, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            static_cast<std::uint32_t>(header[1]) << 8 |
+                            static_cast<std::uint32_t>(header[2]) << 16 |
+                            static_cast<std::uint32_t>(header[3]) << 24;
+  if (len > kMaxFramePayload) throw WireError("frame length exceeds limit");
+  FrameV2 f;
+  f.type = static_cast<FrameType>(header[4]);
+  for (int i = 0; i < 8; ++i) {
+    f.request_id |= static_cast<std::uint64_t>(header[5 + i]) << (8 * i);
+  }
+  f.payload.resize(len);
+  if (len > 0 && !recv_all(fd, f.payload.data(), len)) {
+    throw WireError("connection closed mid-frame");
+  }
+  return f;
+}
+
+std::vector<std::uint8_t> encode_frame_bytes(
+    std::uint32_t version, FrameType type, std::uint64_t request_id,
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) throw WireError("frame too large");
+  const std::size_t header_bytes =
+      version >= kProtocolV2 ? kHeaderBytesV2 : kHeaderBytesV1;
+  std::vector<std::uint8_t> out(header_bytes + payload.size());
+  put_header(out.data(), version, type, request_id,
+             static_cast<std::uint32_t>(payload.size()));
+  std::copy(payload.begin(), payload.end(), out.begin() + header_bytes);
+  return out;
+}
+
+void FrameBuffer::append(const std::uint8_t* data, std::size_t n) {
+  // Compact the consumed prefix before it dominates the buffer — keeps
+  // the buffer proportional to the unparsed remainder, not to the
+  // connection's lifetime traffic.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<FrameV2> FrameBuffer::next() {
+  const std::size_t header_bytes =
+      version_ >= kProtocolV2 ? kHeaderBytesV2 : kHeaderBytesV1;
+  if (buffered() < header_bytes) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+  const std::uint32_t len = static_cast<std::uint32_t>(h[0]) |
+                            static_cast<std::uint32_t>(h[1]) << 8 |
+                            static_cast<std::uint32_t>(h[2]) << 16 |
+                            static_cast<std::uint32_t>(h[3]) << 24;
+  if (len > kMaxFramePayload) throw WireError("frame length exceeds limit");
+  if (buffered() < header_bytes + len) return std::nullopt;
+  FrameV2 f;
+  f.type = static_cast<FrameType>(h[4]);
+  if (version_ >= kProtocolV2) {
+    for (int i = 0; i < 8; ++i) {
+      f.request_id |= static_cast<std::uint64_t>(h[5 + i]) << (8 * i);
+    }
+  }
+  f.payload.assign(h + header_bytes, h + header_bytes + len);
+  pos_ += header_bytes + len;
   return f;
 }
 

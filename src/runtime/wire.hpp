@@ -28,8 +28,27 @@
 //     RunBatch      -> RunBatchReply        execute many, concurrently
 //     Stats         -> StatsReply           cache/pool/server counters
 //     Shutdown      -> ShutdownReply        ack, then the server drains
+//     DropProgram   -> DropProgramReply     evict one registered id
+//     Hello         -> HelloReply           negotiate the protocol version
 // Any request can instead yield Error (a human-readable message); the
 // connection stays usable afterwards.
+//
+// Protocol v2 (request-id multiplexing): a client that wants pipelining
+// opens with a Hello frame — sent in v1 framing, so a v1 server answers
+// it with an ordinary Error frame and the client falls back to blocking
+// v1.  A v2 server answers HelloReply{version=2} (still v1 framing) and
+// BOTH sides then switch to the v2 frame header
+//
+//     u32  payload length (little-endian, excludes the 13-byte header)
+//     u8   FrameType
+//     u64  request id (little-endian)
+//
+// for every subsequent frame on the connection.  The client picks request
+// ids (monotonic, per connection); the server echoes a request's id on
+// its reply — including Error replies — so replies may arrive in ANY
+// order and a reader demuxes them by id.  A client that never sends Hello
+// speaks v1 for the connection's lifetime; the server never speaks first,
+// so the first frame's type alone decides the mode.
 #pragma once
 
 #include <sys/un.h>
@@ -63,17 +82,39 @@ enum class FrameType : std::uint8_t {
   RunBatch = 3,
   Stats = 4,
   Shutdown = 5,
+  DropProgram = 6,
+  Hello = 8,
   // Replies (server -> client): request type + 64.
   SubmitProgramReply = 65,
   RunReply = 66,
   RunBatchReply = 67,
   StatsReply = 68,
   ShutdownReply = 69,
+  DropProgramReply = 70,
+  HelloReply = 72,
   Error = 127,
 };
 
 struct Frame {
   FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Protocol versions a Hello can negotiate.  v1 is the original strict
+/// request/reply framing (5-byte header, no request id); v2 adds the u64
+/// request id and out-of-order replies.
+inline constexpr std::uint32_t kProtocolV1 = 1;
+inline constexpr std::uint32_t kProtocolV2 = 2;
+
+/// Frame header sizes per negotiated version.
+inline constexpr std::size_t kHeaderBytesV1 = 5;
+inline constexpr std::size_t kHeaderBytesV2 = 13;
+
+/// A parsed frame plus its request id.  In v1 mode request_id is always 0
+/// (the field does not exist on the wire).
+struct FrameV2 {
+  FrameType type = FrameType::Error;
+  std::uint64_t request_id = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -259,6 +300,35 @@ struct StatsReply {
 [[nodiscard]] std::string decode_error(
     const std::vector<std::uint8_t>& payload);
 
+/// Hello carries the client's supported version range; HelloReply carries
+/// the server's pick (the highest version both sides speak).
+struct HelloRequest {
+  std::uint32_t min_version = kProtocolV1;
+  std::uint32_t max_version = kProtocolV2;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloRequest& m);
+[[nodiscard]] HelloRequest decode_hello(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_reply(
+    std::uint32_t version);
+[[nodiscard]] std::uint32_t decode_hello_reply(
+    const std::vector<std::uint8_t>& payload);
+
+/// DropProgram evicts one registered id from the connection's registry
+/// (the reply echoes the id).  Dropping an unknown id is an Error frame,
+/// not a disconnect.
+[[nodiscard]] std::vector<std::uint8_t> encode_drop_program(
+    std::uint64_t program_id);
+[[nodiscard]] std::uint64_t decode_drop_program(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_drop_program_reply(
+    std::uint64_t program_id);
+[[nodiscard]] std::uint64_t decode_drop_program_reply(
+    const std::vector<std::uint8_t>& payload);
+
 // ---------------------------------------------------------------------------
 // Endpoints: one string names a server over either socket family
 //
@@ -316,5 +386,49 @@ void write_frame(int fd, FrameType type,
 /// WireError on EOF mid-frame, an oversize length prefix, a receive
 /// timeout (SO_RCVTIMEO), or any other I/O error.
 [[nodiscard]] std::optional<Frame> read_frame(int fd);
+
+/// Write one v2 frame (13-byte header carrying `request_id`).  Only valid
+/// after the Hello/HelloReply exchange switched the connection to v2.
+void write_frame_v2(int fd, FrameType type, std::uint64_t request_id,
+                    const std::vector<std::uint8_t>& payload);
+
+/// Read one v2 frame; EOF/error contract identical to read_frame.
+[[nodiscard]] std::optional<FrameV2> read_frame_v2(int fd);
+
+/// Serialize one frame — header and payload — into a contiguous byte
+/// blob, in the framing of `version`.  This is the write-queue form: the
+/// epoll server enqueues these and flushes them with nonblocking sends,
+/// so a frame must exist as bytes independent of any fd.  In v1 framing
+/// request_id is dropped (the header has no field for it).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame_bytes(
+    std::uint32_t version, FrameType type, std::uint64_t request_id,
+    const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame reassembly for nonblocking reads: append whatever
+/// recv produced, then pop complete frames until next() returns nullopt
+/// (= a partial frame is buffered, feed more bytes).  Version switches
+/// (Hello negotiation) apply to frames parsed AFTER set_version — which
+/// is exactly why the server handles Hello inline in its event loop: the
+/// bytes behind the Hello in the same read must be parsed with the new
+/// header size.
+///
+/// Throws WireError from next() on an oversize length prefix; the caller
+/// drops the connection (a desynchronized stream cannot be resynced).
+class FrameBuffer {
+ public:
+  void set_version(std::uint32_t v) { version_ = v; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
+  void append(const std::uint8_t* data, std::size_t n);
+  [[nodiscard]] std::optional<FrameV2> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::uint32_t version_ = kProtocolV1;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< parse cursor; consumed prefix compacted lazily
+};
 
 }  // namespace mimd::wire

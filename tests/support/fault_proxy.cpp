@@ -72,18 +72,19 @@ void FaultProxy::set_plan(const FaultPlan& plan) {
   plan_ = plan;
 }
 
-void FaultProxy::pump(int from, int to, std::size_t budget, int delay_ms,
-                      Conn* conn) {
+void FaultProxy::pump(int from, int to, std::size_t budget, std::size_t stall,
+                      int delay_ms, Conn* conn) {
   std::vector<char> buf(4096);
   std::size_t forwarded = 0;
   while (!conn->cut.load()) {
     const ssize_t n = ::recv(from, buf.data(), buf.size(), 0);
     if (n <= 0) break;
-    const std::size_t allow =
-        std::min(static_cast<std::size_t>(n), budget - forwarded);
     if (delay_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
+    if (forwarded >= stall) continue;  // stalled: drain silently, stay open
+    const std::size_t allow = std::min(
+        {static_cast<std::size_t>(n), budget - forwarded, stall - forwarded});
     std::size_t sent = 0;
     while (sent < allow) {
       const ssize_t w =
@@ -95,7 +96,7 @@ void FaultProxy::pump(int from, int to, std::size_t budget, int delay_ms,
       sent += static_cast<std::size_t>(w);
     }
     forwarded += sent;
-    if (forwarded >= budget || allow < static_cast<std::size_t>(n)) {
+    if (forwarded >= budget) {
       // Budget exhausted: hard-cut BOTH sockets so the peer sees EOF (or
       // ECONNRESET) mid-frame, exactly the fault under test.
       conn->cut.store(true);
@@ -136,11 +137,11 @@ void FaultProxy::accept_loop() {
     Conn* c = conn.get();
     conn->up = std::thread([c, plan] {
       pump(c->client_fd, c->upstream_fd, plan.close_after_client_bytes,
-           plan.delay_ms, c);
+           std::numeric_limits<std::size_t>::max(), plan.delay_ms, c);
     });
     conn->down = std::thread([c, plan] {
       pump(c->upstream_fd, c->client_fd, plan.close_after_server_bytes,
-           plan.delay_ms, c);
+           plan.stall_after_server_bytes, plan.delay_ms, c);
     });
     std::lock_guard<std::mutex> lk(mu_);
     conns_.push_back(std::move(conn));

@@ -17,6 +17,12 @@
 //                                  cut — truncates a REPLY mid-frame (the
 //                                  nastier case: the server already did
 //                                  the work)
+//     stall_after_server_bytes=N   forward N bytes server->client, then
+//                                  forward NOTHING more — without closing
+//                                  either socket.  The connection looks
+//                                  alive but silent: the scenario where a
+//                                  pipelined client's outstanding futures
+//                                  must hit the reply deadline, not hang
 //     delay_ms                     sleep before forwarding each chunk —
 //                                  with a small client SO_RCVTIMEO this
 //                                  turns into a receive timeout
@@ -46,6 +52,7 @@ struct FaultPlan {
   bool refuse = false;
   std::size_t close_after_client_bytes = std::numeric_limits<std::size_t>::max();
   std::size_t close_after_server_bytes = std::numeric_limits<std::size_t>::max();
+  std::size_t stall_after_server_bytes = std::numeric_limits<std::size_t>::max();
   int delay_ms = 0;
 };
 
@@ -81,8 +88,8 @@ class FaultProxy {
  private:
   struct Conn;
   void accept_loop();
-  static void pump(int from, int to, std::size_t budget, int delay_ms,
-                   Conn* conn);
+  static void pump(int from, int to, std::size_t budget, std::size_t stall,
+                   int delay_ms, Conn* conn);
 
   std::string upstream_;
   int listen_fd_ = -1;

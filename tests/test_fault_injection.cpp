@@ -6,9 +6,14 @@
 // silently wrong result.  Results that do arrive stay bit-exact.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/executor.hpp"
@@ -132,6 +137,84 @@ TEST(FaultInjection, RefusedConnectionIsTypedAtFirstUse) {
   } catch (const wire::WireError&) {
     // expected
   }
+}
+
+// A mid-pipeline cut: the v2 handshake and the submit succeed, then the
+// reply stream is torn 5 bytes into the FIRST run reply.  Replies are one
+// ordered stream, so the cut orphans every outstanding future — each must
+// fail with a typed WireError (shared fate), none may hang.
+TEST(FaultInjection, MidPipelineTruncationFailsAllOutstandingFutures) {
+  ProxiedServer ps("fi_pipe_cut");
+  FaultPlan cut;
+  // HelloReply is 9 bytes (v1-framed: 5 + 4); SubmitProgramReply is 41
+  // (v2-framed: 13 + 28).  Cutting at 55 tears the first run reply
+  // mid-header.
+  cut.close_after_server_bytes = 55;
+  ps.proxy.set_plan(cut);
+  PlanClient client = PlanClient::connect(ps.proxy.endpoint(),
+                                          /*timeout_ms=*/10000);
+  const GeneratedLoop gl = generate_loop(541);
+  const std::uint64_t id =
+      client.submit_program(gl.program, gl.graph).program_id;
+  ASSERT_EQ(client.protocol_version(), wire::kProtocolV2);
+  std::vector<std::future<ExecutionResult>> futs;
+  for (int r = 0; r < 6; ++r) futs.push_back(client.run_async(id));
+  for (auto& f : futs) EXPECT_THROW((void)f.get(), wire::WireError);
+  // The connection is dead, and says so immediately — no hang.
+  EXPECT_THROW((void)client.run(id), wire::WireError);
+}
+
+// A reply carrying a request id that was never issued is a protocol
+// violation the client cannot recover from (the stream may be
+// desynchronized): typed WireError, never a hang.  The only server that
+// sends one is a broken server, so the test hand-rolls a bogus one.
+TEST(FaultInjection, UnknownRequestIdIsATypedErrorNotAHang) {
+  const auto [lfd, port] = wire::listen_tcp("127.0.0.1", 0, 4);
+  std::thread bogus([lfd = lfd] {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) return;
+    const auto hello = wire::read_frame(fd);
+    if (hello.has_value() && hello->type == wire::FrameType::Hello) {
+      wire::write_frame(fd, wire::FrameType::HelloReply,
+                        wire::encode_hello_reply(wire::kProtocolV2));
+    }
+    try {
+      const auto req = wire::read_frame_v2(fd);
+      if (req.has_value()) {
+        // Right type, WRONG id: the client never issued req_id + 1000.
+        wire::write_frame_v2(fd, wire::FrameType::StatsReply,
+                             req->request_id + 1000,
+                             wire::encode_stats_reply(wire::StatsReply{}));
+      }
+    } catch (const wire::WireError&) {
+    }
+    std::uint8_t b = 0;
+    (void)::recv(fd, &b, 1, 0);  // linger until the client hangs up
+    ::close(fd);
+  });
+  {
+    PlanClient client = PlanClient::connect(
+        "127.0.0.1:" + std::to_string(port), /*timeout_ms=*/10000);
+    EXPECT_THROW((void)client.stats(), wire::WireError);
+  }
+  bogus.join();
+  ::close(lfd);
+}
+
+// A stalled (live but silent) connection: the proxy forwards the
+// handshake, then nothing — without closing.  No EOF ever arrives, so
+// only the pipelined reply deadline can save the caller: the future must
+// time out typed, not wait forever.
+TEST(FaultInjection, StalledPipelineHitsTheReplyDeadlineNotAHang) {
+  ProxiedServer ps("fi_stall");
+  FaultPlan stall;
+  stall.stall_after_server_bytes = 9;  // exactly the HelloReply
+  ps.proxy.set_plan(stall);
+  PlanClient client = PlanClient::connect(ps.proxy.endpoint(),
+                                          /*timeout_ms=*/200);
+  const GeneratedLoop gl = generate_loop(542);
+  auto fut = client.submit_program_async(gl.program, gl.graph);
+  EXPECT_THROW((void)fut.get(), wire::WireError);
 }
 
 // ShardRouter + faults: a shard whose replies are being truncated is a

@@ -21,6 +21,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <future>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -730,6 +732,154 @@ TEST(PlanServer, AcceptLoopSurvivesFdExhaustion) {
                            gl.iterations));
   ::close(fd);
   EXPECT_GE(ts.server.stats().accept_backoffs, 1u);
+}
+
+// Pipelined v2 traffic: a burst of async runs with wildly uneven costs,
+// issued back-to-back on ONE connection.  The heavy request goes first,
+// so on the server's handler pool the light replies overtake it — every
+// future must still resolve to ITS OWN program's bit-exact result (the
+// demux-by-request-id property; in-order v1 would pass this vacuously,
+// overtaking replies make it a real test).
+TEST(PlanServer, PipelinedOutOfOrderRepliesLandOnTheRightFutures) {
+  TestServer ts("ps_pipeline");
+  PlanClient client = PlanClient::connect(ts.server.socket_path());
+
+  constexpr std::uint64_t kStructures = 6;
+  std::vector<GeneratedLoop> loops;
+  std::vector<ExecutionResult> refs;
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t s = 0; s < kStructures; ++s) {
+    loops.push_back(generate_loop(401 + s));
+    refs.push_back(run_reference(loops.back().graph, loops.back().iterations));
+    ids.push_back(
+        client.submit_program(loops[s].program, loops[s].graph).program_id);
+  }
+  EXPECT_EQ(client.protocol_version(), wire::kProtocolV2);
+
+  std::vector<std::future<ExecutionResult>> futs;
+  std::vector<std::size_t> which;
+  for (int r = 0; r < 24; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r) % loops.size();
+    wire::RemoteRunOptions opts;
+    // First request is deliberately expensive; the rest are cheap and
+    // overtake it on the handler pool.
+    opts.work_per_cycle = r == 0 ? 2000 : 0;
+    opts.transport = r % 2 == 0 ? Transport::Spsc : Transport::Mutex;
+    futs.push_back(client.run_async(ids[i], 0, opts));
+    which.push_back(i);
+  }
+  for (std::size_t k = 0; k < futs.size(); ++k) {
+    const std::size_t i = which[k];
+    EXPECT_TRUE(values_match(futs[k].get(), refs[i], loops[i].iterations))
+        << "request " << k << " (" << loops[i].tag << ")";
+  }
+}
+
+// pipeline=false skips Hello entirely: a live v1-client-vs-v2-server
+// compatibility check.  The server must keep speaking strict 5-byte-header
+// request/reply to this connection forever — while a v2 connection
+// pipelines against the same server.
+TEST(PlanServer, V1ClientInteroperatesWithTheV2Server) {
+  TestServer ts("ps_v1compat");
+  const GeneratedLoop gl = generate_loop(421);
+  const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+
+  PlanClient v1 = PlanClient::connect(ts.server.socket_path(), 0,
+                                      /*pipeline=*/false);
+  const std::uint64_t id = v1.submit_program(gl.program, gl.graph).program_id;
+  EXPECT_EQ(v1.protocol_version(), wire::kProtocolV1);
+  EXPECT_TRUE(values_match(v1.run(id), seq, gl.iterations));
+
+  // A v2 connection alongside it, same server, same cache.
+  PlanClient v2 = PlanClient::connect(ts.server.socket_path());
+  const Ddg renamed = renamed_copy(gl.graph, "v2_");
+  const std::uint64_t id2 =
+      v2.submit_program(gl.program, renamed).program_id;
+  EXPECT_EQ(v2.protocol_version(), wire::kProtocolV2);
+  EXPECT_TRUE(values_match(v2.run(id2), seq, gl.iterations));
+  // The async API still works on a v1 connection (resolved synchronously).
+  EXPECT_TRUE(values_match(v1.run_async(id).get(), seq, gl.iterations));
+
+  const wire::StatsReply stats = v2.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);  // one structure, either framing
+}
+
+/// Threads in this process right now (/proc/self/task entries).
+std::size_t count_threads() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    ++n;
+  }
+  return n;
+}
+
+// The event-loop architecture's headline invariant: server threads are
+// O(handler pool), not O(connections).  Thirty-two idle raw connections
+// must not add a single thread.
+TEST(PlanServer, ThreadCountIsIndependentOfConnectionCount) {
+  constexpr int kConnections = 32;
+  TestServer ts("ps_threads", [](PlanServerOptions& opts) {
+    opts.handler_threads = 2;
+  });
+  const sockaddr_un addr = wire::make_unix_addr(ts.server.socket_path());
+
+  const std::size_t before = count_threads();
+  std::vector<int> fds;
+  for (int i = 0; i < kConnections; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    fds.push_back(fd);
+  }
+  // Wait until the event loop has actually accepted all of them.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ts.server.stats().connections_active <
+         static_cast<std::uint64_t>(kConnections)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "server never accepted all raw connections";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(count_threads(), before)
+      << "accepting " << kConnections << " connections grew the thread count";
+  for (const int fd : fds) ::close(fd);
+}
+
+// DropProgram end-to-end: the id stops resolving, the registry quota slot
+// is actually freed, and dropping garbage ids is an Error frame — not a
+// disconnect.
+TEST(PlanServer, DropProgramFreesTheRegistrySlot) {
+  constexpr std::size_t kQuota = 2;
+  TestServer ts("ps_drop", [](PlanServerOptions& opts) {
+    opts.max_programs_per_connection = kQuota;
+    opts.max_quota_strikes = 0;
+  });
+  PlanClient client = PlanClient::connect(ts.server.socket_path());
+  const GeneratedLoop a = generate_loop(431);
+  const GeneratedLoop b = generate_loop(432);
+  const GeneratedLoop c = generate_loop(433);
+  const std::uint64_t id_a =
+      client.submit_program(a.program, a.graph).program_id;
+  (void)client.submit_program(b.program, b.graph);
+
+  // Quota full: a third submit is refused...
+  EXPECT_THROW((void)client.submit_program(c.program, c.graph), RemoteError);
+  // ...dropping one frees the slot...
+  client.drop_program(id_a);
+  const std::uint64_t id_c =
+      client.submit_program(c.program, c.graph).program_id;
+  // ...the dropped id no longer resolves...
+  EXPECT_THROW((void)client.run(id_a), RemoteError);
+  // ...double-drop and garbage ids are typed errors, connection intact...
+  EXPECT_THROW(client.drop_program(id_a), RemoteError);
+  EXPECT_THROW(client.drop_program(999999), RemoteError);
+  // ...and the freed-slot program actually runs.
+  EXPECT_TRUE(values_match(client.run(id_c),
+                           run_reference(c.graph, c.iterations),
+                           c.iterations));
 }
 
 }  // namespace

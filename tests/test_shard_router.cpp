@@ -280,6 +280,47 @@ TEST(ShardRouter, RepeatRunJobsSkipSubmitProgram) {
   }
 }
 
+// drop_program invalidates the router's submitted-id cache AND the
+// shard's registry: the next run_jobs with the same structure re-submits
+// cleanly (exactly one new registration), and results stay bit-exact.
+TEST(ShardRouter, DropProgramInvalidatesTheSubmittedIdCache) {
+  TestFleet fleet("sr_drop", 2);
+  ShardRouterOptions opts;
+  opts.endpoints = fleet.endpoints;
+  ShardRouter router(opts);
+
+  std::vector<GeneratedLoop> loops;
+  std::vector<ShardJob> jobs;
+  for (std::uint64_t seed = 471; seed <= 476; ++seed) {
+    loops.push_back(generate_loop(seed));
+    jobs.push_back(make_job(loops.back(), Transport::Spsc));
+  }
+  const std::vector<ExecutionResult> first = router.run_jobs(jobs);
+
+  const auto fleet_registered = [&router] {
+    std::uint64_t total = 0;
+    for (const ShardStatsRow& row : router.fleet_stats()) {
+      total += row.stats.programs_registered;
+    }
+    return total;
+  };
+  const std::uint64_t before = fleet_registered();
+
+  // Some shard held the program; after the drop, none does.
+  EXPECT_TRUE(router.drop_program(loops[0].program, loops[0].graph));
+  EXPECT_FALSE(router.drop_program(loops[0].program, loops[0].graph));
+
+  // The rerun re-submits ONLY the dropped structure (the registration
+  // counter is cumulative, so flat-plus-one is the exact signature) and
+  // every result is still bit-identical.
+  const std::vector<ExecutionResult> again = router.run_jobs(jobs);
+  EXPECT_EQ(fleet_registered(), before + 1);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(values_match(again[i], first[i], loops[i].iterations))
+        << loops[i].tag;
+  }
+}
+
 // The fleet acceptance test: >= 50 generated programs through 3 shards,
 // bit-identical to the in-process plan service and to sequential.
 TEST(ShardRouter, FuzzDifferentialFleetVsInProcessVsSequential) {

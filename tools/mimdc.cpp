@@ -330,14 +330,22 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     }
   } else {
     PlanClient client = PlanClient::connect(connect);
+    // Pipelined submits (wire v2): every program goes out back-to-back
+    // and the daemon overlaps the compiles; the ids are gathered in
+    // order.  Against an older v1 daemon the futures resolve
+    // synchronously — the old one-roundtrip-per-program behavior.
+    std::vector<std::future<wire::SubmitProgramReply>> subs;
+    subs.reserve(jobs.size());
+    for (const BatchJob& job : jobs) {
+      subs.push_back(
+          client.submit_program_async(job.program, job.graph, job.copts));
+    }
     std::vector<wire::RunRequest> items;
     items.reserve(jobs.size());
-    for (const BatchJob& job : jobs) {
-      const wire::SubmitProgramReply sub =
-          client.submit_program(job.program, job.graph, job.copts);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
       wire::RunRequest item;
-      item.program_id = sub.program_id;
-      item.iterations = job.iterations;
+      item.program_id = subs[i].get().program_id;
+      item.iterations = jobs[i].iterations;
       item.opts.transport = transport;
       item.opts.pin_threads = pin;
       items.push_back(item);

@@ -25,6 +25,10 @@
 //     --cache-capacity N LRU plan-cache capacity       (default 64)
 //     --workers N        pre-warm N pool workers       (default 0: grown
 //                        on demand to the widest gang)
+//     --handlers N       request-handler pool size      (default 0: a
+//                        small auto-sized pool; the epoll event loop
+//                        plus these handlers is the whole thread bill,
+//                        regardless of connection count)
 //     --max-programs N   per-connection registry quota  (0 = unlimited)
 //     --max-frame-rate F per-connection sustained frames/s (0 = unlimited)
 //     --frame-burst F    token-bucket burst for --max-frame-rate
@@ -82,7 +86,8 @@ namespace {
   std::cerr << "usage: mimdd [--socket <path>] [--listen <host:port>]\n"
                "             [--port-file <path>] [--daemonize]"
                " [--pidfile <path>] [--force]\n"
-               "             [--cache-capacity N] [--workers N]\n"
+               "             [--cache-capacity N] [--workers N]"
+               " [--handlers N]\n"
                "             [--max-programs N] [--max-frame-rate F]"
                " [--frame-burst F] [--quota-strikes N]\n"
                "             [--jit[=on|off]]\n"
@@ -315,6 +320,7 @@ int main(int argc, char** argv) {
   bool daemonize = false, force = false;
   std::size_t cache_capacity = mimd::PlanCache::kDefaultCapacity;
   std::size_t workers = 0;
+  std::size_t handlers = 0;
   mimd::PlanServerOptions defaults;
   std::size_t max_programs = defaults.max_programs_per_connection;
   double max_frame_rate = defaults.max_frames_per_second;
@@ -352,6 +358,10 @@ int main(int argc, char** argv) {
       const long v = std::atol(next("--workers needs a value").c_str());
       if (v < 0) usage("--workers must be >= 0");
       workers = static_cast<std::size_t>(v);
+    } else if (a == "--handlers") {
+      const long v = std::atol(next("--handlers needs a value").c_str());
+      if (v < 0) usage("--handlers must be >= 0");
+      handlers = static_cast<std::size_t>(v);
     } else if (a == "--max-programs") {
       const long v = std::atol(next("--max-programs needs a value").c_str());
       if (v < 0) usage("--max-programs must be >= 0");
@@ -390,6 +400,7 @@ int main(int argc, char** argv) {
   opts.tcp_address = listen_address;
   opts.cache_capacity = cache_capacity;
   opts.initial_workers = workers;
+  opts.handler_threads = handlers;
   opts.remove_existing = force;
   opts.max_programs_per_connection = max_programs;
   opts.max_frames_per_second = max_frame_rate;
