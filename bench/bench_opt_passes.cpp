@@ -1,0 +1,177 @@
+// The rewrite mid-end (src/opt), A/B: each workload is compiled from
+// `.loop` source twice — --opt=off and --opt=O1 — and scheduled on the
+// same machine, so every delta in the table is attributable to the
+// passes alone.
+//
+// Workloads:
+//   fig7            the paper's Figure 7 loop at source level.  Already
+//                   minimal: the pipeline must be a no-op (zero-cost
+//                   guarantee for clean input).
+//   fig7_redundant  Figure 7 with fold/identity/strength bait on the
+//                   critical recurrences plus two dead statements behind
+//                   an `out` clause — DCE shrinks the op stream,
+//                   strength reduction lowers the binding recurrence.
+//   bridged         two independent strands joined only by a dead
+//                   bridge statement.  At off the bridge forces one
+//                   connected graph (cross-strand channels); at O1 DCE
+//                   removes it and fission yields two strands with no
+//                   communication between them.
+//   twostrand       two independent recurrences, no bridge.  At off the
+//                   cyclic scheduler *rejects* the loop (disconnected
+//                   cyclic subsets never settle into one pattern);
+//                   fission is what makes it schedulable at all.
+//
+// Multi-strand metrics are summed over strands (ops, sends, channels)
+// except cycles/iteration, which is the max — strands are independent
+// programs and can run concurrently on disjoint processors.
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/parallelizer.hpp"
+#include "ir/dependence.hpp"
+#include "ir/ifconvert.hpp"
+#include "ir/parser.hpp"
+#include "opt/pipeline.hpp"
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace mimd;
+
+struct Workload {
+  const char* name;
+  const char* source;
+};
+
+const Workload kWorkloads[] = {
+    {"fig7",
+     "for i:\n"
+     "  A[i] = A[i-1] + E[i-1]\n"
+     "  B[i] = A[i]\n"
+     "  C[i] = B[i]\n"
+     "  D[i] = D[i-1] + C[i-1]\n"
+     "  E[i] = D[i]\n"},
+    {"fig7_redundant",
+     "out A, E\n"
+     "for i:\n"
+     "  A[i] = (A[i-1] * 2) + (E[i-1] * 1)\n"
+     "  B[i] = (A[i] - 0) / 1\n"
+     "  C[i] = - - B[i]\n"
+     "  D[i] = (D[i-1] / 2) + (C[i-1] + (3 - 1))\n"
+     "  E[i] = D[i] * 1\n"
+     "  T1[i] = T1[i-1] + (A[i-1] * (2 + 2))\n"
+     "  T2[i] = T1[i] * B[i]\n"},
+    {"bridged",
+     "out A, C\n"
+     "for i:\n"
+     "  A[i] = A[i-1] + X[i]\n"
+     "  B[i] = A[i-1] * 2\n"
+     "  C[i] = C[i-1] - Y[i]\n"
+     "  G[i] = G[i-1] + (B[i] + C[i-1])\n"},
+    {"twostrand",
+     "for i:\n"
+     "  A[i] = A[i-1] + X[i]\n"
+     "  B[i] = A[i-1] * 0.5\n"
+     "  C[i] = C[i-1] - Y[i]\n"
+     "  D[i] = C[i] + C[i-1]\n"},
+};
+
+struct Measured {
+  bool schedulable = false;
+  int strands = 0;
+  std::size_t stmts = 0;
+  std::size_t ops = 0;
+  std::size_t sends = 0;
+  std::size_t channels = 0;
+  double cycles_per_iter = 0.0;
+};
+
+/// Distinct (edge, src proc, dst proc) triples — the channel count the
+/// runtime will open for this program.
+std::size_t count_channels(const PartitionedProgram& prog) {
+  std::set<std::tuple<EdgeId, int, int>> channels;
+  for (const ProcessorProgram& pp : prog.programs) {
+    for (const Op& op : pp.ops) {
+      if (op.kind == Op::Kind::Send) {
+        channels.insert({op.edge, pp.proc, op.peer});
+      }
+    }
+  }
+  return channels.size();
+}
+
+Measured measure(const Workload& w, OptLevel level, const Machine& m,
+                 std::int64_t iterations) {
+  const ir::Loop raw = ir::parse_loop(w.source);
+  const ir::Loop conv = raw.has_control_flow() ? ir::if_convert(raw) : raw;
+  opt::OptOptions oopts;
+  oopts.level = level;
+  const opt::PipelineResult pipe = opt::optimize(conv, oopts);
+
+  Measured out;
+  out.strands = static_cast<int>(pipe.loops.size());
+  ParallelizeOptions popts;
+  popts.machine = m;
+  popts.iterations = iterations;
+  popts.emit_code = false;
+  try {
+    for (const ir::Loop& strand : pipe.loops) {
+      out.stmts += strand.body.size();
+      const ir::DependenceResult dep = ir::analyze_dependences(strand);
+      const ParallelizeResult r = parallelize(dep.graph, popts);
+      out.ops += r.program.total_ops();
+      out.sends += r.program.count(Op::Kind::Send);
+      out.channels += count_channels(r.program);
+      out.cycles_per_iter = std::max(out.cycles_per_iter,
+                                     r.cycles_per_iteration);
+    }
+    out.schedulable = true;
+  } catch (const ContractViolation&) {
+    out.schedulable = false;  // disconnected cyclic subsets, no pattern
+  }
+  return out;
+}
+
+std::string fmt(const Measured& m, std::size_t Measured::* field) {
+  return m.schedulable ? std::to_string(m.*field) : std::string("-");
+}
+
+}  // namespace
+
+int main() {
+  const Machine machine{4, 1};
+  const std::int64_t iterations = 64;
+  std::printf("machine: p=%d k=%d, %lld iterations, ops/sends totalled "
+              "over the full run\n\n",
+              machine.processors, machine.comm_estimate,
+              static_cast<long long>(iterations));
+
+  for (const Workload& w : kWorkloads) {
+    const Measured off = measure(w, OptLevel::Off, machine, iterations);
+    const Measured o1 = measure(w, OptLevel::O1, machine, iterations);
+
+    std::printf("=== %s ===\n", w.name);
+    Table t({"opt", "strands", "stmts", "ops", "sends", "channels",
+             "cyc/iter"});
+    const auto row = [&](const char* label, const Measured& m) {
+      t.add_row({label, std::to_string(m.strands), std::to_string(m.stmts),
+                 fmt(m, &Measured::ops), fmt(m, &Measured::sends),
+                 fmt(m, &Measured::channels),
+                 m.schedulable ? fmt_fixed(m.cycles_per_iter, 2)
+                               : std::string("unschedulable")});
+    };
+    row("off", off);
+    row("O1", o1);
+    std::cout << t.str();
+
+    const ir::Loop raw = ir::parse_loop(w.source);
+    const ir::Loop conv = raw.has_control_flow() ? ir::if_convert(raw) : raw;
+    std::cout << opt::format_stats(opt::optimize(conv)) << "\n";
+  }
+  return 0;
+}

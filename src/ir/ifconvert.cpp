@@ -36,6 +36,7 @@ void convert(const std::vector<Stmt>& body, const ExprPtr& guard,
 Loop if_convert(const Loop& loop) {
   Loop out;
   out.induction = loop.induction;
+  out.outputs = loop.outputs;
   convert(loop.body, nullptr, out.body);
   MIMD_ENSURES(!out.has_control_flow());
   return out;

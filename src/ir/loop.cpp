@@ -40,6 +40,14 @@ bool Loop::has_control_flow() const { return any_if(body); }
 
 std::string to_string(const Loop& loop) {
   std::ostringstream out;
+  if (!loop.outputs.empty()) {
+    out << "out ";
+    for (std::size_t i = 0; i < loop.outputs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << loop.outputs[i];
+    }
+    out << '\n';
+  }
   out << "for " << loop.induction << ":\n";
   for (const Stmt& s : loop.body) render(s, loop.induction, 1, out);
   return out.str();

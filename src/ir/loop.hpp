@@ -32,6 +32,12 @@ struct Loop {
   std::string induction = "i";
   std::vector<Stmt> body;
 
+  // Observable arrays, from the optional `out A, B` clause before the
+  // `for` header.  Empty means "everything is observable" — the
+  // conservative default that keeps every pre-existing `.loop` program
+  // immune to dead-code elimination (opt/dce.hpp).
+  std::vector<std::string> outputs;
+
   [[nodiscard]] bool has_control_flow() const;
 };
 

@@ -114,8 +114,18 @@ class Parser {
   explicit Parser(const std::string& src) : lex_(src) {}
 
   Loop parse() {
-    expect_ident("for");
     Loop loop;
+    // Optional observability clauses: `out A, B` lines before the
+    // header name the arrays whose final values matter (empty = all).
+    while (at_ident("out")) {
+      lex_.take();
+      loop.outputs.push_back(expect_kind(Token::Kind::Ident).text);
+      while (at_symbol(",")) {
+        lex_.take();
+        loop.outputs.push_back(expect_kind(Token::Kind::Ident).text);
+      }
+    }
+    expect_ident("for");
     loop.induction = expect_kind(Token::Kind::Ident).text;
     expect_symbol(":");
     while (lex_.peek().kind != Token::Kind::End &&

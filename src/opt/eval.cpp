@@ -1,0 +1,213 @@
+#include "opt/eval.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace mimd::opt {
+
+namespace {
+
+// FNV-1a 64 over the name bytes, finished with a SplitMix64 round —
+// deterministic across platforms, which is all the differential needs.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Top 53 bits -> [0, 1) -> [0.5, 1.5): nonzero, finite, sign-free, so
+// generated programs divide and multiply without instantly hitting
+// inf/NaN (they can still construct them deliberately; streams are
+// compared bitwise either way).
+double to_unit(std::uint64_t h) {
+  return 0.5 + static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double apply_unary(std::string_view op, double a) {
+  if (op == "-") return -a;
+  if (op == "!") return a == 0.0 ? 1.0 : 0.0;
+  MIMD_UNREACHABLE("unknown unary operator");
+}
+
+double apply_binary(std::string_view op, double a, double b) {
+  if (op == "+") return a + b;
+  if (op == "-") return a - b;
+  if (op == "*") return a * b;
+  if (op == "/") return a / b;
+  if (op == ">") return a > b ? 1.0 : 0.0;
+  if (op == "<") return a < b ? 1.0 : 0.0;
+  if (op == ">=") return a >= b ? 1.0 : 0.0;
+  if (op == "<=") return a <= b ? 1.0 : 0.0;
+  if (op == "==") return a == b ? 1.0 : 0.0;
+  if (op == "!=") return a != b ? 1.0 : 0.0;
+  if (op == "&&") return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  if (op == "||") return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  MIMD_UNREACHABLE("unknown binary operator");
+}
+
+double apply_select(double guard, double then, double otherwise) {
+  return guard != 0.0 ? then : otherwise;
+}
+
+double scalar_input(std::string_view name) {
+  return to_unit(mix64(fnv1a(name)));
+}
+
+double array_input(std::string_view name, std::int64_t element) {
+  return to_unit(mix64(fnv1a(name) ^ static_cast<std::uint64_t>(element)));
+}
+
+namespace {
+
+struct Evaluator {
+  const ir::Loop& loop;
+  // Reaching definitions, maintained exactly as analyze_dependences
+  // does: before[s] = textually last def of each array before s;
+  // last_in_body = last def of each array anywhere in the body.
+  std::vector<std::map<std::string, std::size_t>> before;
+  std::map<std::string, std::size_t> last_in_body;
+  std::vector<std::vector<double>> values;
+
+  explicit Evaluator(const ir::Loop& l, std::int64_t n) : loop(l) {
+    before.resize(loop.body.size());
+    for (std::size_t s = 0; s < loop.body.size(); ++s) {
+      before[s] = last_in_body;
+      last_in_body[loop.body[s].target] = s;
+    }
+    values.assign(loop.body.size(),
+                  std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  }
+
+  double ref(const ir::Expr& e, std::size_t s, std::int64_t i) const {
+    // Mirror of the producer-resolution rules in ir/dependence.cpp: a
+    // positive offset reads old-time-step memory; offset 0 reads the
+    // last def before s (distance = its target_offset); a negative
+    // offset reads the last def in the whole body (distance =
+    // def.target_offset - offset).  Unresolved or pre-loop reads come
+    // from the deterministic initial memory.
+    if (e.offset > 0) return array_input(e.name, i + e.offset);
+    if (e.offset == 0) {
+      const auto it = before[s].find(e.name);
+      if (it == before[s].end()) return array_input(e.name, i);
+      const int dist = loop.body[it->second].target_offset;
+      MIMD_EXPECTS(dist >= 0);
+      if (i - dist < 0) return array_input(e.name, i);
+      return values[it->second][static_cast<std::size_t>(i - dist)];
+    }
+    const auto it = last_in_body.find(e.name);
+    if (it == last_in_body.end()) return array_input(e.name, i + e.offset);
+    const int dist = loop.body[it->second].target_offset - e.offset;
+    MIMD_ENSURES(dist >= 1);
+    if (i - dist < 0) return array_input(e.name, i + e.offset);
+    return values[it->second][static_cast<std::size_t>(i - dist)];
+  }
+
+  double eval(const ir::Expr& e, std::size_t s, std::int64_t i) const {
+    switch (e.kind) {
+      case ir::Expr::Kind::Const:
+        return e.value;
+      case ir::Expr::Kind::Scalar:
+        return scalar_input(e.name);
+      case ir::Expr::Kind::ArrayRef:
+        return ref(e, s, i);
+      case ir::Expr::Kind::Unary:
+        return apply_unary(e.name, eval(*e.args[0], s, i));
+      case ir::Expr::Kind::Binary:
+        return apply_binary(e.name, eval(*e.args[0], s, i),
+                            eval(*e.args[1], s, i));
+      case ir::Expr::Kind::Select:
+        return apply_select(eval(*e.args[0], s, i), eval(*e.args[1], s, i),
+                            eval(*e.args[2], s, i));
+    }
+    MIMD_UNREACHABLE("unknown expression kind");
+  }
+
+  void run(std::int64_t n) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::size_t s = 0; s < loop.body.size(); ++s) {
+        values[s][static_cast<std::size_t>(i)] = eval(*loop.body[s].rhs, s, i);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+EvalResult eval_loop(const ir::Loop& loop, std::int64_t iterations) {
+  MIMD_EXPECTS(!loop.has_control_flow());
+  MIMD_EXPECTS(iterations >= 0);
+  Evaluator ev(loop, iterations);
+  ev.run(iterations);
+  return EvalResult{std::move(ev.values)};
+}
+
+std::vector<OutputStream> observable_streams(const ir::Loop& loop,
+                                             std::int64_t iterations) {
+  EvalResult res = eval_loop(loop, iterations);
+  // Last definition per array, restricted to the declared outputs when
+  // there are any.
+  std::map<std::string, std::size_t> last_def;
+  for (std::size_t s = 0; s < loop.body.size(); ++s) {
+    last_def[loop.body[s].target] = s;
+  }
+  std::vector<OutputStream> out;
+  for (const auto& [array, s] : last_def) {  // std::map: sorted by name
+    if (!loop.outputs.empty() &&
+        std::find(loop.outputs.begin(), loop.outputs.end(), array) ==
+            loop.outputs.end()) {
+      continue;
+    }
+    out.push_back(OutputStream{array, std::move(res.values[s])});
+  }
+  return out;
+}
+
+std::vector<OutputStream> observable_streams(
+    const std::vector<ir::Loop>& strands, std::int64_t iterations) {
+  std::vector<OutputStream> all;
+  for (const ir::Loop& strand : strands) {
+    std::vector<OutputStream> part = observable_streams(strand, iterations);
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const OutputStream& a, const OutputStream& b) {
+              return a.array < b.array;
+            });
+  return all;
+}
+
+bool streams_preserved(const std::vector<OutputStream>& reference,
+                       const std::vector<OutputStream>& candidate) {
+  for (const OutputStream& ref : reference) {
+    const auto it = std::find_if(
+        candidate.begin(), candidate.end(),
+        [&](const OutputStream& c) { return c.array == ref.array; });
+    if (it == candidate.end()) return false;
+    if (it->values.size() != ref.values.size()) return false;
+    for (std::size_t i = 0; i < ref.values.size(); ++i) {
+      if (std::bit_cast<std::uint64_t>(ref.values[i]) !=
+          std::bit_cast<std::uint64_t>(it->values[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mimd::opt

@@ -1,0 +1,84 @@
+// Reference evaluator for the loop IR — the oracle every rewrite pass is
+// judged against.
+//
+// The runtime executes a *synthetic* kernel over the DDG (a value is a
+// function of node latency, node id and folded operands —
+// runtime/kernels.cpp), so any rewrite that touches the graph changes
+// runtime values by construction.  The mid-end therefore needs a
+// semantics of its own to preserve: this evaluator gives every
+// statement a per-iteration double value stream under the *same*
+// reaching-definition rules dependence analysis uses
+// (ir/dependence.hpp), with real IEEE-754 arithmetic for the operators.
+// A pass is legal iff the observable streams (see below) of the
+// rewritten program are bit-identical to the original's — compared as
+// bit patterns, so even NaN-producing programs must agree.
+//
+// Crucially, apply_unary / apply_binary / apply_select are *shared* with
+// the constant-folding pass: compile-time folding evaluates a subtree
+// with exactly the double semantics this evaluator would have used at
+// "runtime", which is what makes folding bit-exact by construction
+// (DESIGN.md, "Rewrite mid-end").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace mimd::opt {
+
+/// Exact IEEE-754 double semantics for the IR operators.  Comparisons
+/// and the logical operators yield 1.0 / 0.0; truthiness is `!= 0.0`
+/// (so both &&/|| are pure, non-short-circuiting — legal because IR
+/// expressions have no side effects).  Throws ContractViolation on an
+/// unknown operator.
+double apply_unary(std::string_view op, double a);
+double apply_binary(std::string_view op, double a, double b);
+double apply_select(double guard, double then, double otherwise);
+
+/// Deterministic synthetic inputs: loop-invariant scalars and the
+/// initial/old-time-step contents of arrays.  Pure functions of the
+/// name (and element index), hashed into [0.5, 1.5) so generated
+/// programs stay numerically tame.
+double scalar_input(std::string_view name);
+double array_input(std::string_view name, std::int64_t element);
+
+struct EvalResult {
+  /// values[s][i] = the value body statement s assigned on iteration i.
+  std::vector<std::vector<double>> values;
+};
+
+/// Evaluates an if-converted (assign-only) loop for `iterations`
+/// iterations under the reaching-definition rules of
+/// ir/analyze_dependences.
+EvalResult eval_loop(const ir::Loop& loop, std::int64_t iterations);
+
+/// One observable array: the per-iteration value stream of its
+/// textually last definition (the definition that survives each
+/// iteration).
+struct OutputStream {
+  std::string array;
+  std::vector<double> values;
+};
+
+/// The observables of a loop: streams for each array in `loop.outputs`,
+/// or for every defined array when outputs is empty (the conservative
+/// "everything is observable" default).  Sorted by array name.
+std::vector<OutputStream> observable_streams(const ir::Loop& loop,
+                                             std::int64_t iterations);
+
+/// Observables of a fissioned program: the union over strands (each
+/// array is defined in exactly one strand — fission keeps all
+/// definitions of an array together).
+std::vector<OutputStream> observable_streams(
+    const std::vector<ir::Loop>& strands, std::int64_t iterations);
+
+/// True iff every stream in `reference` has a same-named stream in
+/// `candidate` whose values match bit-for-bit (std::bit_cast compare:
+/// NaN == NaN, +0 != -0 — stricter than operator==).
+bool streams_preserved(const std::vector<OutputStream>& reference,
+                       const std::vector<OutputStream>& candidate);
+
+}  // namespace mimd::opt

@@ -1,0 +1,76 @@
+#include "opt/fission.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "ir/dependence.hpp"
+
+namespace mimd::opt {
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+std::vector<ir::Loop> fission(const ir::Loop& loop) {
+  MIMD_EXPECTS(!loop.has_control_flow());
+  const std::size_t n = loop.body.size();
+  if (n <= 1) return {loop};
+
+  const ir::DependenceResult deps = ir::analyze_dependences(loop);
+  std::vector<std::size_t> stmt_of(deps.graph.num_nodes(), 0);
+  for (std::size_t s = 0; s < n; ++s) stmt_of[deps.node_of[s]] = s;
+
+  UnionFind uf(n);
+  for (const Edge& e : deps.graph.edges()) {
+    uf.unite(stmt_of[e.src], stmt_of[e.dst]);
+  }
+  // Keep all definitions of one array in one strand, even when no edge
+  // connects them (e.g. a shadowed store nobody reads): "last def of A"
+  // must name the same statement after the split.
+  std::map<std::string, std::size_t> first_def;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto [it, fresh] = first_def.emplace(loop.body[s].target, s);
+    if (!fresh) uf.unite(it->second, s);
+  }
+
+  // Strand per root, ordered by each strand's first statement.
+  std::map<std::size_t, std::size_t> strand_of_root;
+  std::vector<ir::Loop> strands;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t root = uf.find(s);
+    const auto [it, fresh] = strand_of_root.emplace(root, strands.size());
+    if (fresh) {
+      ir::Loop strand;
+      strand.induction = loop.induction;
+      strands.push_back(std::move(strand));
+    }
+    strands[it->second].body.push_back(loop.body[s]);
+  }
+  if (strands.size() == 1) return {loop};
+
+  for (ir::Loop& strand : strands) {
+    for (const std::string& out : loop.outputs) {
+      const bool defined =
+          std::any_of(strand.body.begin(), strand.body.end(),
+                      [&](const ir::Stmt& s) { return s.target == out; });
+      if (defined) strand.outputs.push_back(out);
+    }
+  }
+  return strands;
+}
+
+}  // namespace mimd::opt

@@ -1,0 +1,35 @@
+// Loop fission: split a loop whose DDG falls apart into independent
+// clusters into one loop per cluster (Aubert et al., PAPERS.md).
+//
+// Clusters are the undirected connected components of the dependence
+// graph, additionally merging any components that define the same array
+// (so "the textually last definition of A" means the same statement
+// before and after the split — the invariant both dependence analysis
+// and the reference evaluator resolve reads with).  Statements keep
+// their original textual order inside each strand, and each strand
+// inherits the subset of `out` declarations it defines.
+//
+// Legality: a read in strand k resolves against defs of the read array;
+// every def of that array is in strand k (same-target merging), in the
+// same relative order, so its reaching definition — and with it every
+// value stream — is unchanged.  Cross-strand there are no dependence
+// edges at all; strands are independent programs, and the recombined
+// observables are the union of the strands' observables (DESIGN.md,
+// "Rewrite mid-end").
+//
+// Each strand is then analyzed, scheduled and compiled *separately* —
+// the cyclic scheduler no longer binds unrelated recurrences into one
+// pattern, which is the channel/ops win bench_opt_passes measures.
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace mimd::opt {
+
+/// Splits `loop` into independent strands; returns {loop} unchanged when
+/// the body is one cluster.  Expects an if-converted loop.
+std::vector<ir::Loop> fission(const ir::Loop& loop);
+
+}  // namespace mimd::opt

@@ -1,0 +1,32 @@
+// Optimization level for the rewrite mid-end (src/opt).
+//
+// Lives in its own dependency-free header because the level is part of a
+// plan's identity, not just a front-end knob: partition/CompileOptions
+// folds it into structural_hash (PlanCache / ShardRouter keys) and the
+// wire protocol carries it in SubmitProgram, so optimized and
+// unoptimized plans for the same source can never alias.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mimd {
+
+enum class OptLevel : std::uint8_t {
+  Off = 0,  ///< hand the parsed program straight to partitioning
+  O1 = 1,   ///< fold + strength-reduce + DCE to fixed point, then fission
+};
+
+constexpr std::string_view to_string(OptLevel level) {
+  return level == OptLevel::O1 ? "O1" : "off";
+}
+
+/// Accepts the spellings mimdc documents: "off", "O1" (and "o1").
+inline std::optional<OptLevel> parse_opt_level(std::string_view s) {
+  if (s == "off" || s == "Off" || s == "OFF" || s == "0") return OptLevel::Off;
+  if (s == "O1" || s == "o1" || s == "1") return OptLevel::O1;
+  return std::nullopt;
+}
+
+}  // namespace mimd

@@ -1,0 +1,41 @@
+// The rewrite-pass interface: a Pass rewrites a Loop in place, seeing
+// the dependence analysis (IR + DDG) computed for the loop *as it
+// currently stands* — the PassManager in opt/pipeline.hpp re-analyzes
+// before every pass invocation, so a pass never observes a stale graph.
+//
+// Contract (PASSES.md has the per-pass legality arguments):
+//   * input is if-converted (assign-only) — asserted by the pipeline;
+//   * the pass must preserve the observable value streams of
+//     opt/eval.hpp bit-for-bit;
+//   * run() returns the number of rewrites applied; 0 means the pass is
+//     at a fixed point for this loop, which is what terminates the
+//     pipeline's fixed-point iteration.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/dependence.hpp"
+#include "ir/loop.hpp"
+
+namespace mimd::opt {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Rewrites `loop` in place; `deps` is the dependence analysis of the
+  /// loop exactly as passed in.  Returns the number of rewrites applied.
+  virtual int run(ir::Loop& loop, const ir::DependenceResult& deps) = 0;
+};
+
+/// Per-pass accounting across all fixed-point rounds.
+struct PassStats {
+  std::string name;
+  int rewrites = 0;    ///< total rewrites (fission: strands emitted)
+  int rounds_run = 0;  ///< invocations before the pipeline converged
+};
+
+}  // namespace mimd::opt

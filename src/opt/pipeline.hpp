@@ -1,0 +1,46 @@
+// The pass pipeline: the one entry point the front end calls between
+// if-conversion and dependence analysis / partitioning.
+//
+// Scalar passes (fold-constants -> strength-reduce -> dce) run in order,
+// round-robin, until a full round applies zero rewrites (fixed point) or
+// max_rounds is hit; dependence analysis is recomputed before every pass
+// invocation so no pass sees a stale DDG.  Fission runs once at the end
+// — it changes the program's shape (1 loop -> N strands), so it can't
+// participate in the round-robin.
+//
+// OptLevel::Off returns the input untouched with empty stats: `--opt=off`
+// must reproduce pre-mid-end behavior bit-for-bit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "opt/opt_level.hpp"
+#include "opt/pass.hpp"
+
+namespace mimd::opt {
+
+struct OptOptions {
+  OptLevel level = OptLevel::O1;
+  /// Fission can be disabled independently: `mimdc --c` needs one
+  /// compilable artifact per source file, so it folds but never splits.
+  bool enable_fission = true;
+  int max_rounds = 8;
+};
+
+struct PipelineResult {
+  /// The rewritten program: one loop normally, N independent strands
+  /// when fission split it.  Always non-empty.
+  std::vector<ir::Loop> loops;
+  std::vector<PassStats> stats;
+  int rounds = 0;
+  bool reached_fixed_point = true;
+};
+
+PipelineResult optimize(const ir::Loop& loop, const OptOptions& opts = {});
+
+/// Human-readable per-pass stats for `mimdc --dump-passes`.
+std::string format_stats(const PipelineResult& result);
+
+}  // namespace mimd::opt

@@ -327,6 +327,7 @@ std::uint64_t structural_hash(const PartitionedProgram& prog,
     }
   }
   h.fold(static_cast<std::uint64_t>(opts.slots));
+  h.fold(static_cast<std::uint64_t>(opts.opt));
   return h.state;
 }
 

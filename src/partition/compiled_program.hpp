@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/ddg.hpp"
+#include "opt/opt_level.hpp"
 #include "partition/partitioned_loop.hpp"
 
 namespace mimd {
@@ -115,6 +116,14 @@ enum class SlotPolicy : std::uint8_t {
 
 struct CompileOptions {
   SlotPolicy slots = SlotPolicy::Reuse;
+
+  /// Which mid-end pipeline produced the program being compiled
+  /// (src/opt).  The compiler itself never branches on it — it exists
+  /// so structural_hash separates optimized from unoptimized plans:
+  /// PlanCache and ShardRouter must never serve an O1-rewritten plan to
+  /// an --opt=off caller or vice versa, even if the op streams happen
+  /// to collide.
+  OptLevel opt = OptLevel::Off;
 
   friend bool operator==(const CompileOptions&,
                          const CompileOptions&) = default;

@@ -250,6 +250,7 @@ std::vector<std::uint8_t> encode_submit_program(const SubmitProgramRequest& m) {
   encode_program(e, m.program);
   encode_ddg(e, m.graph);
   e.u8(static_cast<std::uint8_t>(m.copts.slots));
+  e.u8(static_cast<std::uint8_t>(m.copts.opt));
   return e.take();
 }
 
@@ -264,6 +265,11 @@ SubmitProgramRequest decode_submit_program(
     throw WireError("invalid slot policy");
   }
   m.copts.slots = static_cast<SlotPolicy>(slots);
+  const std::uint8_t opt = d.u8();
+  if (opt > static_cast<std::uint8_t>(OptLevel::O1)) {
+    throw WireError("invalid opt level");
+  }
+  m.copts.opt = static_cast<OptLevel>(opt);
   d.expect_done();
   return m;
 }

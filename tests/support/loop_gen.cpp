@@ -1,6 +1,8 @@
 #include "support/loop_gen.hpp"
 
 #include <random>
+#include <sstream>
+#include <vector>
 
 #include "partition/compiled_program.hpp"
 #include "partition/lowering.hpp"
@@ -63,6 +65,113 @@ Ddg renamed_copy(const Ddg& g, const std::string& prefix) {
     copy.add_edge(e.src, e.dst, e.distance, e.comm_cost);
   }
   return copy;
+}
+
+namespace {
+
+/// Expression text for strand `j`, recursing at most `depth` more levels.
+/// Leaves are strand-local array reads, external inputs, scalars and
+/// constants; inner nodes are salted with fold/identity/strength bait.
+std::string rand_expr(std::mt19937_64& rng, int j, int depth) {
+  const std::string js = std::to_string(j);
+  const auto pick = [&rng](std::uint64_t n) { return rng() % n; };
+  if (depth <= 0 || pick(3) == 0) {
+    switch (pick(6)) {
+      case 0: return "A" + js + "[i-1]";
+      case 1: return "X" + js + "[i]";
+      case 2: return "X" + js + "[i-2]";  // old-time-step input
+      case 3: return "s" + js;            // loop-invariant scalar
+      case 4: return std::to_string(1 + pick(5));
+      default: return "0.5";
+    }
+  }
+  const std::string a = rand_expr(rng, j, depth - 1);
+  switch (pick(10)) {
+    case 0: return "(" + a + " + " + rand_expr(rng, j, depth - 1) + ")";
+    case 1: return "(" + a + " - " + rand_expr(rng, j, depth - 1) + ")";
+    case 2: return "(" + a + " * " + rand_expr(rng, j, depth - 1) + ")";
+    case 3: return "(" + a + " * 1)";   // exact identity
+    case 4: return "(" + a + " / 1)";   // exact identity
+    case 5: return "(" + a + " - 0)";   // exact identity
+    case 6: return "(- - " + a + ")";   // exact identity
+    case 7: return "(" + a + " * 2)";   // strength-reduction bait
+    case 8: return "(" + a + " / 2)";   // exact-reciprocal bait
+    default:
+      return "(" + std::to_string(1 + pick(4)) + " + " +
+             std::to_string(1 + pick(4)) + ")";  // constant fold bait
+  }
+}
+
+}  // namespace
+
+GeneratedIrLoop random_ir_loop(std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL);
+  const auto pick = [&rng](std::uint64_t n) { return rng() % n; };
+
+  GeneratedIrLoop out;
+  out.strands = 1 + static_cast<int>(pick(3));
+
+  std::ostringstream body;
+  std::vector<std::string> outputs;
+  body << "for i:\n";
+  for (int j = 0; j < out.strands; ++j) {
+    const std::string js = std::to_string(j);
+    // Base recurrence: keeps the strand cyclic.  A distance-2 self-dep
+    // always rides with a distance-1 term: a recurrence whose only
+    // distance is 2 makes normalize_distances unroll x2, and consumers
+    // reading A[i-1] then split the unrolled graph into two parity
+    // components the cyclic scheduler rejects.
+    body << "  A" << js << "[i] = "
+         << (pick(4) == 0 ? "(A" + js + "[i-1] + A" + js + "[i-2])"
+                          : "A" + js + "[i-1]")
+         << " " << (pick(2) == 0 ? "+" : "-") << " " << rand_expr(rng, j, 2)
+         << "\n";
+    // Optional secondary recurrence, chained to the base one so the
+    // strand's cyclic subset stays connected after fission.
+    if (pick(2) == 0) {
+      body << "  D" << js << "[i] = D" << js << "[i-1] + A" << js
+           << "[i-1]" << (pick(2) == 0 ? " @2" : "") << "\n";
+    }
+    // Feeder and consumer chain (Flow-out material).
+    body << "  B" << js << "[i] = " << rand_expr(rng, j, 2) << "\n";
+    if (pick(3) == 0) {
+      body << "  if A" << js << "[i-1] > " << (1 + pick(3)) << " {\n"
+           << "    C" << js << "[i] = B" << js << "[i] * 2\n"
+           << "  } else {\n"
+           << "    C" << js << "[i] = " << rand_expr(rng, j, 1) << "\n"
+           << "  }\n";
+    } else {
+      // C always reads A so the strand's recurrence stays live whenever
+      // C is an output — the generator never produces an acyclic strand.
+      body << "  C" << js << "[i] = (B" << js << "[i] + A" << js
+           << "[i-1]) + " << rand_expr(rng, j, 1) << "\n";
+    }
+    // Dead-code bait: a private recurrence nothing downstream reads —
+    // removable exactly when an `out` clause excludes it.
+    if (pick(2) == 0) {
+      body << "  E" << js << "[i] = E" << js << "[i-1] + A" << js
+           << "[i-1]\n";
+    }
+    if (pick(2) == 0) outputs.push_back("A" + js);
+    outputs.push_back("C" + js);
+  }
+
+  std::ostringstream src;
+  // About half the programs declare observability (DCE armed); the rest
+  // leave everything observable (DCE must be a no-op).
+  if (pick(2) == 0) {
+    src << "out ";
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      if (i > 0) src << ", ";
+      src << outputs[i];
+    }
+    src << "\n";
+  }
+  src << body.str();
+
+  out.source = src.str();
+  out.tag = "irloop" + std::to_string(seed) + "_s" + std::to_string(out.strands);
+  return out;
 }
 
 }  // namespace mimd::testsupport

@@ -60,4 +60,32 @@ GeneratedLoop generate_loop(std::uint64_t seed, const LoopGenOptions& opts = {})
 /// cross-connection sharing.
 Ddg renamed_copy(const Ddg& g, const std::string& prefix);
 
+/// Random *IR-level* loop for the rewrite mid-end's differentials
+/// (tests/test_opt_passes.cpp): where generate_loop fuzzes DDG shapes,
+/// this fuzzes `.loop` surface programs — returned as parseable source.
+///
+/// Construction guarantees, so every generated program survives the full
+/// pipeline at O1:
+///   * 1..3 independent strands over disjoint array name spaces (fission
+///     bait); every secondary recurrence in a strand reads the strand's
+///     base recurrence, so each post-fission strand has a *connected*
+///     cyclic subset (the cyclic scheduler's precondition);
+///   * distance-2 self-deps always ride with a distance-1 term: a
+///     recurrence whose only distance is 2 makes normalize_distances
+///     unroll x2, and consumers reading A[i-1] then split the unrolled
+///     graph into two parity components the scheduler rejects;
+///   * expressions are salted with foldable subtrees, exact identities
+///     (x*1, x/1, x-0, -(-x)), strength-reduction bait (x*2, x/2) and
+///     occasional IF statements (select coverage);
+///   * division only by nonzero constants;
+///   * about half the programs carry an `out` clause that leaves some
+///     statements dead (DCE bait) — possibly whole strands.
+struct GeneratedIrLoop {
+  std::string tag;     ///< e.g. "irloop7_s2"
+  std::string source;  ///< parseable .loop text
+  int strands = 1;     ///< independent strands the generator laid out
+};
+
+GeneratedIrLoop random_ir_loop(std::uint64_t seed);
+
 }  // namespace mimd::testsupport

@@ -93,10 +93,12 @@ TEST(Wire, SubmitProgramRoundTrip) {
   req.program = sample_program();
   req.graph = sample_graph();
   req.copts.slots = SlotPolicy::Ssa;
+  req.copts.opt = OptLevel::O1;
   const auto payload = wire::encode_submit_program(req);
   const wire::SubmitProgramRequest back = wire::decode_submit_program(payload);
   EXPECT_EQ(back.program, req.program);
   EXPECT_EQ(back.copts, req.copts);
+  EXPECT_EQ(back.copts.opt, OptLevel::O1);
   ASSERT_EQ(back.graph.num_nodes(), req.graph.num_nodes());
   ASSERT_EQ(back.graph.num_edges(), req.graph.num_edges());
   for (NodeId v = 0; v < back.graph.num_nodes(); ++v) {
@@ -256,6 +258,16 @@ TEST(Wire, HostileCountsAndEnumsAreRejected) {
     e.u8(0);
     e.i32(0);
     EXPECT_THROW((void)wire::decode_run(e.bytes()), WireError);
+  }
+  {
+    // Invalid opt level: the trailing byte of an otherwise valid
+    // submit-program payload.
+    wire::SubmitProgramRequest req;
+    req.program = sample_program();
+    req.graph = sample_graph();
+    auto payload = wire::encode_submit_program(req);
+    payload.back() = 7;
+    EXPECT_THROW((void)wire::decode_submit_program(payload), WireError);
   }
   {
     // Graph-invariant violations (duplicate names, zero latency) surface

@@ -60,6 +60,19 @@
 //                 ssa keeps one slot per value instance, for debugging;
 //                 implies --run when no execution or emission mode is
 //                 requested)
+//     --opt=<off|O1>
+//                 rewrite mid-end (src/opt) between parsing and
+//                 partitioning: O1 (the default) folds constants,
+//                 strength-reduces, removes dead code (loops with an
+//                 `out` clause) and fissions independent strands into
+//                 separately scheduled loops; off hands the parsed
+//                 program straight to the partitioner.  The level is
+//                 part of the plan-cache key, locally and daemon-side.
+//                 Fission is disabled under --c (one compilable artifact
+//                 per source file).
+//     --dump-passes
+//                 print per-pass rewrite stats (rounds to fixed point,
+//                 rewrites per pass, strands) to stderr
 //     --jit       with --run: compile the plan to a native shared-object
 //                 kernel (runtime/jit_compiler.hpp) and execute that in
 //                 place of the interpreter, still validated bit-for-bit
@@ -91,6 +104,7 @@
 #include "ir/dependence.hpp"
 #include "ir/ifconvert.hpp"
 #include "ir/parser.hpp"
+#include "opt/pipeline.hpp"
 #include "partition/c_codegen.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/jit_compiler.hpp"
@@ -105,9 +119,11 @@ namespace {
   std::cerr << "usage: mimdc [-p N] [-k N] [-n N] [--fold] [--dot] "
                "[--schedule] [--code] [--c] [--no-check] [--compare] "
                "[--run] [--jit] [--pin] [--connect <endpoint>] "
+               "[--opt=<off|O1>] [--dump-passes] "
                "[--runtime=<mutex|spsc>] [--slots=<reuse|ssa>] <file|->\n"
                "       mimdc [-p N] [-k N] [-n N] [--fold] [--jit] [--pin] "
                "[--connect <endpoint> | --fleet <shards.txt>] "
+               "[--opt=<off|O1>] [--dump-passes] "
                "[--runtime=<mutex|spsc>] "
                "[--slots=<reuse|ssa>] --batch <dir>\n";
   std::exit(2);
@@ -125,16 +141,37 @@ std::string read_all(const std::string& path) {
   return buf.str();
 }
 
-/// --batch's front end for one loop source: parse, if-convert, analyze,
-/// parallelize, no pseudo-code rendering.  The single-file path keeps its
-/// own inline copy of this pipeline because it also reports the
-/// intermediate classification/schedule stats on stderr.
-mimd::ParallelizeResult parallelize_source(const std::string& source,
-                                           int procs, int k, std::int64_t n,
-                                           bool fold) {
+/// The front half of the pipeline, shared by --batch and the single-file
+/// path: parse, if-convert, run the rewrite mid-end (opt/pipeline.hpp).
+/// Fission can split one source into several independent strands; each
+/// strand is then analyzed and parallelized on its own.
+struct FrontEndResult {
+  std::vector<mimd::ir::Loop> strands;
+  mimd::opt::PipelineResult pipe;  ///< per-pass stats for --dump-passes
+};
+
+FrontEndResult front_end(const std::string& source, mimd::OptLevel level,
+                         bool enable_fission) {
   using namespace mimd;
   const ir::Loop raw = ir::parse_loop(source);
   const ir::Loop loop = raw.has_control_flow() ? ir::if_convert(raw) : raw;
+  opt::OptOptions oopts;
+  oopts.level = level;
+  oopts.enable_fission = enable_fission;
+  FrontEndResult fe;
+  fe.pipe = opt::optimize(loop, oopts);
+  fe.strands = fe.pipe.loops;
+  return fe;
+}
+
+/// --batch's back end for one strand: analyze + parallelize, no
+/// pseudo-code rendering.  The single-file path keeps its own inline
+/// copy of this pipeline because it also reports the intermediate
+/// classification/schedule stats on stderr.
+mimd::ParallelizeResult parallelize_strand(const mimd::ir::Loop& loop,
+                                           int procs, int k, std::int64_t n,
+                                           bool fold) {
+  using namespace mimd;
   const ir::DependenceResult dep = ir::analyze_dependences(loop);
   ParallelizeOptions opts;
   opts.machine = Machine{procs, k};
@@ -172,7 +209,7 @@ std::vector<std::string> read_shards_file(const std::string& path) {
 /// --fleet, N daemons' — each loop consistent-hashed to its shard.
 int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
                    bool fold, mimd::Transport transport, bool pin, bool jit,
-                   const mimd::CompileOptions& copts,
+                   const mimd::CompileOptions& copts, bool dump_passes,
                    const std::string& connect, const std::string& fleet_file) {
   using namespace mimd;
   namespace fs = std::filesystem;
@@ -193,19 +230,36 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
   }
   std::sort(files.begin(), files.end());
 
+  // One job per strand: fission (opt/fission.hpp) may split a source
+  // file into several independently scheduled loops, each validated
+  // against its own sequential reference below.
   std::vector<BatchJob> jobs;
+  std::vector<std::string> labels;
   jobs.reserve(files.size());
   for (const std::string& f : files) {
-    const ParallelizeResult r =
-        parallelize_source(read_all(f), procs, k, n, fold);
-    BatchJob job;
-    job.program = r.program;
-    job.graph = r.normalized.graph;
-    job.iterations = r.normalized_iterations;
-    job.copts = copts;
-    job.ropts.transport = transport;
-    job.ropts.pin_threads = pin;
-    jobs.push_back(std::move(job));
+    const FrontEndResult fe = front_end(read_all(f), copts.opt, true);
+    if (dump_passes) {
+      std::cerr << fs::path(f).filename().string() << ":\n"
+                << mimd::opt::format_stats(fe.pipe);
+    }
+    for (std::size_t si = 0; si < fe.strands.size(); ++si) {
+      const ParallelizeResult r =
+          parallelize_strand(fe.strands[si], procs, k, n, fold);
+      BatchJob job;
+      job.program = r.program;
+      job.graph = r.normalized.graph;
+      job.iterations = r.normalized_iterations;
+      job.copts = copts;
+      job.ropts.transport = transport;
+      job.ropts.pin_threads = pin;
+      jobs.push_back(std::move(job));
+      std::string label = fs::path(f).filename().string();
+      if (fe.strands.size() > 1) {
+        label += "[" + std::to_string(si + 1) + "/" +
+                 std::to_string(fe.strands.size()) + "]";
+      }
+      labels.push_back(std::move(label));
+    }
   }
 
   std::vector<ExecutionResult> results;
@@ -380,7 +434,7 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
         run_reference(jobs[i].graph, jobs[i].iterations);
     const bool ok = values_match(results[i], reference, jobs[i].iterations);
     all_ok = all_ok && ok;
-    std::cout << "batch    : " << fs::path(files[i]).filename().string()
+    std::cout << "batch    : " << labels[i]
               << "  " << jobs[i].iterations << " iterations, "
               << results[i].wall_seconds << " s, "
               << (ok ? "bitwise match vs sequential" : "MISMATCH") << "\n";
@@ -411,9 +465,10 @@ int main(int argc, char** argv) {
   bool fold = false, want_dot = false, want_sched = false, want_code = false,
        want_c = false, want_compare = false, want_run = false,
        runtime_given = false, slots_given = false, pin = false,
-       no_check = false, jit = false;
+       no_check = false, jit = false, dump_passes = false;
   Transport transport = Transport::Spsc;
   CompileOptions copts;
+  copts.opt = OptLevel::O1;  // the mid-end is on by default; --opt=off
   std::string path;
   std::string batch_dir;
   std::string connect_path;
@@ -460,6 +515,12 @@ int main(int argc, char** argv) {
       jit = true;
     } else if (a == "--no-check") {
       no_check = true;
+    } else if (a == "--dump-passes") {
+      dump_passes = true;
+    } else if (a.rfind("--opt=", 0) == 0) {
+      const std::optional<OptLevel> level = parse_opt_level(a.substr(6));
+      if (!level) usage("--opt must be off or O1");
+      copts.opt = *level;
     } else if (a.rfind("--runtime=", 0) == 0) {
       const std::string which = a.substr(10);
       if (which == "mutex") {
@@ -510,7 +571,8 @@ int main(int argc, char** argv) {
     }
     try {
       return run_batch_mode(batch_dir, procs, k, n, fold, transport, pin,
-                            jit, copts, connect_path, fleet_file);
+                            jit, copts, dump_passes, connect_path,
+                            fleet_file);
     } catch (const ir::ParseError& e) {
       std::cerr << "mimdc: " << e.what() << "\n";
       return 1;
@@ -537,11 +599,33 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const ir::Loop raw = ir::parse_loop(read_all(path));
-    const ir::Loop loop =
-        raw.has_control_flow() ? ir::if_convert(raw) : raw;
-    const ir::DependenceResult dep = ir::analyze_dependences(loop);
+    // --c emits exactly one compilable artifact, so a loop that fission
+    // (or DCE cutting a bridge) splits into independent strands cannot
+    // be emitted as C.  Run fission anyway to detect the split and fail
+    // with a diagnostic rather than tripping the scheduler's
+    // connected-graph precondition.  Every other mode handles strands
+    // (each is scheduled, run and validated separately).
+    const FrontEndResult fe =
+        front_end(read_all(path), copts.opt, /*enable_fission=*/true);
+    if (dump_passes) std::cerr << opt::format_stats(fe.pipe);
+    if (want_c && fe.strands.size() > 1) {
+      std::cerr << "mimdc: --c emits one program, but optimization split "
+                   "this loop into "
+                << fe.strands.size()
+                << " independent strands; rerun with --opt=off for a "
+                   "single artifact, or drop --c to schedule each strand "
+                   "separately\n";
+      return 1;
+    }
     const Machine machine{procs, k};
+
+    for (std::size_t si = 0; si < fe.strands.size(); ++si) {
+    const ir::Loop& loop = fe.strands[si];
+    const ir::DependenceResult dep = ir::analyze_dependences(loop);
+    if (fe.strands.size() > 1) {
+      std::cerr << "mimdc: strand " << (si + 1) << "/" << fe.strands.size()
+                << ":\n";
+    }
 
     const Classification cls = classify(dep.graph);
     std::cerr << "mimdc: " << dep.graph.num_nodes() << " ops ("
@@ -668,6 +752,7 @@ int main(int argc, char** argv) {
                                              : "")
                 << "\n";
     }
+    }  // strand loop
   } catch (const ir::ParseError& e) {
     std::cerr << "mimdc: " << e.what() << "\n";
     return 1;
