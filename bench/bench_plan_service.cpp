@@ -242,6 +242,31 @@ BENCHMARK(BM_Jit_VsInterpreted_WarmNative)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
+void BM_Jit_VsInterpreted_WarmNativePooled(benchmark::State& state) {
+  // The tiny-n fix under test: same warm kernel, but dispatched through
+  // the ABI v2 entries onto the shared WorkerPool — zero pthread_create
+  // per request, exactly how the daemon serves eligible warm traffic.
+  // Compare against WarmNative (kernel spawns its own PEs) and
+  // InterpretedPooled (the --jit=off steady state) at the same args.
+  if (!jit_available()) {
+    state.SkipWithError(jit_unavailable_reason().c_str());
+    return;
+  }
+  const int procs = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  JitAbPair& ab = jit_ab_pair(procs, n);
+  static WorkerPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ab.kernel->run_pooled(n, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Jit_VsInterpreted_WarmNativePooled)
+    ->ArgNames({"procs", "n"})
+    ->ArgsProduct({{1, 2}, {24, 4096}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Jit_VsInterpreted_InterpretedPooled(benchmark::State& state) {
   // The exact --jit=off steady state: cached plan, pooled threads.  The
   // WarmNative/this ratio is the JIT's answer to "what does a request

@@ -25,6 +25,8 @@
 #include "core/mimd.hpp"
 #include "partition/lowering.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/jit_compiler.hpp"
+#include "runtime/worker_pool.hpp"
 #include "workloads/livermore.hpp"
 #include "workloads/paper_examples.hpp"
 
@@ -116,6 +118,40 @@ void BM_Threaded(benchmark::State& state, const std::string& name,
       static_cast<double>(plan.program().total_slots_ssa());
 }
 
+void BM_NativePooled(benchmark::State& state, const std::string& name) {
+  // The JIT's pool-dispatched path (ABI v2 entries on a shared
+  // WorkerPool) per workload.  Native kernels implement only the real
+  // computation — no synthetic work_per_cycle — so this series is not
+  // comparable to BM_Threaded above; it isolates the per-run dispatch +
+  // compute floor the daemon pays for eligible warm traffic, per loop.
+  if (!jit_available()) {
+    state.SkipWithError(jit_unavailable_reason().c_str());
+    return;
+  }
+  const ExecutorPlan& plan = cached_case(name).plan;
+  static std::map<std::string, std::shared_ptr<const JitKernel>> kernels;
+  auto it = kernels.find(name);
+  if (it == kernels.end()) {
+    it = kernels.emplace(name, jit_compile(plan)).first;
+  }
+  const JitKernel& kernel = *it->second;
+  static WorkerPool pool;
+  static std::set<std::string> validated;
+  if (validated.find(name) == validated.end()) {
+    if (!values_match(kernel.run_pooled(kIterations, &pool),
+                      plan.run(kIterations), kIterations)) {
+      state.SkipWithError("pooled native mismatched interpreted");
+      return;
+    }
+    validated.insert(name);
+  }
+  for (auto _ : state) {
+    const ExecutionResult res = kernel.run_pooled(kIterations, &pool);
+    benchmark::DoNotOptimize(res.values.data());
+  }
+  state.counters["threads"] = static_cast<double>(kernel.threads());
+}
+
 void BM_Sequential(benchmark::State& state, const std::string& name) {
   const Ddg g = loop_by_name(name);
   KernelOptions kernel;
@@ -144,6 +180,10 @@ const char* kLoops[] = {"fig7", "LL18", "LL20", "elliptic"};
           })
           ->Unit(benchmark::kMillisecond);
     }
+    benchmark::RegisterBenchmark(
+        (std::string("BM_NativePooled/") + loop).c_str(),
+        [loop](benchmark::State& s) { BM_NativePooled(s, loop); })
+        ->Unit(benchmark::kMillisecond);
   }
   return true;
 }();

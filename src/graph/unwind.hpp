@@ -9,11 +9,41 @@
 // floor((r+q)/u).  Choosing u = max distance makes all new distances 0/1.
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/ddg.hpp"
 
 namespace mimd {
+
+/// Thrown (by parallelize()) when distance normalization splits one
+/// connected loop into independent residue-class components.  A loop whose
+/// carried distances share a divisor d > 1 — e.g. only A[i-2] — interleaves
+/// d chains that never exchange a value: unrolling by the max distance
+/// makes copies whose indexes differ mod d mutually unreachable, and the
+/// cyclic scheduler (correctly) refuses disconnected graphs because their
+/// union never settles into one repeating pattern.  The fix is a modeling
+/// decision, so it belongs to the caller: schedule each residue class as
+/// its own loop, or add the missing gcd-1 dependence if the chains are
+/// meant to couple.  This type exists so that decision is prompted by a
+/// typed, actionable diagnostic instead of a bare scheduler contract trip.
+class ParitySplitError : public std::runtime_error {
+ public:
+  ParitySplitError(std::string what, int factor, std::size_t components)
+      : std::runtime_error(std::move(what)),
+        factor_(factor),
+        components_(components) {}
+
+  /// Unroll factor normalize_distances chose (the max carried distance).
+  [[nodiscard]] int factor() const { return factor_; }
+  /// How many independent residue-class components the unroll produced.
+  [[nodiscard]] std::size_t components() const { return components_; }
+
+ private:
+  int factor_;
+  std::size_t components_;
+};
 
 /// Result of unrolling: the new graph plus the mapping back to the original.
 struct Unrolled {

@@ -438,9 +438,10 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
   }
 
   if (shared) {
+    MIMD_EXPECTS(opts.kernel_abi == 1 || opts.kernel_abi == 2);
     // Loadable-kernel entry points: the ABI handshake constant and the
-    // run function the loader dlsym()s.  Symbols are exported by default
-    // in a plain -shared build; the file is C, so no mangling.
+    // entry functions the loader dlsym()s.  Symbols are exported by
+    // default in a plain -shared build; the file is C, so no mangling.
     out << "/* ABI handshake for the loader: version, result rows,\n"
         << " * compiled iteration count, thread count. */\n"
         << "typedef struct {\n"
@@ -449,40 +450,95 @@ std::string emit_c_program(const CompiledProgram& cp, const Ddg& g,
         << "  long long iterations;\n"
         << "  long long threads;\n"
         << "} mimd_kernel_info_t;\n"
-        << "const mimd_kernel_info_t mimd_kernel_info = {1, NODES, N, "
-        << nthreads << "};\n\n"
+        << "const mimd_kernel_info_t mimd_kernel_info = {"
+        << opts.kernel_abi << ", NODES, N, " << nthreads << "};\n\n";
+    // Context wiring shared by both entry styles: point each ring at its
+    // in-context storage and record the caller's buffers.
+    const auto emit_ctx_wiring = [&] {
+      for (std::size_t c = 0; c < nchans; ++c) {
+        out << "  k->chans[" << c << "].buf = k->chan" << c << "_buf;\n"
+            << "  k->chans[" << c << "].mask = "
+            << ring_capacity(cp.channels[c].messages) - 1 << ";\n";
+      }
+      if (opts.transport == Transport::Mutex) {
+        out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
+            << "; ++c) {\n"
+            << "    pthread_mutex_init(&k->chans[c].mu, 0);\n"
+            << "    pthread_cond_init(&k->chans[c].cv, 0);\n  }\n";
+      }
+      out << "  k->R = R;\n"
+          << "  k->n = n;\n"
+          << "  k->init = init;\n";
+    };
+    const auto emit_ctx_teardown = [&] {
+      if (opts.transport == Transport::Mutex) {
+        out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
+            << "; ++c) {\n"
+            << "    pthread_mutex_destroy(&k->chans[c].mu);\n"
+            << "    pthread_cond_destroy(&k->chans[c].cv);\n  }\n";
+      }
+      out << "  free(k);\n";
+    };
+    if (opts.kernel_abi == 1) {
+      // The original single-entry emission, byte-compatible with PR 7
+      // kernels: one call = allocate ctx, spawn PEs, join, free.
+      out << "int mimd_kernel_run(long long n, const double* init, "
+             "double* R) {\n"
+          << "  if (n < N || !init || !R) return 1;\n"
+          << "  kctx_t* k = (kctx_t*)calloc(1, sizeof(kctx_t));\n"
+          << "  if (!k) return 2; /* zeroed = valid empty-ring state */\n";
+      emit_ctx_wiring();
+      out << "  pthread_t th[" << (nthreads == 0 ? 1 : nthreads) << "];\n"
+          << "  int t = 0;\n";
+      for (const CompiledThread& t : cp.threads) {
+        out << "  pthread_create(&th[t++], 0, pe" << t.proc
+            << "_main, k);\n";
+      }
+      out << "  for (int j = 0; j < t; ++j) pthread_join(th[j], 0);\n";
+      emit_ctx_teardown();
+      out << "  return 0;\n}\n";
+      return out.str();
+    }
+    // ABI v2: caller-provides-the-threads entries.  The host allocates
+    // one context per run, enters run_on once per compiled thread on its
+    // own (pooled) workers — all ids concurrently, the PE bodies
+    // rendezvous through the ctx's rings — then destroys the context.
+    out << "/* ABI v2 entries: the caller owns the thread team. */\n"
+        << "void* mimd_kernel_ctx_create(long long n, const double* init, "
+           "double* R) {\n"
+        << "  if (n < N || !init || !R) return 0;\n"
+        << "  kctx_t* k = (kctx_t*)calloc(1, sizeof(kctx_t));\n"
+        << "  if (!k) return 0; /* zeroed = valid empty-ring state */\n";
+    emit_ctx_wiring();
+    out << "  return k;\n}\n\n"
+        << "int mimd_kernel_run_on(void* ctx, long long thread_id) {\n"
+        << "  kctx_t* k = (kctx_t*)ctx;\n"
+        << "  if (!k || thread_id < 0 || thread_id >= " << nthreads
+        << ") return 1;\n"
+        << "  switch (thread_id) {\n";
+    for (std::size_t i = 0; i < nthreads; ++i) {
+      // run_on indexes compiled threads in program order; the PE number
+      // in the function name is diagnostic only.
+      out << "  case " << i << ": pe" << cp.threads[i].proc
+          << "_main(k); break;\n";
+    }
+    out << "  default: return 1;\n  }\n  return 0;\n}\n\n"
+        << "void mimd_kernel_ctx_destroy(void* ctx) {\n"
+        << "  kctx_t* k = (kctx_t*)ctx;\n"
+        << "  if (!k) return;\n";
+    emit_ctx_teardown();
+    out << "}\n\n"
         << "int mimd_kernel_run(long long n, const double* init, "
            "double* R) {\n"
-        << "  if (n < N || !init || !R) return 1;\n"
-        << "  kctx_t* k = (kctx_t*)calloc(1, sizeof(kctx_t));\n"
-        << "  if (!k) return 2; /* zeroed = valid empty-ring state */\n";
-    for (std::size_t c = 0; c < nchans; ++c) {
-      out << "  k->chans[" << c << "].buf = k->chan" << c << "_buf;\n"
-          << "  k->chans[" << c << "].mask = "
-          << ring_capacity(cp.channels[c].messages) - 1 << ";\n";
-    }
-    if (opts.transport == Transport::Mutex) {
-      out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
-          << "; ++c) {\n"
-          << "    pthread_mutex_init(&k->chans[c].mu, 0);\n"
-          << "    pthread_cond_init(&k->chans[c].cv, 0);\n  }\n";
-    }
-    out << "  k->R = R;\n"
-        << "  k->n = n;\n"
-        << "  k->init = init;\n"
+        << "  kctx_t* k = (kctx_t*)mimd_kernel_ctx_create(n, init, R);\n"
+        << "  if (!k) return 1;\n"
         << "  pthread_t th[" << (nthreads == 0 ? 1 : nthreads) << "];\n"
         << "  int t = 0;\n";
     for (const CompiledThread& t : cp.threads) {
       out << "  pthread_create(&th[t++], 0, pe" << t.proc << "_main, k);\n";
     }
-    out << "  for (int j = 0; j < t; ++j) pthread_join(th[j], 0);\n";
-    if (opts.transport == Transport::Mutex) {
-      out << "  for (int c = 0; c < " << (nchans == 0 ? 1 : nchans)
-          << "; ++c) {\n"
-          << "    pthread_mutex_destroy(&k->chans[c].mu);\n"
-          << "    pthread_cond_destroy(&k->chans[c].cv);\n  }\n";
-    }
-    out << "  free(k);\n  return 0;\n}\n";
+    out << "  for (int j = 0; j < t; ++j) pthread_join(th[j], 0);\n"
+        << "  mimd_kernel_ctx_destroy(k);\n  return 0;\n}\n";
     return out.str();
   }
 

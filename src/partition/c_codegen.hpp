@@ -72,8 +72,33 @@ struct CEmitOptions {
   ///
   /// = {abi_version, nodes, iterations, threads} (four long longs) so a
   /// loader can validate the ABI and bounds before the first call.
-  /// Incompatible with self_check; transport/rolling apply as usual.
+  ///
+  /// ABI v2 (kernel_abi == 2, the default) additionally exports the
+  /// caller-provides-the-threads entry style, so a host can run the
+  /// kernel's PE bodies on its own persistent worker pool instead of
+  /// paying a pthread_create per PE per call:
+  ///
+  ///   void* mimd_kernel_ctx_create(long long n, const double* init,
+  ///                                double* R)  — allocate + wire one
+  ///     per-call context (NULL on bad args / allocation failure);
+  ///   int mimd_kernel_run_on(void* ctx, long long thread_id) — execute
+  ///     compiled thread `thread_id`'s whole op stream on the calling
+  ///     thread; enter exactly once per thread_id in [0, threads), all
+  ///     ids concurrently (the PE bodies rendezvous through the ctx's
+  ///     channel rings, so running them sequentially deadlocks);
+  ///   void mimd_kernel_ctx_destroy(void* ctx) — release the context
+  ///     after every run_on returned.
+  ///
+  /// mimd_kernel_run is still exported and is the same execution spelled
+  /// ctx_create + per-thread pthread_create + ctx_destroy.  Incompatible
+  /// with self_check; transport/rolling apply as usual.
   bool shared_object = false;
+  /// Which kernel ABI shared_object mode emits: 2 (default) adds the
+  /// ctx_create/run_on/ctx_destroy entry style above; 1 reproduces the
+  /// original single-entry emission exactly — kept selectable so the
+  /// loader's backward-compatibility path stays testable against a real
+  /// old-style artifact.
+  int kernel_abi = 2;
 };
 
 /// Emit the full C translation unit executing `cp` (compiled from the

@@ -15,12 +15,6 @@ namespace mimd {
 
 namespace {
 
-/// Rotating base CPU for pinned runs (one counter for the whole process,
-/// not per transport instantiation): each pinned run claims a contiguous
-/// slice of gang-width CPUs, so concurrent pinned runs spread across the
-/// allowed set instead of stacking on CPUs 0..width-1.
-std::atomic<unsigned> pin_slice{0};
-
 /// The hot path, templated on the transport so each instantiation inlines
 /// its channel operations (no virtual dispatch per message).  Every name
 /// was resolved at compile() time: operands read flat slots, initial
@@ -74,47 +68,12 @@ void execute(const CompiledProgram& cp, const Ddg& g,
   };
 
   // One task per compiled thread, in the spawn (= pinning) order frozen
-  // at compile() time.  Pinning binds the executing OS thread — pool
-  // worker or freshly spawned — to CPU (slice + i) for the task's
-  // duration, restoring the previous mask afterwards so a shared pool
-  // worker is not confined for later unpinned runs.  The slice is a
-  // process-wide rotating base advanced by one gang width per pinned
-  // run: within a run, compiled threads land on consecutive CPUs (the
-  // frozen order stays adjacent); across concurrent pinned runs, gangs
-  // get disjoint CPU ranges (mod the allowed set) instead of all
-  // stacking onto CPUs 0..width-1.
-  const unsigned slice =
-      opts.pin_threads
-          ? pin_slice.fetch_add(static_cast<unsigned>(cp.threads.size()),
-                                std::memory_order_relaxed)
-          : 0;
-  auto make_task = [&, slice](std::size_t i) {
-    return [&cp, &worker, &opts, slice, i] {
-      CpuAffinityMask saved;
-      const bool pinned =
-          opts.pin_threads &&
-          pin_current_thread_to_cpu(slice + static_cast<unsigned>(i),
-                                    &saved);
-      worker(cp.threads[i]);
-      if (pinned) restore_current_thread_affinity(saved);
-    };
-  };
-
-  if (opts.pool != nullptr) {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(cp.threads.size());
-    for (std::size_t i = 0; i < cp.threads.size(); ++i) {
-      tasks.push_back(make_task(i));
-    }
-    opts.pool->run_gang(std::move(tasks));
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(cp.threads.size());
-    for (std::size_t i = 0; i < cp.threads.size(); ++i) {
-      threads.emplace_back(make_task(i));
-    }
-    for (std::thread& t : threads) t.join();
-  }
+  // at compile() time.  Spawn-vs-pool and the rotating pinned-slice
+  // policy live in run_indexed_gang (runtime/worker_pool.hpp), shared
+  // with the JIT's pooled kernel dispatch so both executors place
+  // compiled thread i identically.
+  run_indexed_gang(opts.pool, cp.threads.size(), opts.pin_threads,
+                   [&](std::size_t i) { worker(cp.threads[i]); });
 }
 
 }  // namespace

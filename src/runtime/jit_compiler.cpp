@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "partition/c_codegen.hpp"
+#include "runtime/worker_pool.hpp"
 #include "support/assert.hpp"
 
 // Compile-time kill switches.  MIMD_JIT_DISABLED comes from CMake
@@ -155,8 +156,13 @@ const ProbeResult& probe_toolchain(const JitOptions& opts) {
 }  // namespace
 
 bool jit_run_eligible(const RunOptions& opts) {
-  return opts.transport == Transport::Spsc && !opts.pin_threads &&
+  return opts.transport == Transport::Spsc &&
          opts.kernel.work_per_cycle == 0 && opts.channel_capacity == 0;
+}
+
+bool jit_run_eligible(const RunOptions& opts, const JitKernel& kernel) {
+  return jit_run_eligible(opts) &&
+         (!opts.pin_threads || kernel.supports_pool());
 }
 
 #ifdef MIMD_JIT_DISABLED_REASON
@@ -170,6 +176,11 @@ std::string jit_unavailable_reason(const JitOptions&) {
 JitKernel::~JitKernel() = default;
 
 ExecutionResult JitKernel::run(std::int64_t) const {
+  throw JitError(MIMD_JIT_DISABLED_REASON);
+}
+
+ExecutionResult JitKernel::run_pooled(std::int64_t, WorkerPool*,
+                                      bool) const {
   throw JitError(MIMD_JIT_DISABLED_REASON);
 }
 
@@ -192,12 +203,37 @@ JitKernel::~JitKernel() {
   if (handle_ != nullptr) ::dlclose(handle_);
 }
 
-ExecutionResult JitKernel::run(std::int64_t n) const {
-  MIMD_EXPECTS(n >= iterations_);
-  std::vector<double> init(static_cast<std::size_t>(nodes_));
+namespace {
+
+/// The library-default pre-loop values, node-indexed — what both entry
+/// styles hand the kernel as its `init` vector.
+std::vector<double> kernel_init_vector(std::int64_t nodes) {
+  std::vector<double> init(static_cast<std::size_t>(nodes));
   for (std::size_t v = 0; v < init.size(); ++v) {
     init[v] = initial_value(static_cast<NodeId>(v));
   }
+  return init;
+}
+
+/// Unpack the kernel's row-major flat matrix into per-node rows.
+ExecutionResult unpack_flat(const std::vector<double>& flat,
+                            std::int64_t nodes, std::int64_t n) {
+  ExecutionResult res;
+  res.values.resize(static_cast<std::size_t>(nodes));
+  for (std::size_t v = 0; v < res.values.size(); ++v) {
+    const auto row =
+        flat.begin() +
+        static_cast<std::ptrdiff_t>(v * static_cast<std::size_t>(n));
+    res.values[v].assign(row, row + static_cast<std::ptrdiff_t>(n));
+  }
+  return res;
+}
+
+}  // namespace
+
+ExecutionResult JitKernel::run(std::int64_t n) const {
+  MIMD_EXPECTS(n >= iterations_);
+  const std::vector<double> init = kernel_init_vector(nodes_);
   // Zero-filled flat matrix: entries no processor computes stay 0.0,
   // matching the interpreted executor's zero-resized rows bit for bit.
   std::vector<double> flat(static_cast<std::size_t>(nodes_) *
@@ -209,13 +245,40 @@ ExecutionResult JitKernel::run(std::int64_t n) const {
     throw JitError("native kernel rejected the run (rc=" +
                    std::to_string(rc) + ")");
   }
-  ExecutionResult res;
-  res.values.resize(static_cast<std::size_t>(nodes_));
-  for (std::size_t v = 0; v < res.values.size(); ++v) {
-    const auto row = flat.begin() +
-                     static_cast<std::ptrdiff_t>(v * static_cast<std::size_t>(n));
-    res.values[v].assign(row, row + static_cast<std::ptrdiff_t>(n));
+  ExecutionResult res = unpack_flat(flat, nodes_, n);
+  res.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+ExecutionResult JitKernel::run_pooled(std::int64_t n, WorkerPool* pool,
+                                      bool pin_threads) const {
+  MIMD_EXPECTS(supports_pool());
+  MIMD_EXPECTS(n >= iterations_);
+  const std::vector<double> init = kernel_init_vector(nodes_);
+  std::vector<double> flat(static_cast<std::size_t>(nodes_) *
+                           static_cast<std::size_t>(n));
+  void* ctx = ctx_create_(n, init.data(), flat.data());
+  if (ctx == nullptr) {
+    throw JitError("native kernel rejected ctx_create");
   }
+  // One gang, one task per compiled thread, placed exactly like an
+  // interpreted run: pool workers when available, rotating pinned CPU
+  // slices when requested.  Tasks must not throw on pool threads, so
+  // per-thread failures are collected and raised after the join.
+  std::atomic<int> bad{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  run_indexed_gang(pool, static_cast<std::size_t>(threads_), pin_threads,
+                   [&](std::size_t i) {
+                     if (run_on_(ctx, static_cast<long long>(i)) != 0) {
+                       bad.fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
+  const auto t1 = std::chrono::steady_clock::now();
+  ctx_destroy_(ctx);
+  if (bad.load(std::memory_order_relaxed) != 0) {
+    throw JitError("native kernel rejected a run_on thread entry");
+  }
+  ExecutionResult res = unpack_flat(flat, nodes_, n);
   res.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return res;
 }
@@ -229,6 +292,7 @@ std::shared_ptr<const JitKernel> jit_compile(const ExecutorPlan& plan,
   eopts.shared_object = true;
   eopts.self_check = false;
   eopts.transport = Transport::Spsc;  // the only jit_run_eligible transport
+  eopts.kernel_abi = opts.emit_abi;
   const std::string source = emit_c_program(plan.program(), plan.graph(),
                                             eopts);
 
@@ -259,7 +323,12 @@ std::shared_ptr<const JitKernel> jit_compile(const ExecutorPlan& plan,
   };
   const auto* info =
       static_cast<const KernelInfo*>(::dlsym(handle, "mimd_kernel_info"));
-  if (entry == nullptr || info == nullptr || info->abi_version != 1 ||
+  // Both ABI generations load: v1 is run-only (the kernel spawns its own
+  // pthreads), v2 additionally carries the pooled entry style.  Anything
+  // else — or a node/iteration mismatch — is a load failure, never a
+  // misread buffer.
+  if (entry == nullptr || info == nullptr ||
+      (info->abi_version != 1 && info->abi_version != 2) ||
       info->nodes !=
           static_cast<long long>(plan.graph().num_nodes()) ||
       info->iterations != plan.program().iterations) {
@@ -270,6 +339,19 @@ std::shared_ptr<const JitKernel> jit_compile(const ExecutorPlan& plan,
   auto kernel = std::shared_ptr<JitKernel>(new JitKernel());
   kernel->handle_ = handle;
   kernel->entry_ = entry;
+  if (info->abi_version >= 2) {
+    kernel->ctx_create_ = reinterpret_cast<JitKernel::CtxCreateFn>(
+        ::dlsym(handle, "mimd_kernel_ctx_create"));
+    kernel->run_on_ = reinterpret_cast<JitKernel::RunOnFn>(
+        ::dlsym(handle, "mimd_kernel_run_on"));
+    kernel->ctx_destroy_ = reinterpret_cast<JitKernel::CtxDestroyFn>(
+        ::dlsym(handle, "mimd_kernel_ctx_destroy"));
+    if (kernel->ctx_create_ == nullptr || kernel->run_on_ == nullptr ||
+        kernel->ctx_destroy_ == nullptr) {
+      // kernel's destructor dlcloses the handle it already owns.
+      throw JitError("ABI v2 kernel is missing a pooled entry symbol");
+    }
+  }
   kernel->nodes_ = info->nodes;
   kernel->iterations_ = info->iterations;
   kernel->threads_ = info->threads;

@@ -148,11 +148,38 @@ void PlanClient::Impl::reader_loop() {
     }
     if (rc == 0) {
       bool owed = false;
+      bool probe = false;
+      std::uint64_t ping_id = 0;
       {
         const std::lock_guard<std::mutex> lk(mu);
         owed = !pending.empty();
+        if (!owed && !dead && !closing) {
+          // Idle tick, nothing outstanding: the reply deadline has no
+          // request to arm on, so a wedged server would go unnoticed
+          // until the next real submit hangs.  Probe with a Ping — the
+          // Pong is owed like any reply, so the very same deadline math
+          // turns a stalled server into "receive timed out" one idle
+          // period later, with no caller traffic at all.
+          ping_id = next_id++;
+          Pending p;
+          p.expected = wire::FrameType::Pong;
+          p.enqueued = Clock::now();
+          p.complete = [](wire::FrameV2*, std::exception_ptr) {};
+          pending.emplace(ping_id, std::move(p));
+          probe = true;
+        }
       }
-      if (!owed) continue;  // idle tick, nothing outstanding
+      if (probe) {
+        try {
+          const std::lock_guard<std::mutex> lk(wmu);
+          wire::write_frame_v2(fd, wire::FrameType::Ping, ping_id, {});
+        } catch (const wire::WireError& e) {
+          fail_all(std::string("heartbeat write failed: ") + e.what());
+          return;
+        }
+        continue;
+      }
+      if (!owed) continue;  // idle tick while closing/dead
       // The oldest outstanding reply exhausted its budget (the deadline
       // math above makes this exact, not an early fire).
       fail_all("receive timed out");
@@ -281,6 +308,19 @@ bool PlanClient::connected() const { return impl_ && impl_->fd >= 0; }
 std::uint32_t PlanClient::protocol_version() const {
   return impl_ ? impl_->version.load(std::memory_order_acquire)
                : wire::kProtocolV1;
+}
+
+void PlanClient::negotiate() {
+  if (!impl_ || impl_->fd < 0) {
+    throw wire::WireError("client not connected");
+  }
+  impl_->ensure_negotiated();
+}
+
+std::string PlanClient::transport_error() const {
+  if (!impl_) return "client not connected";
+  const std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->dead ? impl_->dead_reason : std::string();
 }
 
 void PlanClient::close() {

@@ -88,6 +88,20 @@ class PlanClient {
   /// negotiation, else kProtocolV1.
   [[nodiscard]] std::uint32_t protocol_version() const;
 
+  /// Run the deferred Hello negotiation now instead of at first request.
+  /// In v2 mode this also starts the reader thread — and with it the idle
+  /// heartbeat: a negotiated, idle, timeout-armed client Pings the server
+  /// every timeout_ms and treats a missing Pong as transport death, so a
+  /// wedged daemon is detected with no request in flight.  Throws
+  /// wire::WireError if the peer is unreachable.  No-op when already
+  /// negotiated.
+  void negotiate();
+
+  /// Non-empty once the transport has failed (reply deadline, heartbeat
+  /// timeout, torn stream): the reason every subsequent call will throw.
+  /// Empty while the connection is healthy or not yet negotiated.
+  [[nodiscard]] std::string transport_error() const;
+
   /// Register a program; the reply's program_id names it in run() /
   /// run_batch() on THIS connection.  Compilation is served from the
   /// daemon's shared cache, so a structurally identical program submitted

@@ -351,6 +351,9 @@ PlanServerStats PlanServer::stats() const {
   s.jit_native_runs = jit_native_runs_.load(std::memory_order_relaxed);
   s.jit_interpreted_runs =
       jit_interpreted_runs_.load(std::memory_order_relaxed);
+  s.jit_pooled_runs = jit_pooled_runs_.load(std::memory_order_relaxed);
+  s.jit_ineligible_runs =
+      jit_ineligible_runs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -620,6 +623,23 @@ void PlanServer::on_frame(const std::shared_ptr<Connection>& conn,
     return;
   }
   c.saw_frame = true;
+
+  // Heartbeat: answered inline like Hello — no worker-pool round trip, so
+  // a Pong proves the event loop itself is alive, which is exactly what
+  // the idle client is probing.  v2 only (a v1 peer never learned the
+  // frame; it gets the handler's unknown-type Error) and exempt from the
+  // frame-rate bucket — liveness probes must not eat a tenant's quota or
+  // shift the quota tests' arithmetic.
+  if (frame.type == wire::FrameType::Ping &&
+      c.version >= wire::kProtocolV2) {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    if (c.closed || c.closing) return;
+    auto bytes = wire::encode_frame_bytes(c.version, wire::FrameType::Pong,
+                                          frame.request_id, {});
+    c.wqueue_bytes += bytes.size();
+    c.wqueue.push_back(std::move(bytes));
+    return;
+  }
 
   bool struck = false;
   if (opts_.max_frames_per_second > 0) {
@@ -926,17 +946,29 @@ void PlanServer::process_task(Task& t) {
           ExecutionResult result;
           // Native once the background compile has published (bit-
           // identical with the interpreted run); interpreted meanwhile.
-          // Both split counters gate on jit_available so --jit=off keeps
-          // every jit stat at zero — today's behavior exactly.
-          if (const auto kernel = entry.kernel();
-              kernel && jit_run_eligible(ropts) &&
+          // Preference order mirrors run_plans: pooled entry (ABI v2 —
+          // the kernel borrows the server's gang-scheduled workers, no
+          // pthread_create per request) > legacy single-entry native
+          // (unpinned requests only) > interpreted.  The split counters
+          // gate on jit_available so --jit=off keeps every jit stat at
+          // zero — today's behavior exactly.
+          const auto kernel = entry.kernel();
+          if (kernel && jit_run_eligible(ropts, *kernel) &&
               n >= plan->program().iterations) {
-            result = kernel->run(n);
             jit_native_runs_.fetch_add(1, std::memory_order_relaxed);
+            if (kernel->supports_pool()) {
+              jit_pooled_runs_.fetch_add(1, std::memory_order_relaxed);
+              result = kernel->run_pooled(n, ropts.pool, ropts.pin_threads);
+            } else {
+              result = kernel->run(n);
+            }
           } else {
             result = plan->run(n, ropts);
             if (cache_.jit_available()) {
               jit_interpreted_runs_.fetch_add(1, std::memory_order_relaxed);
+              if (kernel) {
+                jit_ineligible_runs_.fetch_add(1, std::memory_order_relaxed);
+              }
             }
           }
           runs_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -967,18 +999,21 @@ void PlanServer::process_task(Task& t) {
           }
           check_reply_fits_frame(reply_bytes);
           const auto t0 = std::chrono::steady_clock::now();
-          std::uint64_t native_runs = 0;
+          JitRunCounters batch;
           wire::RunBatchReply rep;
-          rep.results = run_plans(jobs, pool_, req.concurrency, &native_runs);
+          rep.results = run_plans(jobs, pool_, req.concurrency, &batch);
           rep.wall_seconds = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - t0)
                                  .count();
           runs_executed_.fetch_add(req.items.size(),
                                    std::memory_order_relaxed);
-          jit_native_runs_.fetch_add(native_runs, std::memory_order_relaxed);
+          jit_native_runs_.fetch_add(batch.native, std::memory_order_relaxed);
+          jit_pooled_runs_.fetch_add(batch.pooled, std::memory_order_relaxed);
           if (cache_.jit_available()) {
-            jit_interpreted_runs_.fetch_add(req.items.size() - native_runs,
+            jit_interpreted_runs_.fetch_add(req.items.size() - batch.native,
                                             std::memory_order_relaxed);
+            jit_ineligible_runs_.fetch_add(batch.ineligible,
+                                           std::memory_order_relaxed);
           }
           reply_type = wire::FrameType::RunBatchReply;
           reply = wire::encode_run_batch_reply(rep);
@@ -1021,6 +1056,8 @@ void PlanServer::process_task(Task& t) {
           rep.jit_in_flight = s.cache.jit_in_flight;
           rep.jit_native_runs = s.jit_native_runs;
           rep.jit_interpreted_runs = s.jit_interpreted_runs;
+          rep.jit_pooled_runs = s.jit_pooled_runs;
+          rep.jit_ineligible_runs = s.jit_ineligible_runs;
           reply_type = wire::FrameType::StatsReply;
           reply = wire::encode_stats_reply(rep);
           break;

@@ -156,6 +156,15 @@ struct PlanServerStats {
   /// compile-side counters).
   std::uint64_t jit_native_runs = 0;
   std::uint64_t jit_interpreted_runs = 0;
+  /// Subset of jit_native_runs dispatched onto the shared WorkerPool via
+  /// the ABI v2 caller-provides-the-threads kernel entry.
+  std::uint64_t jit_pooled_runs = 0;
+  /// Runs that had a published kernel but went interpreted anyway — the
+  /// request's shape (transport/work/channel-capacity, or pinning against
+  /// an old single-entry kernel) or iteration count fell outside what the
+  /// kernel implements.  The counter that answers "why isn't my warm
+  /// traffic native?".
+  std::uint64_t jit_ineligible_runs = 0;
 };
 
 class PlanServer {
@@ -286,6 +295,8 @@ class PlanServer {
   std::atomic<std::uint64_t> accept_backoffs_{0};
   std::atomic<std::uint64_t> jit_native_runs_{0};
   std::atomic<std::uint64_t> jit_interpreted_runs_{0};
+  std::atomic<std::uint64_t> jit_pooled_runs_{0};
+  std::atomic<std::uint64_t> jit_ineligible_runs_{0};
 };
 
 }  // namespace mimd

@@ -55,6 +55,46 @@ void drive_indexed(std::size_t count, std::size_t concurrency,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// Concurrent-driver tallies of how the native tier served a batch.
+struct AtomicJitCounters {
+  std::atomic<std::uint64_t> native{0};
+  std::atomic<std::uint64_t> pooled{0};
+  std::atomic<std::uint64_t> ineligible{0};
+
+  [[nodiscard]] JitRunCounters snapshot() const {
+    JitRunCounters c;
+    c.native = native.load(std::memory_order_relaxed);
+    c.pooled = pooled.load(std::memory_order_relaxed);
+    c.ineligible = ineligible.load(std::memory_order_relaxed);
+    return c;
+  }
+};
+
+/// The one native-vs-interpreted dispatch both batch drivers (and the
+/// server's single-run path, via the same rules) use.  Preference order:
+/// pooled native entry (ABI v2 — warm pool threads, pinning honored) >
+/// legacy single-entry native (unpinned requests only) > interpreted.
+/// Bit-identical any way — the kernel is the same CompiledProgram
+/// lowered through the C backend.
+ExecutionResult dispatch_resolved(const ExecutorPlan& plan,
+                                  const std::shared_ptr<const JitKernel>& kernel,
+                                  std::int64_t n, const RunOptions& opts,
+                                  AtomicJitCounters& counters) {
+  if (kernel && jit_run_eligible(opts, *kernel) &&
+      n >= plan.program().iterations) {
+    counters.native.fetch_add(1, std::memory_order_relaxed);
+    if (kernel->supports_pool()) {
+      counters.pooled.fetch_add(1, std::memory_order_relaxed);
+      return kernel->run_pooled(n, opts.pool, opts.pin_threads);
+    }
+    return kernel->run(n);
+  }
+  if (kernel) {
+    counters.ineligible.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan.run(n, opts);
+}
+
 }  // namespace
 
 BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
@@ -68,7 +108,7 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
 
   const auto t0 = std::chrono::steady_clock::now();
   std::exception_ptr error;
-  std::atomic<std::uint64_t> native_runs{0};
+  AtomicJitCounters counters;
   try {
     drive_indexed(jobs.size(), concurrency, [&](std::size_t i) {
       const BatchJob& job = jobs[i];
@@ -79,18 +119,8 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
       opts.pool = &pool;
       const std::int64_t n =
           job.iterations > 0 ? job.iterations : plan->program().iterations;
-      // Native when the background compile has published and the request
-      // asks for exactly what the kernel computes; interpreted otherwise.
-      // Bit-identical either way — the kernel is the same CompiledProgram
-      // lowered through the C backend.
-      if (const auto kernel = cached.kernel();
-          kernel && jit_run_eligible(opts) &&
-          n >= plan->program().iterations) {
-        report.results[i] = kernel->run(n);
-        native_runs.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        report.results[i] = plan->run(n, opts);
-      }
+      report.results[i] =
+          dispatch_resolved(*plan, cached.kernel(), n, opts, counters);
     });
   } catch (...) {
     error = std::current_exception();
@@ -99,7 +129,10 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
 
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   report.cache_stats = cache.stats();
-  report.jit_native_runs = native_runs.load(std::memory_order_relaxed);
+  const JitRunCounters c = counters.snapshot();
+  report.jit_native_runs = c.native;
+  report.jit_pooled_runs = c.pooled;
+  report.jit_ineligible_runs = c.ineligible;
   if (error) std::rethrow_exception(error);
   return report;
 }
@@ -107,26 +140,18 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, PlanCache& cache,
 std::vector<ExecutionResult> run_plans(const std::vector<PlanJob>& jobs,
                                        WorkerPool& pool,
                                        std::size_t concurrency,
-                                       std::uint64_t* native_runs) {
+                                       JitRunCounters* out) {
   std::vector<ExecutionResult> results(jobs.size());
-  std::atomic<std::uint64_t> native{0};
+  AtomicJitCounters counters;
   drive_indexed(jobs.size(), concurrency, [&](std::size_t i) {
     const PlanJob& job = jobs[i];
     RunOptions opts = job.ropts;
     opts.pool = &pool;
     const std::int64_t n =
         job.iterations > 0 ? job.iterations : job.plan->program().iterations;
-    if (job.kernel && jit_run_eligible(opts) &&
-        n >= job.plan->program().iterations) {
-      results[i] = job.kernel->run(n);
-      native.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      results[i] = job.plan->run(n, opts);
-    }
+    results[i] = dispatch_resolved(*job.plan, job.kernel, n, opts, counters);
   });
-  if (native_runs != nullptr) {
-    *native_runs = native.load(std::memory_order_relaxed);
-  }
+  if (out != nullptr) *out = counters.snapshot();
   return results;
 }
 

@@ -42,6 +42,19 @@ struct BatchJob {
   RunOptions ropts;
 };
 
+/// How the native tier served a set of resolved jobs.  `native` counts
+/// every kernel-served job; `pooled` is the subset dispatched through the
+/// ABI v2 caller-provides-the-threads entry onto the shared WorkerPool
+/// (the warm path with no pthread_create at all); `ineligible` counts
+/// jobs that had a published kernel but ran interpreted anyway (request
+/// shape or iteration count outside what the kernel implements) — the
+/// counter that tells an operator why warm traffic isn't native.
+struct JitRunCounters {
+  std::uint64_t native = 0;
+  std::uint64_t pooled = 0;
+  std::uint64_t ineligible = 0;
+};
+
 struct BatchReport {
   /// One result per job, in job order.
   std::vector<ExecutionResult> results;
@@ -52,6 +65,10 @@ struct BatchReport {
   /// Jobs served by a published native kernel instead of the interpreted
   /// executor (always 0 for a cache without JIT).
   std::uint64_t jit_native_runs = 0;
+  /// Subset of jit_native_runs dispatched onto the shared pool (ABI v2).
+  std::uint64_t jit_pooled_runs = 0;
+  /// Jobs with a published kernel that still ran interpreted.
+  std::uint64_t jit_ineligible_runs = 0;
 };
 
 /// Run every job through `cache` + `pool` with `concurrency` concurrent
@@ -81,11 +98,11 @@ struct PlanJob {
 /// run_batch without the cache leg: execute pre-resolved plans on `pool`
 /// with the same concurrent-driver shape and error discipline (first error
 /// — e.g. iterations below the compiled count — rethrown after the drain).
-/// Results are in job order.  `native_runs`, when non-null, receives the
-/// number of jobs the native kernels served.
+/// Results are in job order.  `counters`, when non-null, receives the
+/// native/pooled/ineligible dispatch tallies for the batch.
 std::vector<ExecutionResult> run_plans(const std::vector<PlanJob>& jobs,
                                        WorkerPool& pool,
                                        std::size_t concurrency = 0,
-                                       std::uint64_t* native_runs = nullptr);
+                                       JitRunCounters* counters = nullptr);
 
 }  // namespace mimd

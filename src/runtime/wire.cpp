@@ -385,6 +385,8 @@ std::vector<std::uint8_t> encode_stats_reply(const StatsReply& m) {
   e.u64(m.jit_in_flight);
   e.u64(m.jit_native_runs);
   e.u64(m.jit_interpreted_runs);
+  e.u64(m.jit_pooled_runs);
+  e.u64(m.jit_ineligible_runs);
   return e.take();
 }
 
@@ -412,6 +414,8 @@ StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload) {
   m.jit_in_flight = d.u64();
   m.jit_native_runs = d.u64();
   m.jit_interpreted_runs = d.u64();
+  m.jit_pooled_runs = d.u64();
+  m.jit_ineligible_runs = d.u64();
   d.expect_done();
   return m;
 }

@@ -84,6 +84,11 @@ enum class FrameType : std::uint8_t {
   Shutdown = 5,
   DropProgram = 6,
   Hello = 8,
+  /// Liveness probe (v2 only): empty payload, answered inline with Pong
+  /// echoing the request id.  Lets an idle client detect a wedged server
+  /// without a real request in flight.  Exempt from the frame-rate
+  /// bucket, like Hello: heartbeats must not eat into a tenant's quota.
+  Ping = 9,
   // Replies (server -> client): request type + 64.
   SubmitProgramReply = 65,
   RunReply = 66,
@@ -92,6 +97,7 @@ enum class FrameType : std::uint8_t {
   ShutdownReply = 69,
   DropProgramReply = 70,
   HelloReply = 72,
+  Pong = 73,
   Error = 127,
 };
 
@@ -260,6 +266,13 @@ struct StatsReply {
   std::uint64_t jit_in_flight = 0;
   std::uint64_t jit_native_runs = 0;
   std::uint64_t jit_interpreted_runs = 0;
+  // PR 10: pooled-dispatch split.  jit_pooled_runs is the subset of
+  // jit_native_runs served through the ABI v2 caller-provides-the-threads
+  // entry on the shared WorkerPool; jit_ineligible_runs counts runs that
+  // had a published kernel but still went interpreted (request shape or
+  // iteration count outside what the kernel implements).
+  std::uint64_t jit_pooled_runs = 0;
+  std::uint64_t jit_ineligible_runs = 0;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_submit_program(

@@ -1,5 +1,6 @@
 #include "runtime/worker_pool.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "support/assert.hpp"
@@ -67,6 +68,47 @@ void restore_current_thread_affinity(const CpuAffinityMask& mask) {
 #else
   (void)mask;
 #endif
+}
+
+namespace {
+
+/// Rotating base CPU for pinned gangs (one counter for the whole
+/// process): each pinned gang claims a contiguous slice of gang-width
+/// CPUs, so concurrent pinned gangs spread across the allowed set.
+std::atomic<unsigned> pin_slice{0};
+
+}  // namespace
+
+unsigned claim_pin_slice(unsigned width) {
+  return pin_slice.fetch_add(width, std::memory_order_relaxed);
+}
+
+void run_indexed_gang(WorkerPool* pool, std::size_t count, bool pin,
+                      const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const unsigned slice =
+      pin ? claim_pin_slice(static_cast<unsigned>(count)) : 0;
+  const auto make_task = [&, slice](std::size_t i) {
+    return [&body, pin, slice, i] {
+      CpuAffinityMask saved;
+      const bool pinned =
+          pin && pin_current_thread_to_cpu(
+                     slice + static_cast<unsigned>(i), &saved);
+      body(i);
+      if (pinned) restore_current_thread_affinity(saved);
+    };
+  };
+  if (pool != nullptr) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) tasks.push_back(make_task(i));
+    pool->run_gang(std::move(tasks));
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) threads.emplace_back(make_task(i));
+    for (std::thread& t : threads) t.join();
+  }
 }
 
 // ---- WorkerPool ----

@@ -69,6 +69,26 @@ bool pin_current_thread_to_cpu(unsigned cpu, CpuAffinityMask* saved);
 /// unpinned run on the same worker is not silently confined.
 void restore_current_thread_affinity(const CpuAffinityMask& mask);
 
+/// Claim a contiguous slice of `width` CPUs from the process-wide
+/// rotating base every pinned gang draws from — the interpreted executor
+/// and pooled native kernels share one counter, so concurrent pinned
+/// runs of either kind get disjoint CPU ranges (mod the allowed set)
+/// instead of all stacking onto CPUs 0..width-1.  Pin task i of the gang
+/// to CPU (returned base + i).
+[[nodiscard]] unsigned claim_pin_slice(unsigned width);
+
+class WorkerPool;
+
+/// Run `count` indexed tasks as one gang — on `pool`'s workers when
+/// non-null, else one fresh thread per task — returning when all have
+/// finished.  With `pin`, each task's executing thread is pinned to CPU
+/// (slice + i) for the task's duration (one claim_pin_slice(count) per
+/// call) and the previous mask is restored afterwards.  This is the one
+/// spawn-vs-pool + pinning policy shared by the interpreted executor and
+/// the JIT's pooled kernel dispatch.  `body(i)` must not throw.
+void run_indexed_gang(WorkerPool* pool, std::size_t count, bool pin,
+                      const std::function<void(std::size_t)>& body);
+
 /// A persistent pool of worker threads executing gangs of blocking,
 /// mutually communicating tasks.  Thread-safe: any number of threads may
 /// call run_gang() concurrently; gangs are claimed FIFO.

@@ -104,7 +104,8 @@ std::string rand_expr(std::mt19937_64& rng, int j, int depth) {
 
 }  // namespace
 
-GeneratedIrLoop random_ir_loop(std::uint64_t seed) {
+GeneratedIrLoop random_ir_loop(std::uint64_t seed,
+                               const IrLoopGenOptions& opts) {
   std::mt19937_64 rng(seed * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL);
   const auto pick = [&rng](std::uint64_t n) { return rng() % n; };
 
@@ -116,15 +117,18 @@ GeneratedIrLoop random_ir_loop(std::uint64_t seed) {
   body << "for i:\n";
   for (int j = 0; j < out.strands; ++j) {
     const std::string js = std::to_string(j);
-    // Base recurrence: keeps the strand cyclic.  A distance-2 self-dep
-    // always rides with a distance-1 term: a recurrence whose only
-    // distance is 2 makes normalize_distances unroll x2, and consumers
-    // reading A[i-1] then split the unrolled graph into two parity
-    // components the cyclic scheduler rejects.
-    body << "  A" << js << "[i] = "
-         << (pick(4) == 0 ? "(A" + js + "[i-1] + A" + js + "[i-2])"
-                          : "A" + js + "[i-1]")
-         << " " << (pick(2) == 0 ? "+" : "-") << " " << rand_expr(rng, j, 2)
+    // Base recurrence: keeps the strand cyclic.  By default a distance-2
+    // self-dep always rides with a distance-1 term: a recurrence whose
+    // only distance is 2 makes normalize_distances unroll x2, and the
+    // unrolled graph splits into two parity components the pipeline
+    // rejects (ParitySplitError).  allow_parity_splits opts into exactly
+    // that shape so the diagnostic itself gets fuzz coverage.
+    std::string base = pick(4) == 0
+                           ? "(A" + js + "[i-1] + A" + js + "[i-2])"
+                           : "A" + js + "[i-1]";
+    if (opts.allow_parity_splits && pick(3) == 0) base = "A" + js + "[i-2]";
+    body << "  A" << js << "[i] = " << base << " "
+         << (pick(2) == 0 ? "+" : "-") << " " << rand_expr(rng, j, 2)
          << "\n";
     // Optional secondary recurrence, chained to the base one so the
     // strand's cyclic subset stays connected after fission.

@@ -86,6 +86,18 @@ struct GeneratedIrLoop {
   int strands = 1;     ///< independent strands the generator laid out
 };
 
-GeneratedIrLoop random_ir_loop(std::uint64_t seed);
+struct IrLoopGenOptions {
+  /// Let a strand's base recurrence be distance-2-only (`A[i] = A[i-2]
+  /// ...` with no distance-1 term).  Such a loop unrolls x2 into two
+  /// parity components and the pipeline rejects it with a typed
+  /// ParitySplitError — historically the generator quietly avoided the
+  /// shape to dodge the then-opaque scheduler contract trip.  Off by
+  /// default so the differential suites keep fuzzing schedulable
+  /// programs; on for the suite that pins the diagnostic itself.
+  bool allow_parity_splits = false;
+};
+
+GeneratedIrLoop random_ir_loop(std::uint64_t seed,
+                               const IrLoopGenOptions& opts = {});
 
 }  // namespace mimd::testsupport

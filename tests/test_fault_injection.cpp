@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -215,6 +216,40 @@ TEST(FaultInjection, StalledPipelineHitsTheReplyDeadlineNotAHang) {
   const GeneratedLoop gl = generate_loop(542);
   auto fut = client.submit_program_async(gl.program, gl.graph);
   EXPECT_THROW((void)fut.get(), wire::WireError);
+}
+
+// The gap the reply deadline leaves open: it only arms with a request in
+// flight, so a server that wedges while the client is IDLE used to go
+// unnoticed until the next submit burned its own timeout.  The negotiated
+// v2 client closes it with a heartbeat — every idle timeout_ms it Pings,
+// the Pong becomes an ordinary owed reply, and the same deadline math
+// converts a silent server into typed transport death with NOTHING
+// outstanding.
+TEST(FaultInjection, IdleHeartbeatDetectsAWedgedServerNothingOutstanding) {
+  ProxiedServer ps("fi_idle_stall");
+  FaultPlan stall;
+  stall.stall_after_server_bytes = 9;  // exactly the HelloReply
+  ps.proxy.set_plan(stall);
+  PlanClient client = PlanClient::connect(ps.proxy.endpoint(),
+                                          /*timeout_ms=*/150);
+  client.negotiate();
+  ASSERT_EQ(client.protocol_version(), wire::kProtocolV2);
+  ASSERT_TRUE(client.transport_error().empty());
+
+  // No request is ever submitted.  One idle period arms the Ping, one
+  // reply budget expires it; poll well past both (20x) before declaring
+  // the detection missing.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(6);
+  while (client.transport_error().empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(client.transport_error().find("timed out"), std::string::npos)
+      << "idle client never noticed the wedged server: '"
+      << client.transport_error() << "'";
+  // And the death is already decided: the next call fails fast, typed.
+  EXPECT_THROW((void)client.stats(), wire::WireError);
 }
 
 // ShardRouter + faults: a shard whose replies are being truncated is a

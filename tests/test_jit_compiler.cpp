@@ -22,6 +22,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/jit_compiler.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/worker_pool.hpp"
 #include "support/loop_gen.hpp"
 
 namespace mimd {
@@ -59,10 +60,13 @@ TEST(JitCompiler, SharedObjectSourceIsAKernelNotAProgram) {
   EXPECT_EQ(src.find("static double R["), std::string::npos);
 }
 
-// The acceptance differential: 50 generated programs, each run natively,
-// interpreted, and sequentially — all three bit-identical.
+// The acceptance differential: 50 generated programs, each run pooled-
+// native (ABI v2 entries on the shared WorkerPool), single-entry native
+// (the kernel's own pthreads), interpreted, and sequentially — all four
+// bit-identical.
 TEST(JitCompiler, FuzzDifferentialNativeVsInterpretedVsSequential) {
   REQUIRE_JIT();
+  WorkerPool pool;  // one shared pool across all 50 programs, like mimdd's
   for (std::uint64_t seed = 2000; seed < 2050; ++seed) {
     const GeneratedLoop gl = generate_loop(seed);
     const ExecutorPlan plan = compile(gl.program, gl.graph);
@@ -74,14 +78,19 @@ TEST(JitCompiler, FuzzDifferentialNativeVsInterpretedVsSequential) {
       continue;
     }
     ASSERT_NE(kernel, nullptr) << gl.tag;
+    ASSERT_TRUE(kernel->supports_pool()) << gl.tag;
     const ExecutionResult native = kernel->run(gl.iterations);
+    const ExecutionResult pooled = kernel->run_pooled(gl.iterations, &pool);
     const ExecutionResult interp = plan.run(gl.iterations);
     const ExecutionResult seq = run_reference(gl.graph, gl.iterations);
+    EXPECT_TRUE(values_match(pooled, native, gl.iterations))
+        << gl.tag << ": pooled vs single-entry native";
     EXPECT_TRUE(values_match(native, interp, gl.iterations))
         << gl.tag << ": native vs interpreted";
     EXPECT_TRUE(values_match(native, seq, gl.iterations))
         << gl.tag << ": native vs sequential";
   }
+  EXPECT_GT(pool.gangs_run(), 0u);
 }
 
 // A kernel is reentrant: repeat runs (and runs after other kernels
@@ -198,10 +207,73 @@ TEST(JitCompiler, EvictionUnloadsKernelOnlyAfterCallersFinish) {
       << "kernel outlived its last reference (leak)";
 }
 
-// The run-site gate: only a default-shaped run (SPSC, unpinned, no
-// synthetic work, default rings) may be served natively — every other
-// knob changes observable behavior or timing semantics the kernel does
-// not implement.
+// Old-ABI compatibility: a genuine single-entry (ABI v1) shared object —
+// emitted by the v1 mode kept selectable for exactly this test — still
+// loads and runs bit-identically.  It reports supports_pool() == false,
+// and the kernel-aware eligibility overload routes its *pinned* runs back
+// to the interpreter (the kernel spawns its own unpinned pthreads, so it
+// cannot honor a placement hint), while unpinned runs stay native.
+TEST(JitCompiler, SingleEntryAbiV1KernelStillLoads) {
+  REQUIRE_JIT();
+  const GeneratedLoop gl = generate_loop(2200);
+  const ExecutorPlan plan = compile(gl.program, gl.graph);
+  JitOptions v1;
+  v1.emit_abi = 1;
+  const std::shared_ptr<const JitKernel> old = jit_compile(plan, v1);
+  ASSERT_NE(old, nullptr);
+  EXPECT_FALSE(old->supports_pool());
+  EXPECT_TRUE(values_match(old->run(gl.iterations),
+                           plan.run(gl.iterations), gl.iterations));
+
+  RunOptions unpinned;
+  RunOptions pinned;
+  pinned.pin_threads = true;
+  EXPECT_TRUE(jit_run_eligible(unpinned, *old));
+  EXPECT_FALSE(jit_run_eligible(pinned, *old));
+
+  const std::shared_ptr<const JitKernel> v2 = jit_compile(plan);
+  ASSERT_TRUE(v2->supports_pool());
+  EXPECT_TRUE(jit_run_eligible(pinned, *v2));
+  // run_pooled on a v1 kernel is a caller bug, not a degradation.
+  EXPECT_THROW((void)old->run_pooled(gl.iterations, nullptr),
+               ContractViolation);
+}
+
+// The ABI v2 context lifecycle (create -> run_on xN -> destroy) under the
+// suite's sanitizer builds: repeated pooled runs — with and without a
+// pool, pinned and not — must neither leak the calloc'd context (ASan)
+// nor diverge in values, and an undersized n must be rejected before any
+// context is created.
+TEST(JitCompiler, PooledContextLifecycleIsLeakFreeAcrossRepeatRuns) {
+  REQUIRE_JIT();
+  const GeneratedLoop gl = generate_loop(2201);
+  const ExecutorPlan plan = compile(gl.program, gl.graph);
+  const std::shared_ptr<const JitKernel> kernel = jit_compile(plan);
+  ASSERT_TRUE(kernel->supports_pool());
+  EXPECT_THROW((void)kernel->run_pooled(gl.iterations - 1, nullptr),
+               ContractViolation);
+  WorkerPool pool;
+  const ExecutionResult first = kernel->run_pooled(gl.iterations, &pool);
+  for (int round = 0; round < 8; ++round) {
+    WorkerPool* p = round % 2 == 0 ? &pool : nullptr;
+    const bool pin = round % 4 < 2;
+    const ExecutionResult again =
+        kernel->run_pooled(gl.iterations, p, pin);
+    EXPECT_TRUE(values_match(again, first, gl.iterations))
+        << "round " << round << (p ? " pooled" : " spawned")
+        << (pin ? " pinned" : "");
+  }
+}
+
+// The run-site gate: only a default-shaped run (SPSC, no synthetic work,
+// default rings) may be served natively — those knobs change observable
+// behavior or timing semantics the kernel does not implement.  Pinning is
+// no longer a shape question: with an ABI v2 kernel the caller provides
+// the threads, so the rotating CPU-slice policy applies to native runs
+// exactly as to interpreted ones; only a legacy single-entry kernel
+// (which spawns its own unpinned pthreads) still routes pinned runs to
+// the interpreter — asserted by the kernel-aware overload in
+// SingleEntryAbiV1KernelStillLoads below.
 TEST(JitCompiler, RunEligibilityGate) {
   RunOptions o;
   EXPECT_TRUE(jit_run_eligible(o));
@@ -209,7 +281,7 @@ TEST(JitCompiler, RunEligibilityGate) {
   EXPECT_FALSE(jit_run_eligible(o));
   o = RunOptions{};
   o.pin_threads = true;
-  EXPECT_FALSE(jit_run_eligible(o));
+  EXPECT_TRUE(jit_run_eligible(o));
   o = RunOptions{};
   o.kernel.work_per_cycle = 8;
   EXPECT_FALSE(jit_run_eligible(o));

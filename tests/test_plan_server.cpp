@@ -882,5 +882,63 @@ TEST(PlanServer, DropProgramFreesTheRegistrySlot) {
                            c.iterations));
 }
 
+// Ping/Pong heartbeat frames.  A negotiated v2 connection gets its Pong
+// inline from the event loop — no worker-pool round trip — echoing the
+// request id with an empty payload; the connection stays fully usable
+// afterwards.  A v1 connection never negotiated the frame, so Ping is an
+// ordinary unknown request answered with an Error frame, which is
+// exactly what keeps old peers unaffected by the heartbeat.
+TEST(PlanServer, PingAnsweredInlineWithPongOnV2) {
+  TestServer ts("ps_ping_v2");
+  const sockaddr_un addr = wire::make_unix_addr(ts.server.socket_path());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  wire::write_frame(fd, wire::FrameType::Hello,
+                    wire::encode_hello(wire::HelloRequest{}));
+  const auto hello = wire::read_frame(fd);
+  ASSERT_TRUE(hello.has_value());
+  ASSERT_EQ(hello->type, wire::FrameType::HelloReply);
+  ASSERT_EQ(wire::decode_hello_reply(hello->payload), wire::kProtocolV2);
+
+  wire::write_frame_v2(fd, wire::FrameType::Ping, 77, {});
+  const auto pong = wire::read_frame_v2(fd);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, wire::FrameType::Pong);
+  EXPECT_EQ(pong->request_id, 77u);
+  EXPECT_TRUE(pong->payload.empty());
+
+  // Still a working connection: a Stats roundtrip succeeds after the Pong.
+  wire::write_frame_v2(fd, wire::FrameType::Stats, 78, {});
+  const auto stats = wire::read_frame_v2(fd);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->type, wire::FrameType::StatsReply);
+  EXPECT_EQ(stats->request_id, 78u);
+  ::close(fd);
+}
+
+TEST(PlanServer, PingOnAV1ConnectionIsAnOrdinaryTypedError) {
+  TestServer ts("ps_ping_v1");
+  const sockaddr_un addr = wire::make_unix_addr(ts.server.socket_path());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // No Hello: the connection is locked to v1 by its first real frame.
+  wire::write_frame(fd, wire::FrameType::Ping, {});
+  const auto reply = wire::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, wire::FrameType::Error);
+  // The connection survives the refused frame.
+  wire::write_frame(fd, wire::FrameType::Stats, {});
+  const auto stats = wire::read_frame(fd);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->type, wire::FrameType::StatsReply);
+  ::close(fd);
+}
+
 }  // namespace
 }  // namespace mimd

@@ -175,6 +175,59 @@ TEST(WorkerPool, OnePoolServesManyPlansAndConcurrentRuns) {
   EXPECT_EQ(pool.gangs_run(), 4u);
 }
 
+// ---- The JIT's pool dispatch path, with a stub kernel ----
+
+// JitKernel::run_pooled is compiled out under TSan (dlopen'd kernels are
+// uninstrumented), but its dispatch skeleton — one context, one
+// run_indexed_gang over threads() tasks — is plain instrumented code.
+// Replay it with an in-process fake kernel whose "threads" rendezvous
+// through the context, proving run_indexed_gang co-schedules the whole
+// gang (a dispatcher running tasks one at a time would deadlock) and
+// funnels every index to its own slot exactly once, pooled or spawned,
+// pinned or not.
+TEST(WorkerPool, IndexedGangCoSchedulesAStubKernelsThreads) {
+  constexpr std::size_t kThreads = 3;
+  struct FakeCtx {
+    std::atomic<int> arrived{0};
+    std::atomic<int> runs[kThreads] = {};
+  };
+  WorkerPool pool;
+  for (const bool use_pool : {true, false}) {
+    for (const bool pin : {false, true}) {
+      FakeCtx ctx;  // mimics mimd_kernel_ctx_create
+      run_indexed_gang(use_pool ? &pool : nullptr, kThreads, pin,
+                       [&ctx](std::size_t i) {
+                         // mimics mimd_kernel_run_on(ctx, i): blocks until
+                         // every gang peer is in flight, like the real
+                         // kernel's ring handoffs.
+                         ctx.arrived.fetch_add(1);
+                         while (ctx.arrived.load() <
+                                static_cast<int>(kThreads)) {
+                           std::this_thread::yield();
+                         }
+                         ctx.runs[i].fetch_add(1);
+                       });
+      for (std::size_t i = 0; i < kThreads; ++i) {
+        EXPECT_EQ(ctx.runs[i].load(), 1)
+            << "thread " << i << (use_pool ? " pooled" : " spawned")
+            << (pin ? " pinned" : "");
+      }
+    }
+  }
+  EXPECT_EQ(pool.gangs_run(), 2u);  // only the use_pool rounds
+}
+
+// Concurrent pinned gangs draw disjoint rotating CPU slices from the
+// process-wide counter run_indexed_gang claims from — the same counter
+// the interpreted executor and pooled native kernels share.
+TEST(WorkerPool, PinSliceRotatesAcrossClaims) {
+  const unsigned a = claim_pin_slice(3);
+  const unsigned b = claim_pin_slice(3);
+  const unsigned c = claim_pin_slice(2);
+  EXPECT_EQ(b, a + 3);
+  EXPECT_EQ(c, b + 3);
+}
+
 // ---- Affinity pinning ----
 
 TEST(Affinity, PinAndRestoreRoundTripOnSupportedPlatforms) {

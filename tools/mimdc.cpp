@@ -295,7 +295,8 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     // then fleet totals folded into the standard summary line.
     std::size_t pool_workers_total = 0, shards_alive = 0;
     std::uint64_t quota_trips = 0, quota_disconnects = 0, backoffs = 0;
-    std::uint64_t jit_native = 0, jit_interp = 0, jit_kernels = 0;
+    std::uint64_t jit_native = 0, jit_pooled = 0, jit_interp = 0,
+                  jit_kernels = 0;
     bool any_jit = false;
     std::ostringstream fleet;
     const std::vector<ShardStatsRow> rows = router.fleet_stats();
@@ -322,9 +323,11 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
       if (st.jit_enabled != 0) {
         any_jit = true;
         jit_native += st.jit_native_runs;
+        jit_pooled += st.jit_pooled_runs;
         jit_interp += st.jit_interpreted_runs;
         jit_kernels += st.jit_compiles;
-        fleet << ", " << st.jit_native_runs << " jit-native runs";
+        fleet << ", " << st.jit_native_runs << " jit-native runs ("
+              << st.jit_pooled_runs << " pooled)";
       }
       fleet << "\n";
       cache_stats.hits += st.cache.hits;
@@ -345,7 +348,8 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     workers_note = std::to_string(pool_workers_total) + " fleet workers on " +
                    std::to_string(shards_alive) + " shard(s)";
     if (any_jit) {
-      jit_note = std::to_string(jit_native) + " native / " +
+      jit_note = std::to_string(jit_native) + " native (" +
+                 std::to_string(jit_pooled) + " pooled) / " +
                  std::to_string(jit_interp) +
                  " interpreted runs fleet-wide (" +
                  std::to_string(jit_kernels) + " kernel compiles)";
@@ -378,7 +382,8 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     if (jit && cache.jit_available()) {
       const PlanCache::Stats js = cache.stats();
       jit_note = std::to_string(report.jit_native_runs) + "/" +
-                 std::to_string(jobs.size()) + " loops ran native (" +
+                 std::to_string(jobs.size()) + " loops ran native, " +
+                 std::to_string(report.jit_pooled_runs) + " on the pool (" +
                  std::to_string(js.jit_compiles) + " kernel compiles, " +
                  std::to_string(js.jit_failures) + " failed)";
     }
@@ -419,7 +424,8 @@ int run_batch_mode(const std::string& dir, int procs, int k, std::int64_t n,
     workers_note = std::to_string(stats.pool_workers) +
                    " daemon workers via " + connect;
     if (stats.jit_enabled != 0) {
-      jit_note = std::to_string(stats.jit_native_runs) + " native / " +
+      jit_note = std::to_string(stats.jit_native_runs) + " native (" +
+                 std::to_string(stats.jit_pooled_runs) + " pooled) / " +
                  std::to_string(stats.jit_interpreted_runs) +
                  " interpreted runs daemon-wide (" +
                  std::to_string(stats.jit_compiles) + " kernel compiles)";
@@ -680,9 +686,11 @@ int main(int argc, char** argv) {
         // native.
         const wire::StatsReply stats = client.stats();
         if (stats.jit_enabled != 0) {
-          std::cout << "jit      : " << stats.jit_native_runs << " native / "
+          std::cout << "jit      : " << stats.jit_native_runs << " native ("
+                    << stats.jit_pooled_runs << " pooled) / "
                     << stats.jit_interpreted_runs
                     << " interpreted runs daemon-wide ("
+                    << stats.jit_ineligible_runs << " ineligible, "
                     << stats.jit_compiles << " kernel compiles, "
                     << stats.jit_in_flight << " in flight)\n";
         } else {
@@ -717,7 +725,12 @@ int main(int argc, char** argv) {
           // to the interpreter with a note — same answer, same oracle.
           try {
             const std::shared_ptr<const JitKernel> kernel = jit_compile(plan);
-            par = kernel->run(r.normalized_iterations);
+            // ABI v2 kernels run on caller-provided threads, so --pin
+            // applies to a native run exactly as to an interpreted one.
+            par = kernel->supports_pool()
+                      ? kernel->run_pooled(r.normalized_iterations, nullptr,
+                                           pin)
+                      : kernel->run(r.normalized_iterations);
             native = true;
           } catch (const JitError& e) {
             std::cerr << "mimdc: jit unavailable (" << e.what()
